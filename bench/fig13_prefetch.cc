@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 13: impact of simple sequential prefetching for database data.
+ * For each access to Data-class memory the hardware prefetches the next 4
+ * primary-cache lines into the L1. Execution time is shown for the
+ * baseline (Base) and baseline+prefetch (Opt), normalized to Base = 100,
+ * broken into Busy / PMem / SMem / MSync.
+ *
+ * Paper reference shapes: Q6 and Q12 gain a modest 5-6%; Q3 slows down
+ * slightly; PMem increases a little everywhere (prefetches disturb the
+ * primary cache).
+ */
+
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace dss;
+
+int
+main()
+{
+    std::cout << "=== Figure 13: sequential data prefetching (Base = 100) "
+                 "===\n\n";
+
+    harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    const sim::MachineConfig base_cfg = sim::MachineConfig::baseline();
+    sim::MachineConfig opt_cfg = base_cfg;
+    opt_cfg.prefetchData = true;
+    opt_cfg.prefetchDegree = 4;
+
+    harness::TextTable tab({"query", "config", "Busy", "PMem", "SMem",
+                            "MSync", "Total", "pf issued", "pf useful"});
+
+    for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
+                            tpcd::QueryId::Q12}) {
+        harness::TraceSet traces = wl.trace(q);
+        sim::ProcStats base =
+            harness::runCold(base_cfg, traces).aggregate();
+        sim::ProcStats opt = harness::runCold(opt_cfg, traces).aggregate();
+
+        const double denom = static_cast<double>(base.totalCycles());
+        auto row = [&](const char *cfg_name, const sim::ProcStats &s) {
+            auto n = [&](sim::Cycles c) {
+                return harness::fixed(
+                    100.0 * static_cast<double>(c) / denom, 1);
+            };
+            tab.addRow({tpcd::queryName(q), cfg_name, n(s.busy),
+                        n(s.pmem()), n(s.smem()), n(s.syncStall),
+                        n(s.totalCycles()),
+                        std::to_string(s.prefetchesIssued),
+                        std::to_string(s.prefetchesUseful)});
+        };
+        row("Base", base);
+        row("Opt", opt);
+    }
+    tab.print(std::cout);
+    return 0;
+}

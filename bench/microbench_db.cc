@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Component microbenchmarks for the DBMS engine (google-benchmark):
+ * B-tree probes, buffer-manager pin/unpin, sequential scan throughput and
+ * database population speed. Host performance of the engine, not
+ * simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/workload.hh"
+#include "tpcd/dbgen.hh"
+#include "tpcd/queries.hh"
+
+using namespace dss;
+
+namespace {
+
+/** Shared fixture: one tiny database for all engine benchmarks. */
+tpcd::TpcdDb &
+testDb()
+{
+    static tpcd::TpcdDb db(tpcd::ScaleConfig::tiny(), 1);
+    return db;
+}
+
+void
+BM_BTreeLookup(benchmark::State &state)
+{
+    tpcd::TpcdDb &db = testDb();
+    sim::NullSink sink;
+    db::TracedMemory mem(db.space(), 0, sink);
+    const db::BTree &idx = db.catalog().index(db.idxOrdersKey);
+    std::int64_t key = 1;
+    const auto n = static_cast<std::int64_t>(db.scale().orders());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(idx.lookupAll(mem, key));
+        key = key % n + 1;
+    }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void
+BM_BufferPinUnpin(benchmark::State &state)
+{
+    tpcd::TpcdDb &db = testDb();
+    sim::NullSink sink;
+    db::TracedMemory mem(db.space(), 0, sink);
+    for (auto _ : state) {
+        sim::Addr page = db.bufmgr().pinPage(mem, db.lineitem, 0);
+        benchmark::DoNotOptimize(page);
+        db.bufmgr().unpinPage(mem, db.lineitem, 0);
+    }
+}
+BENCHMARK(BM_BufferPinUnpin);
+
+void
+BM_LockUnlockRelation(benchmark::State &state)
+{
+    tpcd::TpcdDb &db = testDb();
+    sim::NullSink sink;
+    db::TracedMemory mem(db.space(), 0, sink);
+    for (auto _ : state) {
+        db.lockmgr().lockRelation(mem, 7, db.orders, db::LockMode::Read);
+        db.lockmgr().unlockRelation(mem, 7, db.orders);
+    }
+}
+BENCHMARK(BM_LockUnlockRelation);
+
+void
+BM_Q6Execute(benchmark::State &state)
+{
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 1);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wl.execute(tpcd::QueryId::Q6, seed++));
+    }
+}
+BENCHMARK(BM_Q6Execute);
+
+void
+BM_Q6Trace(benchmark::State &state)
+{
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 1);
+    std::uint64_t seed = 1;
+    std::int64_t entries = 0;
+    for (auto _ : state) {
+        sim::TraceStream t = wl.traceOne(tpcd::QueryId::Q6, 0, seed++);
+        entries += static_cast<std::int64_t>(t.size());
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(entries);
+}
+BENCHMARK(BM_Q6Trace);
+
+void
+BM_DbGenTiny(benchmark::State &state)
+{
+    for (auto _ : state) {
+        tpcd::TpcdDb db(tpcd::ScaleConfig::tiny(), 1);
+        benchmark::DoNotOptimize(db.dataBytes());
+    }
+}
+BENCHMARK(BM_DbGenTiny);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Component microbenchmarks for the memory-hierarchy simulator
+ * (google-benchmark): cache lookup/fill throughput, directory transaction
+ * throughput, write-buffer operations and whole-machine trace replay
+ * speed. These measure the *simulator's* host performance, not simulated
+ * time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/arena.hh"
+#include "sim/cache.hh"
+#include "sim/directory.hh"
+#include "sim/machine.hh"
+#include "sim/write_buffer.hh"
+
+using namespace dss::sim;
+
+namespace {
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    Cache c({128 * 1024, 64, 2});
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        c.fill(a);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a));
+        a = (a + 64) & (64 * 1024 - 1);
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissFill(benchmark::State &state)
+{
+    Cache c({4 * 1024, 32, 1});
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!c.access(a)) {
+            benchmark::DoNotOptimize(c.classifyMiss(a));
+            c.fill(a);
+        }
+        a += 32; // stream: always misses
+    }
+}
+BENCHMARK(BM_CacheMissFill);
+
+void
+BM_DirectoryTransaction(benchmark::State &state)
+{
+    LatencyConfig lat;
+    Directory dir(4, 64, 8192, AddressSpace::kPrivateBase,
+                  AddressSpace::kPrivateStride, lat);
+    Addr a = 0x1000'0000;
+    for (auto _ : state) {
+        Directory::Entry &e = dir.entry(a);
+        e.state = Directory::State::Shared;
+        ProcId home = dir.homeOf(a);
+        benchmark::DoNotOptimize(
+            dir.transactionLatency(0, home, 0, false));
+        a += 64;
+    }
+}
+BENCHMARK(BM_DirectoryTransaction);
+
+void
+BM_WriteBufferPush(benchmark::State &state)
+{
+    WriteBuffer wb(16);
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wb.push(now, 16, now & ~63ull));
+        now += 20; // drains keep up: no overflow path
+    }
+}
+BENCHMARK(BM_WriteBufferPush);
+
+/** Whole-machine replay throughput on a synthetic streaming trace. */
+void
+BM_MachineReplay(benchmark::State &state)
+{
+    TraceStream stream;
+    for (Addr a = 0; a < 1 << 20; a += 8) {
+        stream.record(TraceEntry::read(0x1000'0000 + a, DataClass::Data, 8));
+        stream.record(TraceEntry::busy(3));
+    }
+    for (auto _ : state) {
+        Machine m(MachineConfig::baseline());
+        SimStats s = m.run({&stream});
+        benchmark::DoNotOptimize(s.procs[0].reads);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MachineReplay);
+
+} // namespace
+
+BENCHMARK_MAIN();

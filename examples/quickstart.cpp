@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: load a small TPC-D database, run query Q6 on a 4-processor
+ * CC-NUMA machine, and print the query answer plus the memory-performance
+ * summary the library produces.
+ */
+
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace dss;
+
+int
+main()
+{
+    // 1. Build and load a scaled-down TPC-D database (untraced setup).
+    tpcd::ScaleConfig scale;
+    scale.customers = 300; // keep the quickstart snappy
+    harness::Workload wl(scale, /*nprocs=*/4);
+    std::cout << "Loaded TPC-D database: "
+              << wl.db().dataBytes() / 1024 << " KiB of pages\n";
+
+    // 2. Run Q6 for real and show its answer.
+    auto rows = wl.execute(tpcd::QueryId::Q6, /*param_seed=*/1);
+    std::cout << "Q6 revenue increase: " << db::datumReal(rows[0][0])
+              << "\n\n";
+
+    // 3. Trace one Q6 per processor and simulate the baseline machine.
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+    sim::SimStats stats =
+        harness::runCold(sim::MachineConfig::baseline(), traces);
+
+    harness::TimeBreakdown tb = harness::timeBreakdown(stats);
+    std::cout << "Execution time: " << tb.total << " cycles\n"
+              << "  Busy  " << harness::fixed(100 * tb.busy) << "%\n"
+              << "  Mem   " << harness::fixed(100 * tb.mem) << "%\n"
+              << "  MSync " << harness::fixed(100 * tb.msync) << "%\n\n";
+
+    sim::ProcStats agg = stats.aggregate();
+    std::cout << "L1 miss rate: "
+              << harness::fixed(100 * agg.l1MissRate(), 2) << "%  "
+              << "L2 global miss rate: "
+              << harness::fixed(100 * agg.l2GlobalMissRate(), 2) << "%\n\n";
+
+    harness::printMissTable(std::cout, "L2 read misses by structure",
+                            agg.l2Misses);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Inter-query data reuse (the paper's Figure 12 experiment as a library
+ * walkthrough): run Q12 with cold caches, then again right after another
+ * query, and watch which misses disappear.
+ */
+
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace dss;
+
+namespace {
+
+void
+report(const char *label, const sim::SimStats &stats)
+{
+    sim::ProcStats agg = stats.aggregate();
+    std::cout << label << ": L2 misses " << agg.l2Misses.total()
+              << " (Data " << agg.l2Misses.byGroup(sim::ClassGroup::Data)
+              << ", Index " << agg.l2Misses.byGroup(sim::ClassGroup::Index)
+              << ", Metadata "
+              << agg.l2Misses.byGroup(sim::ClassGroup::Metadata)
+              << "), exec " << agg.totalCycles() << " cycles\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    tpcd::ScaleConfig scale;
+    scale.customers = 300;
+    harness::Workload wl(scale, 4);
+
+    // Very large caches expose the upper bound on reuse (paper 5.2.2).
+    sim::MachineConfig cfg =
+        sim::MachineConfig::baseline().withCacheSizes(1 << 20, 32 << 20);
+
+    harness::TraceSet q12 = wl.trace(tpcd::QueryId::Q12, 1);
+    harness::TraceSet q12_other = wl.trace(tpcd::QueryId::Q12, 2);
+    harness::TraceSet q3 = wl.trace(tpcd::QueryId::Q3, 3);
+
+    std::cout << "Q12 is a Sequential query: it scans the whole lineitem "
+                 "table.\n\n";
+
+    report("cold caches             ",
+           harness::runCold(cfg, q12));
+
+    auto after_q12 = harness::runSequence(cfg, {&q12_other, &q12});
+    report("right after another Q12 ", after_q12.back());
+
+    auto after_q3 = harness::runSequence(cfg, {&q3, &q12});
+    report("right after a Q3        ", after_q3.back());
+
+    std::cout
+        << "\nTakeaway: two Sequential queries over the same table reuse "
+           "it almost\nentirely (the Data misses vanish); an Index query "
+           "warms only the few\ntuples it touched. This is the paper's "
+           "inter-query temporal locality\nresult (Figure 12).\n";
+    return 0;
+}

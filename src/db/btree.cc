@@ -1,0 +1,366 @@
+#include "db/btree.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dss {
+namespace db {
+
+namespace {
+
+// Leaf entry: {key i64, block i32, slot i32}; internal: {key i64, child i32}.
+constexpr sim::Addr kEntryKey = 0;
+constexpr sim::Addr kEntryBlock = 8;
+constexpr sim::Addr kEntrySlot = 12;
+constexpr sim::Addr kEntryChild = 8;
+
+} // namespace
+
+void
+BTree::build(TracedMemory &setup, const std::vector<Entry> &sorted)
+{
+    if (root_ != -1)
+        throw std::runtime_error("BTree: already built");
+#ifndef NDEBUG
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        assert(sorted[i - 1].first <= sorted[i].first && "input not sorted");
+#endif
+
+    // ~80% fill factor, as a freshly loaded tree would have.
+    const std::uint16_t fill = static_cast<std::uint16_t>(
+        std::max<std::size_t>(2, kMaxEntries * 4 / 5));
+
+    // Build the leaf level.
+    std::vector<std::pair<Key, BlockNo>> level; // (first key, block)
+    std::size_t i = 0;
+    do {
+        const std::size_t n =
+            std::min<std::size_t>(fill, sorted.size() - i);
+        const BlockNo blk = static_cast<BlockNo>(numPages_++);
+        sim::Addr page = bufmgr_.allocBlock(setup, rel_, blk,
+                                            sim::DataClass::Index);
+        setup.store<std::uint16_t>(page + kIsLeafOff, 1);
+        setup.store<std::uint16_t>(page + kNumKeysOff,
+                                   static_cast<std::uint16_t>(n));
+        const bool last = i + n >= sorted.size();
+        setup.store<std::int32_t>(page + kRightSibOff, last ? -1 : blk + 1);
+        for (std::size_t e = 0; e < n; ++e) {
+            const Entry &ent = sorted[i + e];
+            sim::Addr a = entryAddr(page, static_cast<std::uint16_t>(e));
+            setup.store<std::int64_t>(a + kEntryKey, ent.first);
+            setup.store<std::int32_t>(a + kEntryBlock, ent.second.block);
+            setup.store<std::int32_t>(a + kEntrySlot, ent.second.slot);
+        }
+        level.emplace_back(n ? sorted[i].first : 0, blk);
+        i += n;
+    } while (i < sorted.size());
+    height_ = 1;
+
+    // Build internal levels up to a single root.
+    while (level.size() > 1) {
+        std::vector<std::pair<Key, BlockNo>> upper;
+        std::size_t j = 0;
+        while (j < level.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(fill, level.size() - j);
+            const BlockNo blk = static_cast<BlockNo>(numPages_++);
+            sim::Addr page = bufmgr_.allocBlock(setup, rel_, blk,
+                                                sim::DataClass::Index);
+            setup.store<std::uint16_t>(page + kIsLeafOff, 0);
+            setup.store<std::uint16_t>(page + kNumKeysOff,
+                                       static_cast<std::uint16_t>(n));
+            setup.store<std::int32_t>(page + kRightSibOff, -1);
+            for (std::size_t e = 0; e < n; ++e) {
+                sim::Addr a = entryAddr(page, static_cast<std::uint16_t>(e));
+                setup.store<std::int64_t>(a + kEntryKey, level[j + e].first);
+                setup.store<std::int32_t>(a + kEntryChild,
+                                          level[j + e].second);
+            }
+            upper.emplace_back(level[j].first, blk);
+            j += n;
+        }
+        level.swap(upper);
+        ++height_;
+    }
+    root_ = level.front().second;
+}
+
+std::uint16_t
+BTree::searchPage(TracedMemory &mem, sim::Addr page, std::uint16_t nkeys,
+                  Key key) const
+{
+    // Standard in-page binary search; each probe is a traced key load.
+    std::uint16_t lo = 0, hi = nkeys;
+    while (lo < hi) {
+        std::uint16_t mid = static_cast<std::uint16_t>((lo + hi) / 2);
+        Key k = mem.load<std::int64_t>(entryAddr(page, mid) + kEntryKey);
+        mem.busy(6); // comparison-function dispatch per probe step
+        if (k < key)
+            lo = static_cast<std::uint16_t>(mid + 1);
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+BlockNo
+BTree::descend(TracedMemory &mem, Key key, sim::Addr *leaf_page) const
+{
+    if (root_ == -1)
+        throw std::runtime_error("BTree: not built");
+    BlockNo blk = root_;
+    for (int lvl = height_; lvl > 1; --lvl) {
+        sim::Addr page = bufmgr_.pinPage(mem, rel_, blk);
+        auto nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+        std::uint16_t idx = searchPage(mem, page, nkeys, key);
+        // Child idx-1 covers [key_{idx-1}, key_idx); stepping one left when
+        // key_idx == key also catches duplicates spanning the boundary.
+        if (idx > 0)
+            --idx;
+        auto child =
+            mem.load<std::int32_t>(entryAddr(page, idx) + kEntryChild);
+        bufmgr_.unpinPage(mem, rel_, blk);
+        mem.busy(60); // per-level descent machinery
+        blk = child;
+    }
+    *leaf_page = bufmgr_.pinPage(mem, rel_, blk);
+    return blk;
+}
+
+BTree::Cursor
+BTree::seek(TracedMemory &mem, Key key) const
+{
+    Cursor c;
+    c.tree_ = this;
+    sim::Addr page = 0;
+    BlockNo blk = descend(mem, key, &page);
+
+    // Skip forward to the first entry with key >= target (the conservative
+    // one-left descend may land a leaf early).
+    for (;;) {
+        auto nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+        std::uint16_t pos = searchPage(mem, page, nkeys, key);
+        if (pos < nkeys) {
+            c.block_ = blk;
+            c.page_ = page;
+            c.pos_ = pos;
+            return c;
+        }
+        auto sib = mem.load<std::int32_t>(page + kRightSibOff);
+        bufmgr_.unpinPage(mem, rel_, blk);
+        if (sib == -1)
+            return c; // closed cursor: key beyond the last entry
+        blk = sib;
+        page = bufmgr_.pinPage(mem, rel_, blk);
+    }
+}
+
+BTree::Cursor
+BTree::begin(TracedMemory &mem) const
+{
+    Cursor c;
+    c.tree_ = this;
+    sim::Addr page = 0;
+    // Leaf 0 is the leftmost leaf by construction.
+    c.block_ = 0;
+    c.page_ = bufmgr_.pinPage(mem, rel_, 0);
+    c.pos_ = 0;
+    (void)page;
+    return c;
+}
+
+bool
+BTree::Cursor::next(TracedMemory &mem, Key &key, Tid &tid)
+{
+    while (block_ != -1) {
+        auto nkeys = mem.load<std::uint16_t>(page_ + kNumKeysOff);
+        if (pos_ < nkeys) {
+            sim::Addr a = tree_->entryAddr(page_, pos_);
+            key = mem.load<std::int64_t>(a + kEntryKey);
+            tid.block = mem.load<std::int32_t>(a + kEntryBlock);
+            tid.slot = static_cast<std::uint16_t>(
+                mem.load<std::int32_t>(a + kEntrySlot));
+            ++pos_;
+            return true;
+        }
+        auto sib = mem.load<std::int32_t>(page_ + kRightSibOff);
+        tree_->bufmgr_.unpinPage(mem, tree_->rel_, block_);
+        if (sib == -1) {
+            block_ = -1;
+            page_ = 0;
+            return false;
+        }
+        block_ = sib;
+        page_ = tree_->bufmgr_.pinPage(mem, tree_->rel_, block_);
+        pos_ = 0;
+    }
+    return false;
+}
+
+void
+BTree::Cursor::close(TracedMemory &mem)
+{
+    if (block_ != -1) {
+        tree_->bufmgr_.unpinPage(mem, tree_->rel_, block_);
+        block_ = -1;
+        page_ = 0;
+    }
+}
+
+BlockNo
+BTree::allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib)
+{
+    const BlockNo blk = static_cast<BlockNo>(numPages_++);
+    sim::Addr page =
+        bufmgr_.allocBlock(mem, rel_, blk, sim::DataClass::Index);
+    mem.store<std::uint16_t>(page + kIsLeafOff, leaf ? 1 : 0);
+    mem.store<std::uint16_t>(page + kNumKeysOff, 0);
+    mem.store<std::int32_t>(page + kRightSibOff, right_sib);
+    return blk;
+}
+
+void
+BTree::placeEntry(TracedMemory &mem, sim::Addr page, std::uint16_t nkeys,
+                  std::uint16_t pos, Key key, std::int32_t v0,
+                  std::int32_t v1)
+{
+    assert(nkeys < kMaxEntries);
+    // Shift the tail right by one entry (traced copies, like a real page).
+    for (std::uint16_t i = nkeys; i > pos; --i)
+        mem.copy(entryAddr(page, i), entryAddr(page, i - 1), kEntryBytes);
+    mem.busy(2u * (nkeys - pos) + 4); // the memmove's instruction cost
+    sim::Addr a = entryAddr(page, pos);
+    mem.store<std::int64_t>(a + kEntryKey, key);
+    mem.store<std::int32_t>(a + kEntryBlock, v0);
+    mem.store<std::int32_t>(a + kEntrySlot, v1);
+    mem.store<std::uint16_t>(page + kNumKeysOff,
+                             static_cast<std::uint16_t>(nkeys + 1));
+}
+
+BTree::Split
+BTree::splitPage(TracedMemory &mem, BlockNo blk, sim::Addr page, bool leaf)
+{
+    (void)blk; // kept for symmetry with insertInto's pin bookkeeping
+    auto nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+    const auto mid = static_cast<std::uint16_t>(nkeys / 2);
+
+    auto old_sib = mem.load<std::int32_t>(page + kRightSibOff);
+    BlockNo new_blk = allocPage(mem, leaf, leaf ? old_sib : -1);
+    sim::Addr new_page = bufmgr_.pinPage(mem, rel_, new_blk);
+
+    for (std::uint16_t i = mid; i < nkeys; ++i) {
+        mem.copy(entryAddr(new_page, static_cast<std::uint16_t>(i - mid)),
+                 entryAddr(page, i), kEntryBytes);
+    }
+    mem.store<std::uint16_t>(new_page + kNumKeysOff,
+                             static_cast<std::uint16_t>(nkeys - mid));
+    mem.store<std::uint16_t>(page + kNumKeysOff, mid);
+    if (leaf)
+        mem.store<std::int32_t>(page + kRightSibOff, new_blk);
+
+    Split out;
+    out.happened = true;
+    out.sepKey = mem.load<std::int64_t>(entryAddr(new_page, 0) + kEntryKey);
+    out.newBlock = new_blk;
+    bufmgr_.unpinPage(mem, rel_, new_blk);
+    return out;
+}
+
+BTree::Split
+BTree::insertInto(TracedMemory &mem, BlockNo blk, int level, Key key,
+                  Tid tid)
+{
+    sim::Addr page = bufmgr_.pinPage(mem, rel_, blk);
+    auto nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+
+    if (level == 1) {
+        // Leaf: make room (splitting first if full), then place.
+        Split split;
+        if (nkeys >= kMaxEntries) {
+            split = splitPage(mem, blk, page, /*leaf=*/true);
+            if (key >= split.sepKey) {
+                bufmgr_.unpinPage(mem, rel_, blk);
+                blk = split.newBlock;
+                page = bufmgr_.pinPage(mem, rel_, blk);
+            }
+            nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+        }
+        std::uint16_t pos = searchPage(mem, page, nkeys, key);
+        placeEntry(mem, page, nkeys, pos, key, tid.block,
+                   static_cast<std::int32_t>(tid.slot));
+        bufmgr_.unpinPage(mem, rel_, blk);
+        return split;
+    }
+
+    // Internal: find the child, recurse, absorb any child split.
+    std::uint16_t idx = searchPage(mem, page, nkeys, key);
+    if (idx > 0)
+        --idx;
+    auto child = mem.load<std::int32_t>(entryAddr(page, idx) + kEntryChild);
+    bufmgr_.unpinPage(mem, rel_, blk);
+
+    Split child_split = insertInto(mem, child, level - 1, key, tid);
+    if (!child_split.happened)
+        return {};
+
+    page = bufmgr_.pinPage(mem, rel_, blk);
+    nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+    Split split;
+    if (nkeys >= kMaxEntries) {
+        split = splitPage(mem, blk, page, /*leaf=*/false);
+        if (child_split.sepKey >= split.sepKey) {
+            bufmgr_.unpinPage(mem, rel_, blk);
+            blk = split.newBlock;
+            page = bufmgr_.pinPage(mem, rel_, blk);
+        }
+        nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
+    }
+    std::uint16_t pos = searchPage(mem, page, nkeys, child_split.sepKey);
+    placeEntry(mem, page, nkeys, pos, child_split.sepKey,
+               child_split.newBlock, 0);
+    bufmgr_.unpinPage(mem, rel_, blk);
+    return split;
+}
+
+void
+BTree::insert(TracedMemory &mem, Key key, Tid tid)
+{
+    if (root_ == -1)
+        throw std::runtime_error("BTree: insert into unbuilt tree");
+    Split split = insertInto(mem, root_, height_, key, tid);
+    if (!split.happened)
+        return;
+
+    // Root split: a new root with two children.
+    sim::Addr old_root = bufmgr_.pinPage(mem, rel_, root_);
+    Key first_key =
+        mem.load<std::int64_t>(entryAddr(old_root, 0) + kEntryKey);
+    bufmgr_.unpinPage(mem, rel_, root_);
+
+    BlockNo new_root = allocPage(mem, /*leaf=*/false, -1);
+    sim::Addr page = bufmgr_.pinPage(mem, rel_, new_root);
+    placeEntry(mem, page, 0, 0, first_key, root_, 0);
+    placeEntry(mem, page, 1, 1, split.sepKey, split.newBlock, 0);
+    bufmgr_.unpinPage(mem, rel_, new_root);
+    root_ = new_root;
+    ++height_;
+}
+
+std::vector<Tid>
+BTree::lookupAll(TracedMemory &mem, Key key) const
+{
+    std::vector<Tid> out;
+    Cursor c = seek(mem, key);
+    Key k;
+    Tid t;
+    while (c.next(mem, k, t)) {
+        if (k != key)
+            break;
+        out.push_back(t);
+    }
+    c.close(mem);
+    return out;
+}
+
+} // namespace db
+} // namespace dss

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * B+-tree indices stored in 8 KB buffer blocks (Index-tagged).
+ *
+ * Index scans descend from the root with an in-page binary search and then
+ * walk leaf pages through right-sibling links. Every page visit pins and
+ * unpins through the BufferManager, so index scans exercise the full
+ * metadata path (BufMgrLock, lookup hash, descriptors) — the behaviour the
+ * paper attributes to Index queries. The upper levels of the tree are
+ * re-read on every probe, which is the intra-query temporal locality the
+ * paper measures on indices.
+ *
+ * Trees are bulk-loaded at setup from sorted (key, tid) runs; the studied
+ * workload is read-only, as in the paper.
+ */
+
+#ifndef DSS_DB_BTREE_HH
+#define DSS_DB_BTREE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "db/bufmgr.hh"
+#include "db/common.hh"
+#include "db/mem.hh"
+
+namespace dss {
+namespace db {
+
+class BTree
+{
+  public:
+    using Key = std::int64_t;
+    using Entry = std::pair<Key, Tid>;
+
+    /**
+     * @param index_rel Relation id of the index itself (distinct from the
+     *                  indexed table's id).
+     */
+    BTree(RelId index_rel, BufferManager &bufmgr)
+        : rel_(index_rel), bufmgr_(bufmgr)
+    {}
+
+    /** Bulk-load from entries sorted by key (duplicates allowed). Setup. */
+    void build(TracedMemory &setup, const std::vector<Entry> &sorted);
+
+    /**
+     * Insert one (key, tid) at run time (update queries). Fully traced:
+     * the descent, the in-page shift and any page splits all go through
+     * the buffer manager and emit Index-class references. Splits allocate
+     * fresh buffer blocks; the root splits like any other page.
+     */
+    void insert(TracedMemory &mem, Key key, Tid tid);
+
+    /**
+     * Streaming cursor over leaf entries. Keeps the current leaf pinned;
+     * close() (or exhaustion) releases it.
+     */
+    class Cursor
+    {
+      public:
+        /**
+         * Advance to the next entry.
+         * @return false at end of index.
+         */
+        bool next(TracedMemory &mem, Key &key, Tid &tid);
+
+        /** Unpin the current leaf (idempotent). */
+        void close(TracedMemory &mem);
+
+        bool open() const { return block_ != -1; }
+
+      private:
+        friend class BTree;
+        const BTree *tree_ = nullptr;
+        BlockNo block_ = -1;  ///< current leaf block (-1: closed)
+        sim::Addr page_ = 0;  ///< pinned leaf address
+        std::uint16_t pos_ = 0;
+    };
+
+    /** Cursor positioned at the first entry with key >= @p key. */
+    Cursor seek(TracedMemory &mem, Key key) const;
+
+    /** Cursor at the leftmost entry (full index order scan). */
+    Cursor begin(TracedMemory &mem) const;
+
+    /** Collect the tids of every entry with exactly @p key. */
+    std::vector<Tid> lookupAll(TracedMemory &mem, Key key) const;
+
+    RelId relId() const { return rel_; }
+    int height() const { return height_; }
+    BlockNo rootBlock() const { return root_; }
+    unsigned numPages() const { return numPages_; }
+
+  private:
+    // Page header layout.
+    static constexpr sim::Addr kIsLeafOff = 0;   // u16
+    static constexpr sim::Addr kNumKeysOff = 2;  // u16
+    static constexpr sim::Addr kRightSibOff = 4; // i32, -1 = none
+    static constexpr sim::Addr kEntriesOff = 16;
+    static constexpr std::size_t kEntryBytes = 16;
+    static constexpr std::uint16_t kMaxEntries =
+        (kPageBytes - kEntriesOff) / kEntryBytes;
+
+    sim::Addr entryAddr(sim::Addr page, std::uint16_t i) const
+    {
+        return page + kEntriesOff + i * kEntryBytes;
+    }
+
+    /** Binary search: first entry index with key >= @p key (traced). */
+    std::uint16_t searchPage(TracedMemory &mem, sim::Addr page,
+                             std::uint16_t nkeys, Key key) const;
+
+    /** Outcome of a recursive insert: did the child split? */
+    struct Split
+    {
+        bool happened = false;
+        Key sepKey = 0;        ///< first key of the new right sibling
+        BlockNo newBlock = -1; ///< the new right sibling
+    };
+
+    /** Allocate a fresh (empty) tree page. */
+    BlockNo allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib);
+
+    /** Shift entries [pos, nkeys) right by one and write a new entry. */
+    void placeEntry(TracedMemory &mem, sim::Addr page, std::uint16_t nkeys,
+                    std::uint16_t pos, Key key, std::int32_t v0,
+                    std::int32_t v1);
+
+    /** Split @p blk (pinned at @p page) and return the new sibling. */
+    Split splitPage(TracedMemory &mem, BlockNo blk, sim::Addr page,
+                    bool leaf);
+
+    /** Recursive insert into the subtree rooted at @p blk. */
+    Split insertInto(TracedMemory &mem, BlockNo blk, int level, Key key,
+                     Tid tid);
+
+    /** Descend to the leaf that may contain @p key; returns pinned leaf. */
+    BlockNo descend(TracedMemory &mem, Key key, sim::Addr *leaf_page) const;
+
+    RelId rel_;
+    BufferManager &bufmgr_;
+    BlockNo root_ = -1;
+    int height_ = 0;
+    unsigned numPages_ = 0;
+};
+
+} // namespace db
+} // namespace dss
+
+#endif // DSS_DB_BTREE_HH

@@ -1,0 +1,163 @@
+#include "db/catalog.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "db/page.hh"
+
+namespace dss {
+namespace db {
+
+RelId
+Catalog::createTable(TracedMemory &setup, std::string name, Schema schema)
+{
+    (void)setup;
+    RelId id = nextRel_++;
+    Relation r;
+    r.id = id;
+    r.name = name;
+    r.schema = std::move(schema);
+    byName_[r.name] = id;
+    tables_.emplace(id, std::move(r));
+    return id;
+}
+
+Tid
+Catalog::insert(TracedMemory &setup, RelId rel,
+                const std::vector<Datum> &values)
+{
+    Relation &r = relation(rel);
+    std::vector<std::uint8_t> img = encodeTuple(r.schema, values);
+
+    if (r.currentBlock == -1) {
+        r.currentBlock = static_cast<BlockNo>(r.blocks.size());
+        r.currentPage = bufmgr_.allocBlock(setup, rel, r.currentBlock,
+                                           sim::DataClass::Data);
+        r.blocks.push_back(r.currentBlock);
+        PageRef(setup, r.currentPage).init();
+    }
+
+    PageRef page(setup, r.currentPage);
+    int slot = page.addTuple(img.data(), img.size());
+    if (slot < 0) {
+        r.currentBlock = static_cast<BlockNo>(r.blocks.size());
+        r.currentPage = bufmgr_.allocBlock(setup, rel, r.currentBlock,
+                                           sim::DataClass::Data);
+        r.blocks.push_back(r.currentBlock);
+        PageRef fresh(setup, r.currentPage);
+        fresh.init();
+        slot = fresh.addTuple(img.data(), img.size());
+        if (slot < 0)
+            throw std::runtime_error("Catalog: tuple larger than a page");
+    }
+    ++r.numTuples;
+    return Tid{r.currentBlock, static_cast<std::uint16_t>(slot)};
+}
+
+RelId
+Catalog::createIndex(TracedMemory &setup, std::string name, RelId table,
+                     std::size_t attr_idx)
+{
+    Relation &r = relation(table);
+    if (attr_idx >= r.schema.numAttrs())
+        throw std::out_of_range("createIndex: bad attribute");
+
+    // Collect (key, tid) from the heap, sort, bulk-load.
+    std::vector<BTree::Entry> entries;
+    entries.reserve(r.numTuples);
+    for (BlockNo blk : r.blocks) {
+        sim::Addr page_addr = bufmgr_.pinPage(setup, table, blk);
+        PageRef page(setup, page_addr);
+        std::uint16_t n = page.numSlots();
+        for (std::uint16_t s = 0; s < n; ++s) {
+            sim::Addr t = page.tupleAddr(s);
+            if (!t)
+                continue; // deleted tuple
+            Datum d = readAttr(setup, t, r.schema, attr_idx);
+            entries.emplace_back(datumToKey(d), Tid{blk, s});
+        }
+        bufmgr_.unpinPage(setup, table, blk);
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const BTree::Entry &a, const BTree::Entry &b) {
+                         return a.first < b.first;
+                     });
+
+    RelId id = nextRel_++;
+    auto tree = std::make_unique<BTree>(id, bufmgr_);
+    tree->build(setup, entries);
+    indices_.emplace(id, std::move(tree));
+    indexByAttr_[{table, attr_idx}] = id;
+    indicesByTable_[table].emplace_back(attr_idx, id);
+    byName_[name] = id;
+    return id;
+}
+
+Relation &
+Catalog::relation(RelId id)
+{
+    auto it = tables_.find(id);
+    if (it == tables_.end())
+        throw std::out_of_range("Catalog: unknown relation");
+    return it->second;
+}
+
+const Relation &
+Catalog::relation(RelId id) const
+{
+    auto it = tables_.find(id);
+    if (it == tables_.end())
+        throw std::out_of_range("Catalog: unknown relation");
+    return it->second;
+}
+
+RelId
+Catalog::relIdOf(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        throw std::out_of_range("Catalog: unknown name " + name);
+    return it->second;
+}
+
+const BTree *
+Catalog::findIndex(RelId table, std::size_t attr_idx) const
+{
+    auto it = indexByAttr_.find({table, attr_idx});
+    if (it == indexByAttr_.end())
+        return nullptr;
+    return &index(it->second);
+}
+
+const BTree &
+Catalog::index(RelId index_rel) const
+{
+    auto it = indices_.find(index_rel);
+    if (it == indices_.end())
+        throw std::out_of_range("Catalog: unknown index");
+    return *it->second;
+}
+
+BTree &
+Catalog::indexMut(RelId index_rel)
+{
+    auto it = indices_.find(index_rel);
+    if (it == indices_.end())
+        throw std::out_of_range("Catalog: unknown index");
+    return *it->second;
+}
+
+std::vector<std::pair<std::size_t, BTree *>>
+Catalog::indicesOf(RelId table)
+{
+    std::vector<std::pair<std::size_t, BTree *>> out;
+    auto it = indicesByTable_.find(table);
+    if (it == indicesByTable_.end())
+        return out;
+    for (const auto &[attr, rel] : it->second)
+        out.emplace_back(attr, &indexMut(rel));
+    return out;
+}
+
+} // namespace db
+} // namespace dss

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Engine-wide constants for the Postgres95-analog DBMS.
+ */
+
+#ifndef DSS_DB_COMMON_HH
+#define DSS_DB_COMMON_HH
+
+#include <cstdint>
+
+namespace dss {
+namespace db {
+
+/** Buffer block / page size, as in Postgres95. */
+constexpr std::size_t kPageBytes = 8 * 1024;
+
+/** Relation identifier. */
+using RelId = std::int32_t;
+
+/** Block number within a relation's buffer-resident heap. */
+using BlockNo = std::int32_t;
+
+/** Transaction identifier. */
+using Xid = std::uint32_t;
+
+/** Tuple identifier: (block, slot) within a relation. */
+struct Tid
+{
+    BlockNo block = 0;
+    std::uint16_t slot = 0;
+
+    bool operator==(const Tid &o) const
+    {
+        return block == o.block && slot == o.slot;
+    }
+};
+
+} // namespace db
+} // namespace dss
+
+#endif // DSS_DB_COMMON_HH

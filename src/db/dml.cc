@@ -1,0 +1,114 @@
+#include "db/dml.hh"
+
+#include <stdexcept>
+
+#include "db/page.hh"
+
+namespace dss {
+namespace db {
+
+namespace {
+
+/** Executor machinery per modified row (cost model, see exec.cc). */
+constexpr std::uint32_t kInsertBusy = 1500;
+constexpr std::uint32_t kDeleteBusy = 600;
+
+} // namespace
+
+void
+lockForWrite(ExecContext &ctx, RelId table)
+{
+    ctx.catalog.lockmgr().lockRelation(ctx.mem, ctx.xid, table,
+                                       LockMode::Write);
+}
+
+void
+unlockWrite(ExecContext &ctx, RelId table)
+{
+    ctx.catalog.lockmgr().unlockRelation(ctx.mem, ctx.xid, table,
+                                         LockMode::Write);
+}
+
+Tid
+heapInsert(ExecContext &ctx, RelId table, const std::vector<Datum> &values)
+{
+    Relation &r = ctx.catalog.relation(table);
+    std::vector<std::uint8_t> img = encodeTuple(r.schema, values);
+    ctx.mem.busy(kInsertBusy);
+
+    BufferManager &bm = ctx.catalog.bufmgr();
+
+    auto append_to = [&](BlockNo blk) -> int {
+        sim::Addr page_addr = bm.pinPage(ctx.mem, table, blk);
+        PageRef page(ctx.mem, page_addr);
+        int slot = page.addTuple(img.data(), img.size());
+        bm.unpinPage(ctx.mem, table, blk);
+        return slot;
+    };
+
+    int slot = -1;
+    BlockNo blk = -1;
+    if (!r.blocks.empty()) {
+        blk = r.blocks.back();
+        slot = append_to(blk);
+    }
+    if (slot < 0) {
+        // Extend the relation with a fresh buffer block.
+        blk = static_cast<BlockNo>(r.blocks.size());
+        sim::Addr page_addr =
+            bm.allocBlock(ctx.mem, table, blk, sim::DataClass::Data);
+        PageRef(ctx.mem, page_addr).init();
+        r.blocks.push_back(blk);
+        r.currentBlock = blk;
+        r.currentPage = page_addr;
+        slot = append_to(blk);
+        if (slot < 0)
+            throw std::runtime_error("heapInsert: tuple larger than page");
+    }
+
+    Tid tid{blk, static_cast<std::uint16_t>(slot)};
+    ++r.numTuples;
+
+    // Maintain every index of the table (traced B-tree inserts).
+    for (auto [attr, tree] : ctx.catalog.indicesOf(table))
+        tree->insert(ctx.mem, datumToKey(values.at(attr)), tid);
+    return tid;
+}
+
+bool
+heapDelete(ExecContext &ctx, RelId table, Tid tid)
+{
+    ctx.mem.busy(kDeleteBusy);
+    BufferManager &bm = ctx.catalog.bufmgr();
+    sim::Addr page_addr = bm.pinPage(ctx.mem, table, tid.block);
+    PageRef page(ctx.mem, page_addr);
+    bool live = page.slotLive(tid.slot);
+    if (live) {
+        page.killSlot(tid.slot);
+        Relation &r = ctx.catalog.relation(table);
+        if (r.numTuples > 0)
+            --r.numTuples;
+    }
+    bm.unpinPage(ctx.mem, table, tid.block);
+    return live;
+}
+
+std::uint64_t
+countLiveTuples(ExecContext &ctx, RelId table)
+{
+    Relation &r = ctx.catalog.relation(table);
+    BufferManager &bm = ctx.catalog.bufmgr();
+    std::uint64_t n = 0;
+    for (BlockNo blk : r.blocks) {
+        sim::Addr page_addr = bm.pinPage(ctx.mem, table, blk);
+        PageRef page(ctx.mem, page_addr);
+        std::uint16_t slots = page.numSlots();
+        for (std::uint16_t s = 0; s < slots; ++s)
+            n += page.slotLive(s) ? 1 : 0;
+        bm.unpinPage(ctx.mem, table, blk);
+    }
+    return n;
+}
+
+} // namespace db
+} // namespace dss

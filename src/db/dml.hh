@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Runtime data modification (the update side the paper left as future
+ * work — "other types of queries that contain frequent writes").
+ *
+ * Unlike Catalog::insert (untraced bulk loading at setup time), these
+ * functions run through the full engine discipline: relation-level
+ * *write* datalocks, buffer pins, traced heap writes, and traced B-tree
+ * maintenance on every index of the table. Deletion tombstones the heap
+ * slot; index entries are left behind and skipped at fetch time (lazy
+ * cleanup, as real systems do).
+ *
+ * Postgres95's datalocks are relation-level only (paper Section 4.1.1),
+ * which is exactly why write-intensive queries serialize on these locks;
+ * bench/ext_update_queries measures that behaviour.
+ */
+
+#ifndef DSS_DB_DML_HH
+#define DSS_DB_DML_HH
+
+#include "db/exec.hh"
+
+namespace dss {
+namespace db {
+
+/**
+ * Append one row to @p table and maintain all of its indices.
+ * Caller must hold (or not need) the relation write lock; use
+ * lockForWrite()/unlockWrite() around a batch, as a real statement would.
+ * @return the new tuple's id.
+ */
+Tid heapInsert(ExecContext &ctx, RelId table,
+               const std::vector<Datum> &values);
+
+/**
+ * Tombstone the tuple at @p tid.
+ * @return false if the tuple was already deleted.
+ */
+bool heapDelete(ExecContext &ctx, RelId table, Tid tid);
+
+/** Take the relation-level write datalock for this statement. */
+void lockForWrite(ExecContext &ctx, RelId table);
+
+/** Release the relation-level write datalock. */
+void unlockWrite(ExecContext &ctx, RelId table);
+
+/** Host-side count of live tuples (reference checks in tests). */
+std::uint64_t countLiveTuples(ExecContext &ctx, RelId table);
+
+} // namespace db
+} // namespace dss
+
+#endif // DSS_DB_DML_HH

@@ -1,0 +1,994 @@
+#include "db/exec.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "db/page.hh"
+
+namespace dss {
+namespace db {
+
+namespace {
+
+/** Work-area sizes: large enough to overflow a 4 KB L1, small enough to
+ * live in a 128 KB L2 — the private-data profile of the paper. */
+constexpr std::size_t kScanWorkBytes = 12 * 1024;
+constexpr std::size_t kJoinWorkBytes = 8 * 1024;
+constexpr std::size_t kSortWorkBytes = 8 * 1024;
+
+/** Per-tuple work-area touches (executor bookkeeping stand-in). */
+constexpr unsigned kScanTouches = 20;
+constexpr unsigned kJoinTouches = 10;
+constexpr unsigned kAggTouches = 8;
+
+/**
+ * Busy-cycle cost model. A mid-90s DBMS executes on the order of a
+ * thousand instructions of untraced executor machinery per tuple
+ * (tuple-slot management, expression setup, function dispatch); these
+ * constants, together with the one-issue-cycle-per-reference charge in the
+ * Machine, calibrate the Busy fraction to the paper's 50-70%.
+ */
+constexpr std::uint32_t kScanTupleBusy = 800;   ///< per tuple visited
+constexpr std::uint32_t kIndexFetchBusy = 2200; ///< per indexed heap fetch
+constexpr std::uint32_t kJoinRowBusy = 250;    ///< per joined row
+constexpr std::uint32_t kSortCompareBusy = 20; ///< per comparison
+constexpr std::uint32_t kAggRowBusy = 120;     ///< per accumulated row
+constexpr std::uint32_t kOutputRowBusy = 200;  ///< per row to front-end
+
+Schema
+projectedSchema(const Schema &left, const Schema &right,
+                const std::vector<ProjItem> &proj)
+{
+    Schema out;
+    for (const ProjItem &p : proj) {
+        const Attribute &a =
+            p.fromRight ? right.attr(p.idx) : left.attr(p.idx);
+        out.add(a.name, a.type, a.len);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string_view
+logicalOpName(LogicalOp op)
+{
+    switch (op) {
+      case LogicalOp::SeqScanSelect: return "SS";
+      case LogicalOp::IndexScanSelect: return "IS";
+      case LogicalOp::NestedLoopJoin: return "NL";
+      case LogicalOp::MergeJoin: return "M";
+      case LogicalOp::HashJoin: return "H";
+      case LogicalOp::Sort: return "Sort";
+      case LogicalOp::Group: return "Group";
+      case LogicalOp::Aggregate: return "Aggr";
+    }
+    return "?";
+}
+
+void
+ExecNode::rescan(ExecContext &)
+{
+    throw std::logic_error(name() + ": rescan not supported");
+}
+
+void
+ExecNode::bindKey(std::int64_t)
+{
+    throw std::logic_error(name() + ": not a parameterized scan");
+}
+
+// ---------------------------------------------------------------------
+// WorkArea
+
+void
+WorkArea::init(ExecContext &ctx, std::size_t bytes, std::uint32_t seed)
+{
+    base_ = ctx.priv.alloc(bytes, 64);
+    words_ = bytes / 8;
+    state_ = seed | 1;
+    // Seed the hot set: the small collection of allocations the executor
+    // keeps revisiting (slots, expression state, scan descriptors).
+    for (std::uint32_t &h : hot_) {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        h = state_ % static_cast<std::uint32_t>(words_);
+    }
+}
+
+void
+WorkArea::touch(ExecContext &ctx, unsigned k)
+{
+    for (unsigned i = 0; i < k; ++i) {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        std::uint32_t r = state_;
+        // Mostly revisit hot allocations (temporal reuse that bigger or
+        // finer-lined primary caches capture); occasionally churn one
+        // (palloc turnover — the scattered accesses with poor locality the
+        // paper describes).
+        if ((r & 7u) < 3)
+            hot_[(r >> 3) % hot_.size()] =
+                (r >> 8) % static_cast<std::uint32_t>(words_);
+        sim::Addr a = base_ + hot_[(r >> 2) % hot_.size()] * 8;
+        auto v = ctx.mem.load<std::uint64_t>(a);
+        ctx.mem.store<std::uint64_t>(a, v + 1);
+    }
+    ctx.mem.busy(k);
+}
+
+// ---------------------------------------------------------------------
+// SeqScanNode
+
+SeqScanNode::SeqScanNode(const Relation &rel, ExprPtr pred,
+                         std::size_t block_lo, std::size_t block_hi)
+    : rel_(&rel), pred_(std::move(pred)), blockLo_(block_lo),
+      blockHi_(std::min(block_hi, rel.blocks.size()))
+{}
+
+void
+SeqScanNode::open(ExecContext &ctx)
+{
+    ctx.catalog.lockmgr().lockRelation(ctx.mem, ctx.xid, rel_->id,
+                                       LockMode::Read);
+    locked_ = true;
+    outSlot_ = ctx.priv.alloc(rel_->schema.tupleLen());
+    work_.init(ctx, kScanWorkBytes, static_cast<std::uint32_t>(rel_->id));
+    blockIdx_ = blockLo_;
+    slot_ = 0;
+    pinned_ = false;
+}
+
+bool
+SeqScanNode::pinCurrent(ExecContext &ctx)
+{
+    if (blockIdx_ >= blockHi_)
+        return false;
+    pageAddr_ = ctx.catalog.bufmgr().pinPage(ctx.mem, rel_->id,
+                                             rel_->blocks[blockIdx_]);
+    pinned_ = true;
+    numSlots_ = PageRef(ctx.mem, pageAddr_).numSlots();
+    slot_ = 0;
+    return true;
+}
+
+bool
+SeqScanNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    for (;;) {
+        if (!pinned_ && !pinCurrent(ctx))
+            return false;
+        while (slot_ < numSlots_) {
+            PageRef page(ctx.mem, pageAddr_);
+            sim::Addr t = page.tupleAddr(slot_);
+            ++slot_;
+            if (!t)
+                continue; // deleted tuple
+            work_.touch(ctx, kScanTouches);
+            Row row{&ctx.mem, t, &rel_->schema};
+            ctx.mem.busy(kScanTupleBusy);
+            if (!pred_ || pred_->evalBool(row)) {
+                // Selected: re-read and copy into the private slot.
+                ctx.mem.copy(outSlot_, t, rel_->schema.tupleLen());
+                out = outSlot_;
+                return true;
+            }
+        }
+        ctx.catalog.bufmgr().unpinPage(ctx.mem, rel_->id,
+                                       rel_->blocks[blockIdx_]);
+        pinned_ = false;
+        ++blockIdx_;
+    }
+}
+
+void
+SeqScanNode::close(ExecContext &ctx)
+{
+    if (pinned_) {
+        ctx.catalog.bufmgr().unpinPage(ctx.mem, rel_->id,
+                                       rel_->blocks[blockIdx_]);
+        pinned_ = false;
+    }
+    if (locked_) {
+        ctx.catalog.lockmgr().unlockRelation(ctx.mem, ctx.xid, rel_->id);
+        locked_ = false;
+    }
+}
+
+void
+SeqScanNode::rescan(ExecContext &ctx)
+{
+    if (pinned_) {
+        ctx.catalog.bufmgr().unpinPage(ctx.mem, rel_->id,
+                                       rel_->blocks[blockIdx_]);
+        pinned_ = false;
+    }
+    blockIdx_ = blockLo_;
+    slot_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// IndexScanNode
+
+IndexScanNode::IndexScanNode(const Relation &rel, const BTree &index,
+                             std::int64_t lo_key, std::int64_t hi_key,
+                             ExprPtr residual)
+    : rel_(&rel), index_(&index), lo_(lo_key), hi_(hi_key),
+      residual_(std::move(residual))
+{}
+
+void
+IndexScanNode::acquireLocks(ExecContext &ctx)
+{
+    ctx.catalog.lockmgr().lockRelation(ctx.mem, ctx.xid, rel_->id,
+                                       LockMode::Read);
+    ctx.catalog.lockmgr().lockRelation(ctx.mem, ctx.xid, index_->relId(),
+                                       LockMode::Read);
+    locked_ = true;
+}
+
+void
+IndexScanNode::releaseLocks(ExecContext &ctx)
+{
+    if (!locked_)
+        return;
+    ctx.catalog.lockmgr().unlockRelation(ctx.mem, ctx.xid, index_->relId());
+    ctx.catalog.lockmgr().unlockRelation(ctx.mem, ctx.xid, rel_->id);
+    locked_ = false;
+}
+
+void
+IndexScanNode::open(ExecContext &ctx)
+{
+    acquireLocks(ctx);
+    outSlot_ = ctx.priv.alloc(rel_->schema.tupleLen());
+    work_.init(ctx, kScanWorkBytes,
+               static_cast<std::uint32_t>(rel_->id * 7 + 3));
+    exhausted_ = false;
+}
+
+bool
+IndexScanNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    if (exhausted_)
+        return false;
+    if (!cursor_.open()) {
+        cursor_ = index_->seek(ctx.mem, lo_);
+        if (!cursor_.open()) {
+            exhausted_ = true;
+            return false;
+        }
+    }
+    std::int64_t key;
+    Tid tid;
+    while (cursor_.next(ctx.mem, key, tid)) {
+        if (key > hi_) {
+            cursor_.close(ctx.mem);
+            exhausted_ = true;
+            return false;
+        }
+        // Fetch the heap tuple the index entry points at.
+        sim::Addr page_addr =
+            ctx.catalog.bufmgr().pinPage(ctx.mem, rel_->id, tid.block);
+        PageRef page(ctx.mem, page_addr);
+        sim::Addr t = page.tupleAddr(tid.slot);
+        if (!t) {
+            // The index still points at a deleted tuple: skip it.
+            ctx.catalog.bufmgr().unpinPage(ctx.mem, rel_->id, tid.block);
+            continue;
+        }
+        work_.touch(ctx, kScanTouches);
+        Row row{&ctx.mem, t, &rel_->schema};
+        ctx.mem.busy(kIndexFetchBusy);
+        bool pass = !residual_ || residual_->evalBool(row);
+        if (pass)
+            ctx.mem.copy(outSlot_, t, rel_->schema.tupleLen());
+        ctx.catalog.bufmgr().unpinPage(ctx.mem, rel_->id, tid.block);
+        if (pass) {
+            out = outSlot_;
+            return true;
+        }
+    }
+    exhausted_ = true;
+    return false;
+}
+
+void
+IndexScanNode::close(ExecContext &ctx)
+{
+    cursor_.close(ctx.mem);
+    releaseLocks(ctx);
+}
+
+void
+IndexScanNode::rescan(ExecContext &ctx)
+{
+    cursor_.close(ctx.mem);
+    exhausted_ = false;
+    // Postgres95 re-initializes the scan descriptor through the lock
+    // manager on every rescan; this is the steady LockMgrLock traffic the
+    // paper measures on Index queries (ablatable via
+    // ExecContext::relockOnRescan).
+    if (ctx.relockOnRescan) {
+        releaseLocks(ctx);
+        acquireLocks(ctx);
+    }
+}
+
+void
+IndexScanNode::bindKey(std::int64_t key)
+{
+    lo_ = key;
+    hi_ = key;
+}
+
+// ---------------------------------------------------------------------
+// NestedLoopJoinNode
+
+NestedLoopJoinNode::NestedLoopJoinNode(NodePtr outer, NodePtr inner,
+                                       std::size_t outer_key_attr,
+                                       ExprPtr extra_pred,
+                                       std::vector<ProjItem> proj)
+    : outer_(std::move(outer)), inner_(std::move(inner)),
+      keyAttr_(outer_key_attr), extraPred_(std::move(extra_pred)),
+      proj_(std::move(proj)),
+      outSchema_(projectedSchema(outer_->schema(), inner_->schema(), proj_))
+{}
+
+void
+NestedLoopJoinNode::open(ExecContext &ctx)
+{
+    outer_->open(ctx);
+    inner_->open(ctx);
+    outSlot_ = ctx.priv.alloc(outSchema_.tupleLen());
+    work_.init(ctx, kJoinWorkBytes, 0x9e3779b9u);
+    haveOuter_ = false;
+}
+
+void
+NestedLoopJoinNode::project(ExecContext &ctx, sim::Addr outer_t,
+                            sim::Addr inner_t)
+{
+    for (std::size_t i = 0; i < proj_.size(); ++i) {
+        const ProjItem &p = proj_[i];
+        const Schema &src_s =
+            p.fromRight ? inner_->schema() : outer_->schema();
+        sim::Addr src_t = p.fromRight ? inner_t : outer_t;
+        Datum v = readAttr(ctx.mem, src_t, src_s, p.idx);
+        writeAttr(ctx.mem, outSlot_, outSchema_, i, v);
+    }
+}
+
+bool
+NestedLoopJoinNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    for (;;) {
+        if (!haveOuter_) {
+            if (!outer_->next(ctx, outerTuple_))
+                return false;
+            haveOuter_ = true;
+            if (keyAttr_ != kNoKey) {
+                Datum k = readAttr(ctx.mem, outerTuple_, outer_->schema(),
+                                   keyAttr_);
+                inner_->bindKey(datumToKey(k));
+            }
+            inner_->rescan(ctx);
+        }
+        sim::Addr inner_t;
+        if (!inner_->next(ctx, inner_t)) {
+            haveOuter_ = false;
+            continue;
+        }
+        work_.touch(ctx, kJoinTouches);
+        ctx.mem.busy(kJoinRowBusy);
+        project(ctx, outerTuple_, inner_t);
+        if (extraPred_) {
+            Row row{&ctx.mem, outSlot_, &outSchema_};
+            if (!extraPred_->evalBool(row))
+                continue;
+        }
+        out = outSlot_;
+        return true;
+    }
+}
+
+void
+NestedLoopJoinNode::close(ExecContext &ctx)
+{
+    inner_->close(ctx);
+    outer_->close(ctx);
+}
+
+void
+NestedLoopJoinNode::rescan(ExecContext &ctx)
+{
+    outer_->rescan(ctx);
+    haveOuter_ = false;
+}
+
+// ---------------------------------------------------------------------
+// SemiJoinNode
+
+SemiJoinNode::SemiJoinNode(NodePtr outer, NodePtr inner,
+                           std::size_t outer_key_attr, bool negated)
+    : outer_(std::move(outer)), inner_(std::move(inner)),
+      keyAttr_(outer_key_attr), negated_(negated)
+{}
+
+void
+SemiJoinNode::open(ExecContext &ctx)
+{
+    outer_->open(ctx);
+    inner_->open(ctx);
+    work_.init(ctx, kJoinWorkBytes, 0x2545f491u);
+}
+
+bool
+SemiJoinNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    sim::Addr outer_t;
+    while (outer_->next(ctx, outer_t)) {
+        Datum k = readAttr(ctx.mem, outer_t, outer_->schema(), keyAttr_);
+        inner_->bindKey(datumToKey(k));
+        inner_->rescan(ctx);
+        work_.touch(ctx, kJoinTouches);
+        ctx.mem.busy(kJoinRowBusy);
+        sim::Addr inner_t;
+        const bool exists = inner_->next(ctx, inner_t);
+        if (exists != negated_) {
+            out = outer_t;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SemiJoinNode::close(ExecContext &ctx)
+{
+    inner_->close(ctx);
+    outer_->close(ctx);
+}
+
+void
+SemiJoinNode::rescan(ExecContext &ctx)
+{
+    outer_->rescan(ctx);
+}
+
+// ---------------------------------------------------------------------
+// MergeJoinNode
+
+MergeJoinNode::MergeJoinNode(NodePtr left, NodePtr right,
+                             std::size_t left_key, std::size_t right_key,
+                             std::vector<ProjItem> proj)
+    : left_(std::move(left)), right_(std::move(right)), leftKey_(left_key),
+      rightKey_(right_key), proj_(std::move(proj)),
+      outSchema_(projectedSchema(left_->schema(), right_->schema(), proj_))
+{}
+
+void
+MergeJoinNode::open(ExecContext &ctx)
+{
+    left_->open(ctx);
+    right_->open(ctx);
+    outSlot_ = ctx.priv.alloc(outSchema_.tupleLen());
+    work_.init(ctx, kJoinWorkBytes, 0x85ebca6bu);
+    leftValid_ = rightValid_ = false;
+    inGroup_ = false;
+    group_.clear();
+    groupPos_ = 0;
+}
+
+std::int64_t
+MergeJoinNode::keyOf(ExecContext &ctx, sim::Addr t, const Schema &s,
+                     std::size_t a)
+{
+    return datumToKey(readAttr(ctx.mem, t, s, a));
+}
+
+bool
+MergeJoinNode::advanceLeft(ExecContext &ctx)
+{
+    leftValid_ = left_->next(ctx, leftTuple_);
+    if (leftValid_)
+        leftKeyVal_ = keyOf(ctx, leftTuple_, left_->schema(), leftKey_);
+    return leftValid_;
+}
+
+bool
+MergeJoinNode::advanceRight(ExecContext &ctx)
+{
+    rightValid_ = right_->next(ctx, rightTuple_);
+    if (rightValid_)
+        rightKeyVal_ = keyOf(ctx, rightTuple_, right_->schema(), rightKey_);
+    return rightValid_;
+}
+
+void
+MergeJoinNode::project(ExecContext &ctx, sim::Addr left_t,
+                       sim::Addr right_t)
+{
+    for (std::size_t i = 0; i < proj_.size(); ++i) {
+        const ProjItem &p = proj_[i];
+        const Schema &src_s =
+            p.fromRight ? right_->schema() : left_->schema();
+        sim::Addr src_t = p.fromRight ? right_t : left_t;
+        Datum v = readAttr(ctx.mem, src_t, src_s, p.idx);
+        writeAttr(ctx.mem, outSlot_, outSchema_, i, v);
+    }
+}
+
+bool
+MergeJoinNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    for (;;) {
+        if (inGroup_) {
+            if (groupPos_ < group_.size()) {
+                work_.touch(ctx, kJoinTouches);
+                ctx.mem.busy(kJoinRowBusy);
+                project(ctx, leftTuple_, group_[groupPos_++]);
+                out = outSlot_;
+                return true;
+            }
+            // Exhausted the buffered right group for this left tuple.
+            if (!advanceLeft(ctx))
+                return false;
+            if (leftKeyVal_ == groupKey_) {
+                groupPos_ = 0; // same key: replay the group
+                continue;
+            }
+            inGroup_ = false;
+        }
+
+        // Align the two streams on the next common key.
+        if (!leftValid_ && !advanceLeft(ctx))
+            return false;
+        if (!rightValid_ && !advanceRight(ctx))
+            return false;
+        while (leftKeyVal_ != rightKeyVal_) {
+            if (leftKeyVal_ < rightKeyVal_) {
+                if (!advanceLeft(ctx))
+                    return false;
+            } else {
+                if (!advanceRight(ctx))
+                    return false;
+            }
+            ctx.mem.busy(1);
+        }
+
+        // Buffer the right-side duplicates of this key into private slots.
+        groupKey_ = rightKeyVal_;
+        const std::size_t len = right_->schema().tupleLen();
+        std::size_t n = 0;
+        while (rightValid_ && rightKeyVal_ == groupKey_) {
+            if (n >= group_.size())
+                group_.push_back(ctx.priv.alloc(len));
+            ctx.mem.copy(group_[n], rightTuple_, len);
+            ++n;
+            advanceRight(ctx);
+        }
+        group_.resize(n);
+        groupPos_ = 0;
+        inGroup_ = true;
+    }
+}
+
+void
+MergeJoinNode::close(ExecContext &ctx)
+{
+    right_->close(ctx);
+    left_->close(ctx);
+}
+
+// ---------------------------------------------------------------------
+// HashJoinNode
+
+HashJoinNode::HashJoinNode(NodePtr probe, NodePtr build,
+                           std::size_t probe_key, std::size_t build_key,
+                           std::vector<ProjItem> proj)
+    : probe_(std::move(probe)), build_(std::move(build)),
+      probeKey_(probe_key), buildKey_(build_key), proj_(std::move(proj)),
+      outSchema_(projectedSchema(probe_->schema(), build_->schema(), proj_))
+{}
+
+void
+HashJoinNode::open(ExecContext &ctx)
+{
+    outSlot_ = ctx.priv.alloc(outSchema_.tupleLen());
+    work_.init(ctx, kJoinWorkBytes, 0xc2b2ae35u);
+
+    // Build phase: materialize the right input into a private hash table.
+    build_->open(ctx);
+    const std::size_t len = build_->schema().tupleLen();
+    sim::Addr t;
+    while (build_->next(ctx, t)) {
+        std::int64_t k =
+            datumToKey(readAttr(ctx.mem, t, build_->schema(), buildKey_));
+        sim::Addr slot = ctx.priv.alloc(len);
+        ctx.mem.copy(slot, t, len);
+        ctx.mem.busy(3); // hash + bucket insert
+        table_.emplace(k, slot);
+    }
+
+    probe_->open(ctx);
+    haveProbe_ = false;
+}
+
+void
+HashJoinNode::project(ExecContext &ctx, sim::Addr probe_t,
+                      sim::Addr build_t)
+{
+    for (std::size_t i = 0; i < proj_.size(); ++i) {
+        const ProjItem &p = proj_[i];
+        const Schema &src_s =
+            p.fromRight ? build_->schema() : probe_->schema();
+        sim::Addr src_t = p.fromRight ? build_t : probe_t;
+        Datum v = readAttr(ctx.mem, src_t, src_s, p.idx);
+        writeAttr(ctx.mem, outSlot_, outSchema_, i, v);
+    }
+}
+
+bool
+HashJoinNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    for (;;) {
+        if (!haveProbe_) {
+            if (!probe_->next(ctx, probeTuple_))
+                return false;
+            std::int64_t k = datumToKey(
+                readAttr(ctx.mem, probeTuple_, probe_->schema(), probeKey_));
+            ctx.mem.busy(2); // hash + bucket lookup
+            range_ = table_.equal_range(k);
+            haveProbe_ = true;
+        }
+        if (range_.first == range_.second) {
+            haveProbe_ = false;
+            continue;
+        }
+        sim::Addr build_t = range_.first->second;
+        ++range_.first;
+        // Touch the candidate's key (the probe re-checks it in memory).
+        (void)readAttr(ctx.mem, build_t, build_->schema(), buildKey_);
+        work_.touch(ctx, kJoinTouches);
+        ctx.mem.busy(kJoinRowBusy);
+        project(ctx, probeTuple_, build_t);
+        out = outSlot_;
+        return true;
+    }
+}
+
+void
+HashJoinNode::close(ExecContext &ctx)
+{
+    probe_->close(ctx);
+    build_->close(ctx);
+    table_.clear();
+}
+
+// ---------------------------------------------------------------------
+// SortNode
+
+SortNode::SortNode(NodePtr child, std::vector<std::size_t> key_attrs,
+                   std::vector<bool> descending)
+    : child_(std::move(child)), keys_(std::move(key_attrs)),
+      desc_(std::move(descending))
+{
+    if (desc_.empty())
+        desc_.assign(keys_.size(), false);
+    if (desc_.size() != keys_.size())
+        throw std::invalid_argument("SortNode: desc/keys size mismatch");
+}
+
+void
+SortNode::open(ExecContext &ctx)
+{
+    child_->open(ctx);
+    work_.init(ctx, kSortWorkBytes, 0x27d4eb2fu);
+    rows_.clear();
+    order_.clear();
+    pos_ = 0;
+
+    // Materialize the input into a private temp table (paper Section 2.1.2:
+    // sort nodes need temporary tables for their whole input).
+    const Schema &s = child_->schema();
+    const std::size_t len = s.tupleLen();
+    sim::Addr t;
+    while (child_->next(ctx, t)) {
+        sim::Addr slot = ctx.priv.alloc(len);
+        ctx.mem.copy(slot, t, len);
+        rows_.push_back(slot);
+    }
+
+    order_.resize(rows_.size());
+    for (std::uint32_t i = 0; i < order_.size(); ++i)
+        order_[i] = i;
+
+    // Quicksort; every comparison reads the key attributes of both rows
+    // from the private temp table (traced).
+    auto cmp_rows = [&](std::uint32_t a, std::uint32_t b) {
+        ctx.mem.busy(kSortCompareBusy);
+        for (std::size_t k = 0; k < keys_.size(); ++k) {
+            Datum da = readAttr(ctx.mem, rows_[a], s, keys_[k]);
+            Datum db = readAttr(ctx.mem, rows_[b], s, keys_[k]);
+            int c = compareDatum(da, db);
+            if (c != 0)
+                return desc_[k] ? c > 0 : c < 0;
+        }
+        return false;
+    };
+    std::stable_sort(order_.begin(), order_.end(), cmp_rows);
+}
+
+bool
+SortNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    if (pos_ >= order_.size())
+        return false;
+    work_.touch(ctx, 1);
+    out = rows_[order_[pos_++]];
+    return true;
+}
+
+void
+SortNode::close(ExecContext &ctx)
+{
+    child_->close(ctx);
+}
+
+void
+SortNode::rescan(ExecContext &)
+{
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// AggregateNode
+
+AggregateNode::AggregateNode(NodePtr child,
+                             std::vector<std::size_t> group_attrs,
+                             std::vector<AggSpec> aggs)
+    : child_(std::move(child)), groupAttrs_(std::move(group_attrs)),
+      aggs_(std::move(aggs))
+{
+    if (groupAttrs_.empty() && aggs_.empty())
+        throw std::invalid_argument("AggregateNode: nothing to compute");
+    const Schema &s = child_->schema();
+    for (std::size_t g : groupAttrs_) {
+        const Attribute &a = s.attr(g);
+        outSchema_.add(a.name, a.type, a.len);
+    }
+    for (const AggSpec &a : aggs_) {
+        outSchema_.add(a.name,
+                       a.op == AggSpec::Op::Count ? AttrType::Int64
+                                                  : AttrType::Double);
+    }
+}
+
+std::vector<LogicalOp>
+AggregateNode::logicalOps() const
+{
+    std::vector<LogicalOp> ops;
+    if (!groupAttrs_.empty())
+        ops.push_back(LogicalOp::Group);
+    if (!aggs_.empty())
+        ops.push_back(LogicalOp::Aggregate);
+    return ops;
+}
+
+void
+AggregateNode::open(ExecContext &ctx)
+{
+    child_->open(ctx);
+    outSlot_ = ctx.priv.alloc(outSchema_.tupleLen());
+    state_ = ctx.priv.alloc(aggs_.size() * 16 + 16);
+    pending_ = ctx.priv.alloc(child_->schema().tupleLen());
+    work_.init(ctx, kJoinWorkBytes, 0x165667b1u);
+    done_ = false;
+    havePending_ = false;
+    rowsInGroup_ = 0;
+}
+
+void
+AggregateNode::initState(ExecContext &ctx)
+{
+    for (std::size_t i = 0; i < aggs_.size(); ++i) {
+        double init = 0.0;
+        if (aggs_[i].op == AggSpec::Op::Min)
+            init = std::numeric_limits<double>::infinity();
+        else if (aggs_[i].op == AggSpec::Op::Max)
+            init = -std::numeric_limits<double>::infinity();
+        ctx.mem.store<double>(state_ + i * 16, init);
+        ctx.mem.store<std::uint64_t>(state_ + i * 16 + 8, 0);
+    }
+    rowsInGroup_ = 0;
+}
+
+void
+AggregateNode::accumulate(ExecContext &ctx, sim::Addr t)
+{
+    Row row{&ctx.mem, t, &child_->schema()};
+    work_.touch(ctx, kAggTouches);
+    ctx.mem.busy(kAggRowBusy);
+    for (std::size_t i = 0; i < aggs_.size(); ++i) {
+        const AggSpec &a = aggs_[i];
+        auto cnt = ctx.mem.load<std::uint64_t>(state_ + i * 16 + 8);
+        ctx.mem.store<std::uint64_t>(state_ + i * 16 + 8, cnt + 1);
+        if (a.op == AggSpec::Op::Count && !a.arg)
+            continue;
+        double v = datumReal(a.arg->eval(row));
+        auto acc = ctx.mem.load<double>(state_ + i * 16);
+        ctx.mem.busy(1);
+        switch (a.op) {
+          case AggSpec::Op::Sum:
+          case AggSpec::Op::Avg:
+            acc += v;
+            break;
+          case AggSpec::Op::Min:
+            acc = std::min(acc, v);
+            break;
+          case AggSpec::Op::Max:
+            acc = std::max(acc, v);
+            break;
+          case AggSpec::Op::Count:
+            break;
+        }
+        ctx.mem.store<double>(state_ + i * 16, acc);
+    }
+    ++rowsInGroup_;
+}
+
+void
+AggregateNode::emit(ExecContext &ctx, const std::vector<Datum> &keys)
+{
+    for (std::size_t g = 0; g < groupAttrs_.size(); ++g)
+        writeAttr(ctx.mem, outSlot_, outSchema_, g, keys[g]);
+    for (std::size_t i = 0; i < aggs_.size(); ++i) {
+        const AggSpec &a = aggs_[i];
+        auto acc = ctx.mem.load<double>(state_ + i * 16);
+        auto cnt = ctx.mem.load<std::uint64_t>(state_ + i * 16 + 8);
+        Datum v;
+        switch (a.op) {
+          case AggSpec::Op::Count:
+            v = Datum{static_cast<std::int64_t>(cnt)};
+            break;
+          case AggSpec::Op::Avg:
+            v = Datum{cnt ? acc / static_cast<double>(cnt) : 0.0};
+            break;
+          default:
+            v = Datum{acc};
+            break;
+        }
+        writeAttr(ctx.mem, outSlot_, outSchema_, groupAttrs_.size() + i, v);
+    }
+}
+
+std::vector<Datum>
+AggregateNode::groupKeysOf(ExecContext &ctx, sim::Addr t)
+{
+    std::vector<Datum> out;
+    out.reserve(groupAttrs_.size());
+    for (std::size_t g : groupAttrs_)
+        out.push_back(readAttr(ctx.mem, t, child_->schema(), g));
+    return out;
+}
+
+bool
+AggregateNode::next(ExecContext &ctx, sim::Addr &out)
+{
+    if (done_)
+        return false;
+    const std::size_t child_len = child_->schema().tupleLen();
+
+    if (!havePending_) {
+        sim::Addr t;
+        if (!child_->next(ctx, t)) {
+            done_ = true;
+            if (groupAttrs_.empty()) {
+                // SQL semantics: a global aggregate over an empty input
+                // still yields one row.
+                initState(ctx);
+                emit(ctx, {});
+                out = outSlot_;
+                return true;
+            }
+            return false;
+        }
+        ctx.mem.copy(pending_, t, child_len);
+        havePending_ = true;
+    }
+
+    std::vector<Datum> keys = groupKeysOf(ctx, pending_);
+    initState(ctx);
+    accumulate(ctx, pending_);
+    havePending_ = false;
+
+    for (;;) {
+        sim::Addr t;
+        if (!child_->next(ctx, t)) {
+            done_ = true;
+            emit(ctx, keys);
+            out = outSlot_;
+            return true;
+        }
+        if (groupAttrs_.empty()) {
+            accumulate(ctx, t);
+            continue;
+        }
+        std::vector<Datum> tkeys = groupKeysOf(ctx, t);
+        bool same = true;
+        for (std::size_t g = 0; g < keys.size(); ++g) {
+            if (compareDatum(keys[g], tkeys[g]) != 0) {
+                same = false;
+                break;
+            }
+        }
+        ctx.mem.busy(1);
+        if (same) {
+            accumulate(ctx, t);
+        } else {
+            ctx.mem.copy(pending_, t, child_len);
+            havePending_ = true;
+            emit(ctx, keys);
+            out = outSlot_;
+            return true;
+        }
+    }
+}
+
+void
+AggregateNode::close(ExecContext &ctx)
+{
+    child_->close(ctx);
+}
+
+// ---------------------------------------------------------------------
+// Plan utilities
+
+namespace {
+
+void
+collectOps(const ExecNode &n, std::vector<LogicalOp> &out)
+{
+    for (LogicalOp op : n.logicalOps()) {
+        if (std::find(out.begin(), out.end(), op) == out.end())
+            out.push_back(op);
+    }
+    for (const ExecNode *c : n.children())
+        collectOps(*c, out);
+}
+
+} // namespace
+
+std::vector<LogicalOp>
+collectLogicalOps(const ExecNode &root)
+{
+    std::vector<LogicalOp> out;
+    collectOps(root, out);
+    return out;
+}
+
+std::vector<std::vector<Datum>>
+runQuery(ExecContext &ctx, ExecNode &root)
+{
+    std::vector<std::vector<Datum>> rows;
+    root.open(ctx);
+    sim::Addr t;
+    while (root.next(ctx, t)) {
+        const Schema &s = root.schema();
+        std::vector<Datum> row;
+        row.reserve(s.numAttrs());
+        for (std::size_t i = 0; i < s.numAttrs(); ++i)
+            row.push_back(readAttr(ctx.mem, t, s, i));
+        ctx.mem.busy(kOutputRowBusy); // hand the row to the front-end
+        rows.push_back(std::move(row));
+    }
+    root.close(ctx);
+    return rows;
+}
+
+} // namespace db
+} // namespace dss

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Volcano-style query executor over left-deep plan trees, after Postgres95.
+ *
+ * Tuples flow one at a time between nodes. Scan nodes read *shared* tuples
+ * (Data class) attribute-by-attribute while evaluating their predicates and
+ * copy selected tuples into *private* output slots (Priv class); every node
+ * above a scan works on private data — exactly the structure the paper
+ * describes in Section 3. Sort/Group/Aggregate/HashJoin materialize private
+ * temp tables in the per-process private heap.
+ *
+ * Each node also owns a private "work area" standing in for Postgres95's
+ * per-tuple executor state (TupleTableSlots, ExprContexts, palloc arenas):
+ * a few scattered words of it are read and written per tuple processed.
+ * This is what gives private data its paper-observed profile — several
+ * times more references than shared data, poor primary-cache locality,
+ * good secondary-cache locality.
+ */
+
+#ifndef DSS_DB_EXEC_HH
+#define DSS_DB_EXEC_HH
+
+#include <array>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/btree.hh"
+#include "db/catalog.hh"
+#include "db/expr.hh"
+
+namespace dss {
+namespace db {
+
+/** Everything a plan needs at run time. */
+struct ExecContext
+{
+    TracedMemory &mem;
+    Catalog &catalog;
+    PrivateHeap &priv;
+    Xid xid;
+
+    /**
+     * Postgres95 re-initializes an index scan's descriptor through the
+     * lock manager on every rescan — the steady LockMgrLock traffic the
+     * paper measures on Index queries. Clearing this (an ablation knob,
+     * bench/ablation_lock_discipline) keeps relation locks held across
+     * rescans instead.
+     */
+    bool relockOnRescan = true;
+};
+
+/** Logical operations of the paper's Table 1. */
+enum class LogicalOp : std::uint8_t {
+    SeqScanSelect,
+    IndexScanSelect,
+    NestedLoopJoin,
+    MergeJoin,
+    HashJoin,
+    Sort,
+    Group,
+    Aggregate
+};
+
+std::string_view logicalOpName(LogicalOp op);
+
+/**
+ * Private scratch region standing in for a node's per-tuple executor state.
+ * touch() performs @p k deterministic pseudo-random read-modify-writes.
+ */
+class WorkArea
+{
+  public:
+    WorkArea() = default;
+
+    void init(ExecContext &ctx, std::size_t bytes, std::uint32_t seed);
+    void touch(ExecContext &ctx, unsigned k);
+
+  private:
+    sim::Addr base_ = 0;
+    std::size_t words_ = 0;
+    std::uint32_t state_ = 1;
+    std::array<std::uint32_t, 32> hot_ = {}; ///< revisited allocations
+};
+
+/** One node of a physical plan tree. */
+class ExecNode
+{
+  public:
+    virtual ~ExecNode() = default;
+
+    /** Output tuple layout. */
+    virtual const Schema &schema() const = 0;
+
+    /** Acquire locks, allocate slots, position at the first tuple. */
+    virtual void open(ExecContext &ctx) = 0;
+
+    /**
+     * Produce the next tuple.
+     * @param out Address of the node's (private) output tuple.
+     * @return false when exhausted.
+     */
+    virtual bool next(ExecContext &ctx, sim::Addr &out) = 0;
+
+    /** Release locks/pins. */
+    virtual void close(ExecContext &ctx) = 0;
+
+    /** Restart from the beginning (inner side of a nested-loop join). */
+    virtual void rescan(ExecContext &ctx);
+
+    /** Bind an equality key (parameterized inner index scan). */
+    virtual void bindKey(std::int64_t key);
+
+    virtual std::string name() const = 0;
+    virtual std::vector<LogicalOp> logicalOps() const = 0;
+    virtual std::vector<const ExecNode *> children() const { return {}; }
+};
+
+using NodePtr = std::unique_ptr<ExecNode>;
+
+/** Projection source: a column of the left (outer) or right (inner) input. */
+struct ProjItem
+{
+    bool fromRight = false;
+    std::size_t idx = 0;
+};
+
+/**
+ * Sequential Scan select (paper: "SS").
+ *
+ * An optional heap-block range [block_lo, block_hi) supports intra-query
+ * parallelism (the paper's future work): partitioning one scan across
+ * the processors instead of running one query per processor.
+ */
+class SeqScanNode final : public ExecNode
+{
+  public:
+    SeqScanNode(const Relation &rel, ExprPtr pred, std::size_t block_lo = 0,
+                std::size_t block_hi = ~std::size_t{0});
+
+    const Schema &schema() const override { return rel_->schema; }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    void rescan(ExecContext &ctx) override;
+    std::string name() const override { return "SeqScan(" + rel_->name + ")"; }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::SeqScanSelect};
+    }
+
+  private:
+    bool pinCurrent(ExecContext &ctx);
+
+    const Relation *rel_;
+    ExprPtr pred_;
+    std::size_t blockLo_;
+    std::size_t blockHi_;
+    sim::Addr outSlot_ = 0;
+    WorkArea work_;
+    std::size_t blockIdx_ = 0;
+    std::uint16_t slot_ = 0;
+    std::uint16_t numSlots_ = 0;
+    bool pinned_ = false;
+    bool locked_ = false;
+    sim::Addr pageAddr_ = 0;
+};
+
+/** Index Scan select (paper: "IS") over an inclusive key range. */
+class IndexScanNode final : public ExecNode
+{
+  public:
+    static constexpr std::int64_t kMinKey =
+        std::numeric_limits<std::int64_t>::min();
+    static constexpr std::int64_t kMaxKey =
+        std::numeric_limits<std::int64_t>::max();
+
+    IndexScanNode(const Relation &rel, const BTree &index,
+                  std::int64_t lo_key, std::int64_t hi_key, ExprPtr residual);
+
+    const Schema &schema() const override { return rel_->schema; }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    void rescan(ExecContext &ctx) override;
+    void bindKey(std::int64_t key) override;
+    std::string name() const override
+    {
+        return "IdxScan(" + rel_->name + ")";
+    }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::IndexScanSelect};
+    }
+
+  private:
+    void acquireLocks(ExecContext &ctx);
+    void releaseLocks(ExecContext &ctx);
+
+    const Relation *rel_;
+    const BTree *index_;
+    std::int64_t lo_, hi_;
+    ExprPtr residual_;
+    sim::Addr outSlot_ = 0;
+    WorkArea work_;
+    BTree::Cursor cursor_;
+    bool locked_ = false;
+    bool exhausted_ = false;
+};
+
+/**
+ * Nested Loop join (paper: "NL"). When @p outer_key_attr is set, the inner
+ * child is an index scan that gets the outer key bound before each rescan
+ * (Postgres95's nestloop-with-inner-indexscan, the Q3 pattern).
+ */
+class NestedLoopJoinNode final : public ExecNode
+{
+  public:
+    static constexpr std::size_t kNoKey = ~std::size_t{0};
+
+    NestedLoopJoinNode(NodePtr outer, NodePtr inner,
+                       std::size_t outer_key_attr, ExprPtr extra_pred,
+                       std::vector<ProjItem> proj);
+
+    const Schema &schema() const override { return outSchema_; }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    void rescan(ExecContext &ctx) override;
+    std::string name() const override { return "NestLoopJoin"; }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::NestedLoopJoin};
+    }
+    std::vector<const ExecNode *> children() const override
+    {
+        return {outer_.get(), inner_.get()};
+    }
+
+  private:
+    void project(ExecContext &ctx, sim::Addr outer_t, sim::Addr inner_t);
+
+    NodePtr outer_;
+    NodePtr inner_;
+    std::size_t keyAttr_;
+    ExprPtr extraPred_;
+    std::vector<ProjItem> proj_;
+    Schema outSchema_;
+    sim::Addr outSlot_ = 0;
+    WorkArea work_;
+    sim::Addr outerTuple_ = 0;
+    bool haveOuter_ = false;
+};
+
+/**
+ * Nested-loop semi-join: EXISTS / NOT EXISTS subqueries (the paper's
+ * "queries that involve nested queries" future work). For each outer
+ * tuple the parameterized inner plan is rescanned; the outer tuple passes
+ * when the inner produces at least one row (or none, when negated).
+ * Output schema = the outer schema (no projection happens).
+ *
+ * Executing a nested query this way turns the outer's access pattern into
+ * per-tuple index probes — it converts a Sequential-class query into an
+ * Index-class one (bench/ext_nested_query measures exactly that).
+ */
+class SemiJoinNode final : public ExecNode
+{
+  public:
+    SemiJoinNode(NodePtr outer, NodePtr inner, std::size_t outer_key_attr,
+                 bool negated = false);
+
+    const Schema &schema() const override { return outer_->schema(); }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    void rescan(ExecContext &ctx) override;
+    std::string name() const override
+    {
+        return negated_ ? "AntiSemiJoin" : "SemiJoin";
+    }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::NestedLoopJoin};
+    }
+    std::vector<const ExecNode *> children() const override
+    {
+        return {outer_.get(), inner_.get()};
+    }
+
+  private:
+    NodePtr outer_;
+    NodePtr inner_;
+    std::size_t keyAttr_;
+    bool negated_;
+    WorkArea work_;
+};
+
+/** Merge join (paper: "M") of two inputs sorted on their key attributes. */
+class MergeJoinNode final : public ExecNode
+{
+  public:
+    MergeJoinNode(NodePtr left, NodePtr right, std::size_t left_key,
+                  std::size_t right_key, std::vector<ProjItem> proj);
+
+    const Schema &schema() const override { return outSchema_; }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    std::string name() const override { return "MergeJoin"; }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::MergeJoin};
+    }
+    std::vector<const ExecNode *> children() const override
+    {
+        return {left_.get(), right_.get()};
+    }
+
+  private:
+    std::int64_t keyOf(ExecContext &ctx, sim::Addr t, const Schema &s,
+                       std::size_t attr);
+    bool advanceLeft(ExecContext &ctx);
+    bool advanceRight(ExecContext &ctx);
+    void project(ExecContext &ctx, sim::Addr left_t, sim::Addr right_t);
+
+    NodePtr left_;
+    NodePtr right_;
+    std::size_t leftKey_, rightKey_;
+    std::vector<ProjItem> proj_;
+    Schema outSchema_;
+    sim::Addr outSlot_ = 0;
+    WorkArea work_;
+
+    bool leftValid_ = false, rightValid_ = false;
+    sim::Addr leftTuple_ = 0, rightTuple_ = 0;
+    std::int64_t leftKeyVal_ = 0, rightKeyVal_ = 0;
+    std::int64_t groupKey_ = 0;
+    std::vector<sim::Addr> group_; ///< buffered right-side duplicates
+    std::size_t groupPos_ = 0;
+    bool inGroup_ = false;
+};
+
+/** Hash join (paper: "H"): build on the right child, probe with the left. */
+class HashJoinNode final : public ExecNode
+{
+  public:
+    HashJoinNode(NodePtr probe, NodePtr build, std::size_t probe_key,
+                 std::size_t build_key, std::vector<ProjItem> proj);
+
+    const Schema &schema() const override { return outSchema_; }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    std::string name() const override { return "HashJoin"; }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::HashJoin};
+    }
+    std::vector<const ExecNode *> children() const override
+    {
+        return {probe_.get(), build_.get()};
+    }
+
+  private:
+    void project(ExecContext &ctx, sim::Addr probe_t, sim::Addr build_t);
+
+    NodePtr probe_;
+    NodePtr build_;
+    std::size_t probeKey_, buildKey_;
+    std::vector<ProjItem> proj_;
+    Schema outSchema_;
+    sim::Addr outSlot_ = 0;
+    WorkArea work_;
+    std::unordered_multimap<std::int64_t, sim::Addr> table_;
+    sim::Addr probeTuple_ = 0;
+    bool haveProbe_ = false;
+    std::pair<std::unordered_multimap<std::int64_t, sim::Addr>::iterator,
+              std::unordered_multimap<std::int64_t, sim::Addr>::iterator>
+        range_;
+};
+
+/** Sort (materializes a private temp table, as the paper notes). */
+class SortNode final : public ExecNode
+{
+  public:
+    SortNode(NodePtr child, std::vector<std::size_t> key_attrs,
+             std::vector<bool> descending = {});
+
+    const Schema &schema() const override { return child_->schema(); }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    void rescan(ExecContext &ctx) override;
+    std::string name() const override { return "Sort"; }
+    std::vector<LogicalOp> logicalOps() const override
+    {
+        return {LogicalOp::Sort};
+    }
+    std::vector<const ExecNode *> children() const override
+    {
+        return {child_.get()};
+    }
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    NodePtr child_;
+    std::vector<std::size_t> keys_;
+    std::vector<bool> desc_;
+    WorkArea work_;
+    std::vector<sim::Addr> rows_; ///< private temp table
+    std::vector<std::uint32_t> order_;
+    std::size_t pos_ = 0;
+};
+
+/** Aggregate specification. */
+struct AggSpec
+{
+    enum class Op { Sum, Count, Avg, Min, Max };
+    Op op = Op::Sum;
+    ExprPtr arg; ///< null for Count(*)
+    std::string name = "agg";
+};
+
+/**
+ * Group + Aggregate over input sorted on the group keys (the paper's plans
+ * always sort first). Empty @p group_attrs = a single global group (plain
+ * Aggregate); empty @p aggs = plain Group (one row per group).
+ */
+class AggregateNode final : public ExecNode
+{
+  public:
+    AggregateNode(NodePtr child, std::vector<std::size_t> group_attrs,
+                  std::vector<AggSpec> aggs);
+
+    const Schema &schema() const override { return outSchema_; }
+    void open(ExecContext &ctx) override;
+    bool next(ExecContext &ctx, sim::Addr &out) override;
+    void close(ExecContext &ctx) override;
+    std::string name() const override
+    {
+        return groupAttrs_.empty() ? "Aggregate" : "GroupAggregate";
+    }
+    std::vector<LogicalOp> logicalOps() const override;
+    std::vector<const ExecNode *> children() const override
+    {
+        return {child_.get()};
+    }
+
+  private:
+    void initState(ExecContext &ctx);
+    void accumulate(ExecContext &ctx, sim::Addr t);
+    void emit(ExecContext &ctx, const std::vector<Datum> &keys);
+    std::vector<Datum> groupKeysOf(ExecContext &ctx, sim::Addr t);
+
+    NodePtr child_;
+    std::vector<std::size_t> groupAttrs_;
+    std::vector<AggSpec> aggs_;
+    Schema outSchema_;
+    sim::Addr outSlot_ = 0;
+    sim::Addr state_ = 0; ///< running sums/counts (private, traced)
+    WorkArea work_;
+    bool done_ = false;
+    bool havePending_ = false;
+    sim::Addr pending_ = 0; ///< first tuple of the next group
+    std::uint64_t rowsInGroup_ = 0;
+};
+
+/** Logical operations appearing anywhere in the plan (Table 1 rows). */
+std::vector<LogicalOp> collectLogicalOps(const ExecNode &root);
+
+/**
+ * Open/drain/close a plan, materializing every output row to host datums
+ * (the "send to the front-end" step reads each result attribute once).
+ */
+std::vector<std::vector<Datum>> runQuery(ExecContext &ctx, ExecNode &root);
+
+} // namespace db
+} // namespace dss
+
+#endif // DSS_DB_EXEC_HH

@@ -1,0 +1,117 @@
+#include "harness/report.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dss {
+namespace harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+TextTable &
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::left
+               << std::setw(static_cast<int>(width[c])) << cells[c];
+        }
+        os << '\n';
+    };
+    line(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(width[c], '-') + (c + 1 < headers_.size() ? "  "
+                                                                      : "");
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+fixed(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+pct(double part, double whole, int precision)
+{
+    return fixed(whole > 0 ? 100.0 * part / whole : 0.0, precision);
+}
+
+TimeBreakdown
+timeBreakdown(const sim::SimStats &stats)
+{
+    sim::ProcStats agg = stats.aggregate();
+    TimeBreakdown out;
+    out.total = agg.totalCycles();
+    if (out.total == 0)
+        return out;
+    out.busy = static_cast<double>(agg.busy) / out.total;
+    out.mem = static_cast<double>(agg.memStall) / out.total;
+    out.msync = static_cast<double>(agg.syncStall) / out.total;
+    return out;
+}
+
+MemBreakdown
+memBreakdown(const sim::SimStats &stats)
+{
+    sim::ProcStats agg = stats.aggregate();
+    MemBreakdown out;
+    out.totalMem = agg.memStall;
+    if (out.totalMem == 0)
+        return out;
+    for (std::size_t g = 0; g < sim::kNumClassGroups; ++g) {
+        out.byGroup[g] = static_cast<double>(agg.memStallByGroup[g]) /
+                         static_cast<double>(out.totalMem);
+    }
+    return out;
+}
+
+void
+printMissTable(std::ostream &os, const std::string &title,
+               const sim::MissTable &t)
+{
+    const double total = static_cast<double>(t.total());
+    os << title << " (cells normalized to 100 total misses)\n";
+    TextTable tab({"structure", "Cold", "Conf", "Cohe", "All"});
+    for (std::size_t c = 0; c < sim::kNumDataClasses; ++c) {
+        auto cls = static_cast<sim::DataClass>(c);
+        std::uint64_t all = t.byClass(cls);
+        if (all == 0)
+            continue;
+        tab.addRow({std::string(sim::dataClassName(cls)),
+                    pct(static_cast<double>(t.of(cls, sim::MissType::Cold)),
+                        total),
+                    pct(static_cast<double>(t.of(cls, sim::MissType::Conf)),
+                        total),
+                    pct(static_cast<double>(t.of(cls, sim::MissType::Cohe)),
+                        total),
+                    pct(static_cast<double>(all), total)});
+    }
+    tab.print(os);
+}
+
+} // namespace harness
+} // namespace dss

@@ -1,0 +1,26 @@
+#include "harness/runner.hh"
+
+namespace dss {
+namespace harness {
+
+sim::SimStats
+runCold(const sim::MachineConfig &cfg, const TraceSet &traces)
+{
+    sim::Machine machine(cfg);
+    return machine.run(tracePtrs(traces));
+}
+
+std::vector<sim::SimStats>
+runSequence(const sim::MachineConfig &cfg,
+            const std::vector<const TraceSet *> &sequence)
+{
+    sim::Machine machine(cfg);
+    std::vector<sim::SimStats> out;
+    out.reserve(sequence.size());
+    for (const TraceSet *traces : sequence)
+        out.push_back(machine.run(tracePtrs(*traces)));
+    return out;
+}
+
+} // namespace harness
+} // namespace dss

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Experiment runner: simulate trace sets on Machine configurations, cold
+ * or warm (the warm-start chaining of the paper's Figure 12).
+ */
+
+#ifndef DSS_HARNESS_RUNNER_HH
+#define DSS_HARNESS_RUNNER_HH
+
+#include <vector>
+
+#include "harness/workload.hh"
+#include "sim/machine.hh"
+
+namespace dss {
+namespace harness {
+
+/** Simulate @p traces on a fresh machine with @p cfg (cold caches). */
+sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces);
+
+/**
+ * Simulate a sequence of trace sets on one machine without flushing caches
+ * between them (Fig 12: "caches warmed up with another execution").
+ * @return per-run statistics, in order.
+ */
+std::vector<sim::SimStats>
+runSequence(const sim::MachineConfig &cfg,
+            const std::vector<const TraceSet *> &sequence);
+
+} // namespace harness
+} // namespace dss
+
+#endif // DSS_HARNESS_RUNNER_HH

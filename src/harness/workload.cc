@@ -1,0 +1,115 @@
+#include "harness/workload.hh"
+
+namespace dss {
+namespace harness {
+
+std::vector<const sim::TraceStream *>
+tracePtrs(const TraceSet &traces)
+{
+    std::vector<const sim::TraceStream *> out;
+    out.reserve(traces.size());
+    for (const sim::TraceStream &t : traces)
+        out.push_back(&t);
+    return out;
+}
+
+Workload::Workload(const tpcd::ScaleConfig &scale, unsigned nprocs,
+                   std::uint64_t db_seed)
+    : nprocs_(nprocs),
+      db_(std::make_unique<tpcd::TpcdDb>(scale, nprocs, db_seed))
+{}
+
+namespace {
+
+sim::TraceStream
+tracePlan(tpcd::TpcdDb &db, db::NodePtr plan, sim::ProcId proc,
+          db::Xid xid, bool relock_on_rescan)
+{
+    sim::TraceStream stream;
+    db::TracedMemory mem(db.space(), proc, stream);
+    db::PrivateHeap priv(db.space(), proc);
+    const std::size_t mark = priv.mark();
+
+    db::ExecContext ctx{mem, db.catalog(), priv, xid, relock_on_rescan};
+    (void)db::runQuery(ctx, *plan);
+
+    priv.rewind(mark);
+    return stream;
+}
+
+} // namespace
+
+sim::TraceStream
+Workload::traceOne(tpcd::QueryId q, sim::ProcId proc,
+                   std::uint64_t param_seed)
+{
+    return tracePlan(*db_, tpcd::buildQuery(*db_, q, param_seed), proc,
+                     nextXid_++, /*relock_on_rescan=*/true);
+}
+
+TraceSet
+Workload::trace(tpcd::QueryId q, std::uint64_t param_seed)
+{
+    return traceWithLockDiscipline(q, param_seed,
+                                   /*relock_on_rescan=*/true);
+}
+
+TraceSet
+Workload::traceWithLockDiscipline(tpcd::QueryId q,
+                                  std::uint64_t param_seed,
+                                  bool relock_on_rescan)
+{
+    TraceSet out;
+    out.reserve(nprocs_);
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        out.push_back(tracePlan(
+            *db_, tpcd::buildQuery(*db_, q, param_seed * 7919 + p), p,
+            nextXid_++, relock_on_rescan));
+    }
+    return out;
+}
+
+TraceSet
+Workload::traceCustom(const PlanBuilder &builder)
+{
+    TraceSet out;
+    out.reserve(nprocs_);
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        out.push_back(tracePlan(*db_, builder(*db_, p), p, nextXid_++,
+                                /*relock_on_rescan=*/true));
+    }
+    return out;
+}
+
+TraceSet
+Workload::traceIntraQueryQ6(std::uint64_t param_seed)
+{
+    tpcd::Q6Params params = tpcd::Q6Params::fromSeed(param_seed);
+    TraceSet out;
+    out.reserve(nprocs_);
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        out.push_back(tracePlan(
+            *db_, tpcd::buildQ6Partition(*db_, params, p, nprocs_), p,
+            nextXid_++, /*relock_on_rescan=*/true));
+    }
+    return out;
+}
+
+std::vector<std::vector<db::Datum>>
+Workload::execute(tpcd::QueryId q, std::uint64_t param_seed)
+{
+    sim::NullSink sink;
+    db::TracedMemory mem(db_->space(), 0, sink);
+    db::PrivateHeap priv(db_->space(), 0);
+    const std::size_t mark = priv.mark();
+
+    db::ExecContext ctx{mem, db_->catalog(), priv, nextXid_++};
+    db::NodePtr plan = tpcd::buildQuery(*db_, q, param_seed);
+    auto rows = db::runQuery(ctx, *plan);
+
+    priv.rewind(mark);
+    return rows;
+}
+
+} // namespace harness
+} // namespace dss

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Workload driver: builds the TPC-D database once and captures
+ * per-processor reference traces for a query.
+ *
+ * The paper's setup (Section 4.3): each of the 4 processors runs one query
+ * of the same type with different parameters chosen per the TPC-D
+ * specification; statistics cover the complete execution of the queries.
+ * Here every processor's query executes against the shared database
+ * through its own TracedMemory, producing one TraceStream per processor
+ * that the Machine then interleaves.
+ */
+
+#ifndef DSS_HARNESS_WORKLOAD_HH
+#define DSS_HARNESS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "tpcd/dbgen.hh"
+#include "tpcd/queries.hh"
+
+namespace dss {
+namespace harness {
+
+/** Traces for one multiprocessor query execution (one per processor). */
+using TraceSet = std::vector<sim::TraceStream>;
+
+/** Convenience view for Machine::run(). */
+std::vector<const sim::TraceStream *> tracePtrs(const TraceSet &traces);
+
+class Workload
+{
+  public:
+    /**
+     * Build and load the database (untraced).
+     * @param nprocs Processors that will run queries (paper: 4).
+     */
+    Workload(const tpcd::ScaleConfig &scale, unsigned nprocs,
+             std::uint64_t db_seed = 42);
+
+    /**
+     * Execute query @p q once per processor (distinct parameters drawn
+     * from @p param_seed + processor id) and capture the traces.
+     *
+     * Each call uses fresh transaction ids; private heaps are rewound
+     * afterwards so every query run reuses the same private addresses
+     * (Postgres95 reuses its private storage the same way).
+     */
+    TraceSet trace(tpcd::QueryId q, std::uint64_t param_seed = 1);
+
+    /**
+     * Like trace(), with the lock-discipline ablation knob: when
+     * @p relock_on_rescan is false, index scans keep their relation locks
+     * across rescans instead of re-acquiring them (DESIGN.md §8.4).
+     */
+    TraceSet traceWithLockDiscipline(tpcd::QueryId q,
+                                     std::uint64_t param_seed,
+                                     bool relock_on_rescan);
+
+    /**
+     * Intra-query parallelism (the paper's future work): ONE Q6 instance
+     * whose lineitem scan is partitioned into nprocs() contiguous block
+     * ranges, one partition per processor. Each processor computes a
+     * partial aggregate over its range.
+     */
+    TraceSet traceIntraQueryQ6(std::uint64_t param_seed = 1);
+
+    /** Trace a single-processor run (examples, tests). */
+    sim::TraceStream traceOne(tpcd::QueryId q, sim::ProcId proc,
+                              std::uint64_t param_seed);
+
+    /** Builds the plan processor @p proc should run. */
+    using PlanBuilder =
+        std::function<db::NodePtr(tpcd::TpcdDb &, sim::ProcId proc)>;
+
+    /** Trace caller-supplied plans, one per processor (custom queries,
+     * nested-query variants, ...). */
+    TraceSet traceCustom(const PlanBuilder &builder);
+
+    /**
+     * Run a query without tracing and return its result rows (correctness
+     * checks and examples).
+     */
+    std::vector<std::vector<db::Datum>> execute(tpcd::QueryId q,
+                                                std::uint64_t param_seed);
+
+    tpcd::TpcdDb &db() { return *db_; }
+    unsigned nprocs() const { return nprocs_; }
+
+  private:
+    unsigned nprocs_;
+    std::unique_ptr<tpcd::TpcdDb> db_;
+    db::Xid nextXid_ = 100;
+};
+
+} // namespace harness
+} // namespace dss
+
+#endif // DSS_HARNESS_WORKLOAD_HH

@@ -1,0 +1,111 @@
+#include "sim/arena.hh"
+
+#include <stdexcept>
+
+namespace dss {
+namespace sim {
+
+MemArena::MemArena(std::string name, Addr base, std::size_t capacity,
+                   DataClass default_class)
+    : name_(std::move(name)), base_(base), capacity_(capacity),
+      defaultClass_(default_class)
+{
+    assert(base % kGranule == 0);
+    backing_.resize(capacity, 0);
+    tags_.resize((capacity + kGranule - 1) / kGranule, default_class);
+}
+
+Addr
+MemArena::alloc(std::size_t bytes, DataClass cls, std::size_t align)
+{
+    if (align < kGranule)
+        align = kGranule;
+    // Align the absolute simulated address, not just the arena offset.
+    Addr next = base_ + used_;
+    Addr aligned = (next + align - 1) & ~static_cast<Addr>(align - 1);
+    std::size_t off = static_cast<std::size_t>(aligned - base_);
+    if (off + bytes > capacity_) {
+        throw std::runtime_error(
+            "MemArena '" + name_ + "' out of capacity: need " +
+            std::to_string(off + bytes) + " of " + std::to_string(capacity_));
+    }
+    used_ = off + bytes;
+    Addr addr = base_ + off;
+    setClass(addr, bytes, cls);
+    return addr;
+}
+
+void
+MemArena::rewind(std::size_t mark)
+{
+    assert(mark <= used_);
+    used_ = mark;
+}
+
+void
+MemArena::setClass(Addr addr, std::size_t bytes, DataClass cls)
+{
+    assert(addr >= base_ && addr + bytes <= base_ + capacity_);
+    std::size_t first = (addr - base_) / kGranule;
+    std::size_t last = (addr - base_ + bytes + kGranule - 1) / kGranule;
+    for (std::size_t g = first; g < last; ++g)
+        tags_[g] = cls;
+}
+
+DataClass
+MemArena::classOf(Addr addr) const
+{
+    if (addr < base_ || addr >= base_ + capacity_)
+        return defaultClass_;
+    return tags_[(addr - base_) / kGranule];
+}
+
+AddressSpace::AddressSpace(unsigned nprocs, std::size_t shared_capacity,
+                           std::size_t private_capacity)
+{
+    shared_ = std::make_unique<MemArena>("shared", kSharedBase,
+                                         shared_capacity,
+                                         DataClass::MetaOther);
+    private_.reserve(nprocs);
+    for (unsigned p = 0; p < nprocs; ++p) {
+        private_.push_back(std::make_unique<MemArena>(
+            "priv" + std::to_string(p), kPrivateBase + p * kPrivateStride,
+            private_capacity, DataClass::Priv));
+    }
+}
+
+MemArena *
+AddressSpace::arenaOf(Addr addr)
+{
+    return const_cast<MemArena *>(
+        static_cast<const AddressSpace *>(this)->arenaOf(addr));
+}
+
+const MemArena *
+AddressSpace::arenaOf(Addr addr) const
+{
+    if (isShared(addr))
+        return shared_->contains(addr) ? shared_.get() : nullptr;
+    std::size_t p = (addr - kPrivateBase) / kPrivateStride;
+    if (p >= private_.size())
+        return nullptr;
+    return private_[p]->contains(addr) ? private_[p].get() : nullptr;
+}
+
+DataClass
+AddressSpace::classOf(Addr addr) const
+{
+    const MemArena *a = arenaOf(addr);
+    return a ? a->classOf(addr) : DataClass::MetaOther;
+}
+
+ProcId
+AddressSpace::ownerOf(Addr addr) const
+{
+    if (isShared(addr))
+        return nprocs();
+    return static_cast<ProcId>((addr - kPrivateBase) / kPrivateStride);
+}
+
+} // namespace sim
+} // namespace dss

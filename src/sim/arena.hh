@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tagged simulated-memory arenas.
+ *
+ * The DBMS engine stores its data (pages, hash tables, lock words, private
+ * tuple copies) in MemArena objects. An arena couples three things:
+ *
+ *   1. host backing storage, so the engine runs for real;
+ *   2. a simulated base address, so traces see a coherent address space;
+ *   3. a per-64-byte-granule DataClass map, so every traced reference can
+ *      be attributed to the software structure it touches.
+ *
+ * An AddressSpace owns one shared arena (the Postgres95 shared memory
+ * segment analog) plus one private arena per simulated process.
+ */
+
+#ifndef DSS_SIM_ARENA_HH
+#define DSS_SIM_ARENA_HH
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+/**
+ * A contiguous region of simulated memory with host backing and per-granule
+ * DataClass tags.
+ */
+class MemArena
+{
+  public:
+    /** Tag granularity; fine enough for any cache line size we sweep. */
+    static constexpr std::size_t kGranule = 16;
+
+    /**
+     * @param name Debug name ("shared", "priv0", ...)
+     * @param base Simulated base address (granule-aligned)
+     * @param capacity Maximum bytes this arena may hold
+     * @param default_class Tag for memory not explicitly retagged
+     */
+    MemArena(std::string name, Addr base, std::size_t capacity,
+             DataClass default_class);
+
+    /**
+     * Allocate @p bytes with @p align alignment, tagged @p cls.
+     * @return simulated address of the allocation.
+     */
+    Addr alloc(std::size_t bytes, DataClass cls,
+               std::size_t align = kGranule);
+
+    /** Re-tag an address range (e.g. a buffer block loaded with an index). */
+    void setClass(Addr addr, std::size_t bytes, DataClass cls);
+
+    /**
+     * Rewind the allocation cursor to a previous used() mark, releasing
+     * everything allocated after it (private per-query heaps).
+     */
+    void rewind(std::size_t mark);
+
+    /** Class tag of one address. */
+    DataClass classOf(Addr addr) const;
+
+    /** True if @p addr lies inside this arena's allocated span. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base_ && addr < base_ + used_;
+    }
+
+    /** Host pointer backing a simulated address. */
+    std::uint8_t *
+    host(Addr addr)
+    {
+        assert(contains(addr));
+        return backing_.data() + (addr - base_);
+    }
+
+    const std::uint8_t *
+    host(Addr addr) const
+    {
+        assert(contains(addr));
+        return backing_.data() + (addr - base_);
+    }
+
+    Addr base() const { return base_; }
+    std::size_t used() const { return used_; }
+    std::size_t capacity() const { return capacity_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    Addr base_;
+    std::size_t capacity_;
+    std::size_t used_ = 0;
+    DataClass defaultClass_;
+    std::vector<std::uint8_t> backing_;
+    std::vector<DataClass> tags_; // one per granule
+};
+
+/**
+ * The full simulated address space: one shared arena plus one private arena
+ * per simulated process, with disjoint simulated address ranges and a
+ * resolver from address to arena.
+ */
+class AddressSpace
+{
+  public:
+    static constexpr Addr kSharedBase = 0x1000'0000;
+    static constexpr Addr kPrivateBase = 0x40'0000'0000;
+    static constexpr Addr kPrivateStride = 0x1'0000'0000;
+
+    /**
+     * @param nprocs Number of simulated processes/processors.
+     * @param shared_capacity Bytes for the shared segment.
+     * @param private_capacity Bytes for each private heap.
+     */
+    AddressSpace(unsigned nprocs, std::size_t shared_capacity,
+                 std::size_t private_capacity);
+
+    MemArena &shared() { return *shared_; }
+    const MemArena &shared() const { return *shared_; }
+
+    MemArena &priv(ProcId p) { return *private_.at(p); }
+    const MemArena &priv(ProcId p) const { return *private_.at(p); }
+
+    unsigned nprocs() const { return static_cast<unsigned>(private_.size()); }
+
+    /** Arena containing @p addr; null if unmapped. */
+    MemArena *arenaOf(Addr addr);
+    const MemArena *arenaOf(Addr addr) const;
+
+    /** Class tag of @p addr (MetaOther if unmapped). */
+    DataClass classOf(Addr addr) const;
+
+    /** True if @p addr lies in the shared segment's range. */
+    static bool
+    isShared(Addr addr)
+    {
+        return addr < kPrivateBase;
+    }
+
+    /** Owning process of a private address (nprocs() if shared). */
+    ProcId ownerOf(Addr addr) const;
+
+  private:
+    std::unique_ptr<MemArena> shared_;
+    std::vector<std::unique_ptr<MemArena>> private_;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_ARENA_HH

@@ -1,0 +1,173 @@
+#include "sim/cache.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dss {
+namespace sim {
+
+namespace {
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg), lineBytes_(cfg.lineBytes)
+{
+    if (!isPow2(cfg.lineBytes) || !isPow2(cfg.sizeBytes))
+        throw std::invalid_argument("cache size/line must be powers of two");
+    if (cfg.assoc == 0 || cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) != 0)
+        throw std::invalid_argument("cache size not divisible by way size");
+    numSets_ = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    if (!isPow2(numSets_))
+        throw std::invalid_argument("number of sets must be a power of two");
+    lines_.resize(numSets_ * cfg.assoc);
+}
+
+std::size_t
+Cache::setOf(Addr line_addr) const
+{
+    return (line_addr / lineBytes_) & (numSets_ - 1);
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    return const_cast<Line *>(
+        static_cast<const Cache *>(this)->find(addr));
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    Addr la = lineAddrOf(addr);
+    const Line *set = &lines_[setOf(la) * cfg_.assoc];
+    for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == la)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Line *l = find(addr);
+    return l && l->dirty;
+}
+
+bool
+Cache::access(Addr addr, bool set_dirty)
+{
+    Line *l = find(addr);
+    if (!l)
+        return false;
+    l->lru = ++stamp_;
+    if (set_dirty)
+        l->dirty = true;
+    return true;
+}
+
+MissType
+Cache::classifyMiss(Addr addr) const
+{
+    Addr la = lineAddrOf(addr);
+    if (!everLoaded_.count(la))
+        return MissType::Cold;
+    if (invalRemoved_.count(la))
+        return MissType::Cohe;
+    return MissType::Conf;
+}
+
+Cache::Victim
+Cache::fill(Addr addr, bool dirty)
+{
+    Addr la = lineAddrOf(addr);
+    assert(!contains(la) && "fill of a resident line");
+    Line *set = &lines_[setOf(la) * cfg_.assoc];
+    Line *victim = &set[0];
+    for (std::size_t w = 1; w < cfg_.assoc; ++w) {
+        if (!victim->valid)
+            break;
+        if (!set[w].valid || set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    Victim out;
+    if (victim->valid) {
+        out.valid = true;
+        out.dirty = victim->dirty;
+        out.lineAddr = victim->tag;
+    }
+    victim->tag = la;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lru = ++stamp_;
+    everLoaded_.insert(la);
+    invalRemoved_.erase(la);
+    return out;
+}
+
+bool
+Cache::invalidate(Addr addr, bool coherence, bool *was_dirty)
+{
+    Line *l = find(addr);
+    if (!l)
+        return false;
+    if (was_dirty)
+        *was_dirty = l->dirty;
+    l->valid = false;
+    l->dirty = false;
+    if (coherence)
+        invalRemoved_.insert(lineAddrOf(addr));
+    return true;
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    Line *l = find(addr);
+    assert(l && "markDirty on non-resident line");
+    l->dirty = true;
+}
+
+void
+Cache::markClean(Addr addr)
+{
+    Line *l = find(addr);
+    assert(l && "markClean on non-resident line");
+    l->dirty = false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    everLoaded_.clear();
+    invalRemoved_.clear();
+    stamp_ = 0;
+}
+
+std::vector<Addr>
+Cache::residentLines() const
+{
+    std::vector<Addr> out;
+    for (const Line &l : lines_) {
+        if (l.valid)
+            out.push_back(l.tag);
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace dss

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and cold/conflict/coherence
+ * miss classification.
+ *
+ * The classification follows the taxonomy the paper uses in Figure 7:
+ *  - Cold: the line was never before present in this cache.
+ *  - Cohe: the line was present and its most recent removal was a coherence
+ *          invalidation caused by another processor's write.
+ *  - Conf: everything else (capacity is folded into conflict, as in the
+ *          paper's three-way split).
+ */
+
+#ifndef DSS_SIM_CACHE_HH
+#define DSS_SIM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+/** Read-miss classification (paper Figure 7). */
+enum class MissType : std::uint8_t { Cold, Conf, Cohe, NumTypes };
+
+constexpr std::size_t kNumMissTypes =
+    static_cast<std::size_t>(MissType::NumTypes);
+
+constexpr std::string_view
+missTypeName(MissType t)
+{
+    switch (t) {
+      case MissType::Cold: return "Cold";
+      case MissType::Conf: return "Conf";
+      case MissType::Cohe: return "Cohe";
+      default: return "?";
+    }
+}
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 4 * 1024;
+    std::size_t lineBytes = 32;
+    std::size_t assoc = 1;
+};
+
+/**
+ * One cache array. Timing lives in Machine; this class models only
+ * presence, replacement, dirtiness and miss classification.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Result of a lookup that missed. */
+    struct Victim
+    {
+        bool valid = false; ///< a line was evicted
+        bool dirty = false; ///< ... and it was dirty (needs writeback)
+        Addr lineAddr = 0;  ///< ... at this line address
+    };
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddrOf(Addr addr) const { return addr & ~(lineBytes_ - 1); }
+
+    /** True if the line holding @p addr is present. */
+    bool contains(Addr addr) const;
+
+    /** True if the line holding @p addr is present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /**
+     * Look up @p addr; on hit, refresh LRU and optionally set dirty.
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool set_dirty = false);
+
+    /**
+     * Classify a miss on @p addr. Call after access() returned false and
+     * before fill() (fill updates the bookkeeping).
+     */
+    MissType classifyMiss(Addr addr) const;
+
+    /**
+     * Insert the line holding @p addr, evicting the LRU way if needed.
+     * @return victim information for writeback handling.
+     */
+    Victim fill(Addr addr, bool dirty = false);
+
+    /**
+     * Remove the line holding @p addr if present.
+     * @param coherence true if removal is a coherence invalidation (affects
+     *                  future miss classification).
+     * @return true if the line was present (and whether it was dirty via
+     *         @p was_dirty).
+     */
+    bool invalidate(Addr addr, bool coherence, bool *was_dirty = nullptr);
+
+    /** Mark the line holding @p addr dirty (must be present). */
+    void markDirty(Addr addr);
+
+    /** Clear the dirty bit (downgrade after a remote read). */
+    void markClean(Addr addr);
+
+    /** Drop all contents and classification history (cold caches). */
+    void reset();
+
+    /** All currently valid line addresses (used for inclusion checks). */
+    std::vector<Addr> residentLines() const;
+
+    const CacheConfig &config() const { return cfg_; }
+    std::size_t numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setOf(Addr line_addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    CacheConfig cfg_;
+    std::size_t lineBytes_;
+    std::size_t numSets_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Line> lines_; // numSets_ x assoc
+    std::unordered_set<Addr> everLoaded_;
+    std::unordered_set<Addr> invalRemoved_;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_CACHE_HH

@@ -1,0 +1,105 @@
+#include "sim/directory.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dss {
+namespace sim {
+
+Directory::Directory(unsigned nnodes, std::size_t line_bytes,
+                     std::size_t page_bytes, Addr private_base,
+                     Addr private_stride, const LatencyConfig &lat)
+    : nnodes_(nnodes), lineBytes_(line_bytes), pageBytes_(page_bytes),
+      privateBase_(private_base), privateStride_(private_stride), lat_(lat),
+      controllerFree_(nnodes, 0)
+{
+    assert(nnodes_ > 0 && nnodes_ <= 8);
+}
+
+ProcId
+Directory::homeOf(Addr addr) const
+{
+    if (addr >= privateBase_) {
+        auto node = static_cast<ProcId>((addr - privateBase_) /
+                                        privateStride_);
+        return std::min<ProcId>(node, nnodes_ - 1);
+    }
+    return static_cast<ProcId>((addr / pageBytes_) % nnodes_);
+}
+
+Directory::Entry &
+Directory::entry(Addr addr)
+{
+    return entries_[lineAddrOf(addr)];
+}
+
+Cycles
+Directory::transactionLatency(ProcId requester, ProcId home,
+                              ProcId dirty_owner, bool dirty) const
+{
+    // Count network crossings on the critical request path:
+    //   requester -> home            (0 if home is local)
+    //   home -> owner -> requester   (only if the line is dirty elsewhere)
+    //   home -> requester            (otherwise)
+    unsigned crossings = 0;
+    if (home != requester)
+        ++crossings;
+    if (dirty && dirty_owner != requester) {
+        if (dirty_owner != home)
+            ++crossings; // home forwards to the owner
+        ++crossings;     // owner (or home-as-owner) replies to the requester
+    } else {
+        if (home != requester)
+            ++crossings; // home replies with the memory copy
+    }
+    Cycles base;
+    switch (crossings) {
+      case 0: base = lat_.localMem; break;
+      case 1:
+        base = lat_.localMem + (lat_.remote2Hop - lat_.localMem) / 2;
+        break;
+      case 2: base = lat_.remote2Hop; break;
+      default: base = lat_.remote3Hop; break;
+    }
+    // Transfer-time adjustment relative to the 64 B baseline line. Lines
+    // shorter than the baseline do not shorten the round trip (fixed
+    // overheads and critical-word-first dominate); longer lines pay for
+    // the extra data.
+    std::int64_t adj =
+        (static_cast<std::int64_t>(lineBytes_) - 64) /
+        static_cast<std::int64_t>(lat_.memBytesPerCycle);
+    if (adj < 0)
+        adj = 0;
+    return base + static_cast<Cycles>(adj);
+}
+
+Cycles
+Directory::acquireController(ProcId home, Cycles arrival)
+{
+    std::int64_t occ =
+        static_cast<std::int64_t>(lat_.controllerOccupancy) +
+        (static_cast<std::int64_t>(lineBytes_) - 64) /
+            static_cast<std::int64_t>(lat_.ctrlBytesPerCycle);
+    if (occ < static_cast<std::int64_t>(lat_.controllerOccupancy))
+        occ = static_cast<std::int64_t>(lat_.controllerOccupancy);
+    Cycles &free_at = controllerFree_.at(home);
+    Cycles delay = free_at > arrival ? free_at - arrival : 0;
+    free_at = std::max(free_at, arrival) + static_cast<Cycles>(occ);
+    return delay;
+}
+
+void
+Directory::reset()
+{
+    entries_.clear();
+    resetControllers();
+}
+
+void
+Directory::resetControllers()
+{
+    std::fill(controllerFree_.begin(), controllerFree_.end(), 0);
+}
+
+} // namespace sim
+} // namespace dss

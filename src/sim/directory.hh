@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Directory-based coherence state for a CC-NUMA machine.
+ *
+ * The directory tracks, per secondary-cache line, whether memory holds the
+ * only copy (Uncached), one or more caches hold clean copies (Shared), or a
+ * single cache holds a dirty copy (Dirty). The home node of a line is
+ * determined by its 8 KB page: shared pages are interleaved round-robin
+ * across the nodes; private pages are homed at their owning node.
+ *
+ * Latency mirrors the paper's baseline: a miss satisfied by local memory
+ * costs 80 cycles round trip; by a remote home or a dirty remote owner in a
+ * 2-hop transaction, 249; in a 3-hop transaction, 351. The home node's
+ * memory controller is a contended resource (the paper models all
+ * contention except the network); the network itself is a fixed delay
+ * folded into those constants.
+ */
+
+#ifndef DSS_SIM_DIRECTORY_HH
+#define DSS_SIM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+/** Latency constants for one machine configuration (paper Section 4.3). */
+struct LatencyConfig
+{
+    Cycles l1Hit = 1;          ///< primary-cache hit (no stall)
+    Cycles l2Hit = 16;         ///< round trip to the secondary cache
+    Cycles localMem = 80;      ///< local memory, clean line
+    Cycles remote2Hop = 249;   ///< two network crossings on the critical path
+    Cycles remote3Hop = 351;   ///< three network crossings
+    Cycles controllerOccupancy = 18; ///< home memory-controller service time
+
+    /**
+     * The four round-trip latencies above are quoted for the baseline
+     * 64 B L2 line. Other line sizes transfer more or less data: memory
+     * transactions gain (line - 64) / memBytesPerCycle cycles, and the
+     * home controller is occupied (line - 64) / ctrlBytesPerCycle longer
+     * ("each miss takes longer to satisfy", paper Section 5.2.1).
+     */
+    Cycles memBytesPerCycle = 2;
+    Cycles ctrlBytesPerCycle = 8;
+};
+
+class Directory
+{
+  public:
+    enum class State : std::uint8_t { Uncached, Shared, Dirty };
+
+    struct Entry
+    {
+        State state = State::Uncached;
+        std::uint8_t sharers = 0; ///< bitmask of caching nodes
+        ProcId owner = 0;         ///< valid when state == Dirty
+    };
+
+    /**
+     * @param nnodes Number of nodes (processor + memory each).
+     * @param line_bytes Coherence granularity (the L2 line size).
+     * @param page_bytes Interleaving granularity for home assignment.
+     * @param private_base Addresses at or above this are private.
+     * @param private_stride Private address-space stride per node.
+     */
+    Directory(unsigned nnodes, std::size_t line_bytes,
+              std::size_t page_bytes, Addr private_base,
+              Addr private_stride, const LatencyConfig &lat);
+
+    /** Home node of the line containing @p addr. */
+    ProcId homeOf(Addr addr) const;
+
+    /** Directory entry for the line containing @p addr (created lazily). */
+    Entry &entry(Addr addr);
+
+    /** Line-aligned address. */
+    Addr lineAddrOf(Addr addr) const { return addr & ~(lineBytes_ - 1); }
+
+    /**
+     * Uncontended round-trip latency of a transaction issued by
+     * @p requester for a line homed at @p home, possibly forwarded to a
+     * @p dirty_owner (pass requester itself for "no forwarding").
+     */
+    Cycles transactionLatency(ProcId requester, ProcId home,
+                              ProcId dirty_owner, bool dirty) const;
+
+    /**
+     * Serialize a request at @p home's memory controller.
+     * @param arrival Cycle the request reaches the controller.
+     * @return queuing delay before service starts.
+     */
+    Cycles acquireController(ProcId home, Cycles arrival);
+
+    /** Forget all sharing state and controller occupancy. */
+    void reset();
+
+    /** Reset only controller occupancy (clocks restart between runs). */
+    void resetControllers();
+
+    unsigned nnodes() const { return nnodes_; }
+    const LatencyConfig &latency() const { return lat_; }
+
+    /** Number of lines with directory state (for tests). */
+    std::size_t trackedLines() const { return entries_.size(); }
+
+  private:
+    unsigned nnodes_;
+    std::size_t lineBytes_;
+    std::size_t pageBytes_;
+    Addr privateBase_;
+    Addr privateStride_;
+    LatencyConfig lat_;
+    std::unordered_map<Addr, Entry> entries_;
+    std::vector<Cycles> controllerFree_; // per home node
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_DIRECTORY_HH

@@ -1,0 +1,550 @@
+#include "sim/machine.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/arena.hh"
+
+namespace dss {
+namespace sim {
+
+namespace {
+
+constexpr std::uint8_t
+bit(ProcId p)
+{
+    return static_cast<std::uint8_t>(1u << p);
+}
+
+} // namespace
+
+MachineConfig
+MachineConfig::baseline()
+{
+    return MachineConfig{};
+}
+
+MachineConfig
+MachineConfig::withLineSize(std::size_t l2_line) const
+{
+    MachineConfig c = *this;
+    c.l2.lineBytes = l2_line;
+    c.l1.lineBytes = l2_line / 2;
+    return c;
+}
+
+MachineConfig
+MachineConfig::withCacheSizes(std::size_t l1_bytes,
+                              std::size_t l2_bytes) const
+{
+    MachineConfig c = *this;
+    c.l1.sizeBytes = l1_bytes;
+    c.l2.sizeBytes = l2_bytes;
+    return c;
+}
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg),
+      dir_(cfg.nprocs, cfg.l2.lineBytes, cfg.pageBytes,
+           AddressSpace::kPrivateBase, AddressSpace::kPrivateStride,
+           cfg.lat)
+{
+    if (cfg_.l1.lineBytes * 2 != cfg_.l2.lineBytes)
+        throw std::invalid_argument("L1 line must be half the L2 line");
+    // L2 round trip, adjusted for the L1-line transfer time relative to
+    // the baseline 32 B L1 line.
+    std::int64_t adj =
+        (static_cast<std::int64_t>(cfg_.l1.lineBytes) - 32) /
+        static_cast<std::int64_t>(cfg_.lat.ctrlBytesPerCycle);
+    if (adj < 0)
+        adj = 0; // critical-word-first: short lines are not faster
+    l2HitLat_ = cfg_.lat.l2Hit + static_cast<Cycles>(adj);
+    nodes_.reserve(cfg_.nprocs);
+    for (unsigned p = 0; p < cfg_.nprocs; ++p)
+        nodes_.push_back(std::make_unique<Node>(cfg_));
+}
+
+void
+Machine::resetMemoryState()
+{
+    for (auto &n : nodes_) {
+        n->l1.reset();
+        n->l2.reset();
+        n->wb.reset();
+        n->prefetched.clear();
+    }
+    dir_.reset();
+    locks_.reset();
+}
+
+void
+Machine::dropFromDirectory(ProcId p, Addr l2_line)
+{
+    Directory::Entry &e = dir_.entry(l2_line);
+    if (e.state == Directory::State::Dirty && e.owner == p) {
+        e.state = Directory::State::Uncached;
+        e.sharers = 0;
+        return;
+    }
+    e.sharers &= static_cast<std::uint8_t>(~bit(p));
+    if (e.sharers == 0 && e.state == Directory::State::Shared)
+        e.state = Directory::State::Uncached;
+}
+
+void
+Machine::invalidateOtherCaches(Addr l2_line, ProcId except)
+{
+    Directory::Entry &e = dir_.entry(l2_line);
+    for (ProcId q = 0; q < cfg_.nprocs; ++q) {
+        if (q == except || !(e.sharers & bit(q)))
+            continue;
+        Node &n = *nodes_[q];
+        n.l2.invalidate(l2_line, /*coherence=*/true);
+        for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
+             a += cfg_.l1.lineBytes) {
+            n.l1.invalidate(a, /*coherence=*/true);
+            n.prefetched.erase(a);
+        }
+    }
+    if (e.state == Directory::State::Dirty && e.owner != except) {
+        e.state = Directory::State::Uncached;
+        e.sharers = 0;
+    } else {
+        e.sharers &= bit(except);
+        if (e.sharers == 0 && e.state == Directory::State::Shared)
+            e.state = Directory::State::Uncached;
+    }
+}
+
+void
+Machine::fillL1(ProcId p, Addr addr)
+{
+    Node &n = *nodes_[p];
+    if (n.l1.contains(addr))
+        return;
+    Cache::Victim v = n.l1.fill(addr);
+    if (v.valid)
+        n.prefetched.erase(v.lineAddr); // write-through L1: never dirty
+}
+
+void
+Machine::fillL2(ProcId p, Addr addr, bool dirty)
+{
+    Node &n = *nodes_[p];
+    Cache::Victim v = n.l2.fill(addr, dirty);
+    if (!v.valid)
+        return;
+    // Inclusion: the L1 cannot keep sublines of an evicted L2 line.
+    for (Addr a = v.lineAddr; a < v.lineAddr + cfg_.l2.lineBytes;
+         a += cfg_.l1.lineBytes) {
+        n.l1.invalidate(a, /*coherence=*/false);
+        n.prefetched.erase(a);
+    }
+    dropFromDirectory(p, v.lineAddr);
+    if (v.dirty) {
+        // Background writeback occupies the victim's home controller but
+        // does not stall the processor.
+        dir_.acquireController(dir_.homeOf(v.lineAddr),
+                               runs_.empty() ? 0 : runs_[p].clock);
+    }
+}
+
+Machine::ReadOutcome
+Machine::readAccess(ProcId p, Addr addr, DataClass cls)
+{
+    Node &n = *nodes_[p];
+    ProcRun &r = runs_[p];
+    ProcStats &st = r.stats;
+    const Addr l1_line = n.l1.lineAddrOf(addr);
+    const Addr l2_line = n.l2.lineAddrOf(addr);
+
+    ++st.reads;
+
+    // Loads are satisfied by a matching store still in the write buffer.
+    if (n.wb.containsLine(l1_line, r.clock)) {
+        ++st.l1Hits;
+        return {cfg_.lat.l1Hit};
+    }
+
+    if (n.l1.access(addr)) {
+        ++st.l1Hits;
+        auto pf = n.prefetched.find(l1_line);
+        if (pf != n.prefetched.end()) {
+            ++st.prefetchesUseful;
+            // The prefetch may still be in flight: wait out the remainder.
+            Cycles extra =
+                pf->second > r.clock ? pf->second - r.clock : 0;
+            n.prefetched.erase(pf);
+            return {cfg_.lat.l1Hit + extra};
+        }
+        return {cfg_.lat.l1Hit};
+    }
+
+    st.l1Misses.add(cls, n.l1.classifyMiss(addr));
+    ++st.l2Accesses;
+
+    Cycles latency;
+    if (n.l2.access(addr)) {
+        ++st.l2Hits;
+        latency = l2HitLat_;
+    } else {
+        st.l2Misses.add(cls, n.l2.classifyMiss(addr));
+        Directory::Entry &e = dir_.entry(l2_line);
+        const ProcId home = dir_.homeOf(l2_line);
+        const bool dirty_else =
+            e.state == Directory::State::Dirty && e.owner != p;
+        const Cycles qdelay = dir_.acquireController(home, r.clock);
+        latency = dir_.transactionLatency(p, home, e.owner, dirty_else) +
+                  qdelay;
+        if (dirty_else) {
+            // The owner's copy is written back and downgraded to Shared.
+            Node &own = *nodes_[e.owner];
+            if (own.l2.contains(l2_line))
+                own.l2.markClean(l2_line);
+            e.state = Directory::State::Shared;
+            e.sharers = static_cast<std::uint8_t>(bit(e.owner) | bit(p));
+        } else {
+            if (e.state == Directory::State::Uncached)
+                e.state = Directory::State::Shared;
+            e.sharers |= bit(p);
+        }
+        fillL2(p, addr, /*dirty=*/false);
+    }
+    fillL1(p, addr);
+
+    // Sequential prefetch, triggered by primary-cache read misses on
+    // database data: fetch the next prefetchDegree L1 lines into the L1
+    // (paper Section 6). Miss-triggered issue reproduces the paper's
+    // measured effectiveness — prefetching removes about a third of the
+    // Data stall rather than hiding the whole stream.
+    if (cfg_.prefetchData && cls == DataClass::Data)
+        issuePrefetches(p, addr);
+
+    return {latency};
+}
+
+Cycles
+Machine::writeTransaction(ProcId p, Addr addr, DataClass cls)
+{
+    (void)cls;
+    Node &n = *nodes_[p];
+    ProcRun &r = runs_[p];
+    const Addr l2_line = n.l2.lineAddrOf(addr);
+    Directory::Entry &e = dir_.entry(l2_line);
+    const ProcId home = dir_.homeOf(l2_line);
+
+    Cycles drain;
+    if (n.l2.contains(l2_line)) {
+        if (e.state == Directory::State::Dirty && e.owner == p) {
+            // Already exclusively owned: drain straight into the L2.
+            drain = l2HitLat_;
+        } else {
+            // Upgrade: invalidate the other sharers via the home node.
+            const Cycles qdelay = dir_.acquireController(home, r.clock);
+            drain = dir_.transactionLatency(p, home, p, false) + qdelay;
+            invalidateOtherCaches(l2_line, p);
+        }
+        n.l2.access(addr, /*set_dirty=*/true);
+    } else {
+        // Write-allocate miss: obtain an exclusive copy.
+        const bool dirty_else =
+            e.state == Directory::State::Dirty && e.owner != p;
+        const Cycles qdelay = dir_.acquireController(home, r.clock);
+        drain = dir_.transactionLatency(p, home, e.owner, dirty_else) +
+                qdelay;
+        invalidateOtherCaches(l2_line, p);
+        fillL2(p, addr, /*dirty=*/true);
+    }
+    e.state = Directory::State::Dirty;
+    e.owner = p;
+    e.sharers = bit(p);
+
+    // Write-through L1: a resident line is updated in place (stays valid);
+    // a missing line is not allocated.
+    n.l1.access(addr);
+    return drain;
+}
+
+Cycles
+Machine::rmwAccess(ProcId p, Addr addr, DataClass cls)
+{
+    Node &n = *nodes_[p];
+    ProcRun &r = runs_[p];
+    ProcStats &st = r.stats;
+    const Addr l2_line = n.l2.lineAddrOf(addr);
+
+    ++st.reads;
+    const bool l1hit = n.l1.access(addr);
+    if (l1hit) {
+        ++st.l1Hits;
+    } else {
+        st.l1Misses.add(cls, n.l1.classifyMiss(addr));
+        ++st.l2Accesses;
+    }
+
+    Directory::Entry &e = dir_.entry(l2_line);
+    const ProcId home = dir_.homeOf(l2_line);
+    const bool l2has = n.l2.contains(l2_line);
+
+    Cycles latency;
+    if (l2has && e.state == Directory::State::Dirty && e.owner == p) {
+        // Exclusive in our L2: the atomic completes at the L2.
+        if (!l1hit)
+            ++st.l2Hits;
+        n.l2.access(addr, /*set_dirty=*/true);
+        latency = l2HitLat_;
+    } else {
+        if (!l2has && !l1hit)
+            st.l2Misses.add(cls, n.l2.classifyMiss(addr));
+        const bool dirty_else =
+            e.state == Directory::State::Dirty && e.owner != p;
+        const Cycles qdelay = dir_.acquireController(home, r.clock);
+        latency = dir_.transactionLatency(p, home, e.owner, dirty_else) +
+                  qdelay;
+        invalidateOtherCaches(l2_line, p);
+        if (l2has)
+            n.l2.access(addr, /*set_dirty=*/true);
+        else
+            fillL2(p, addr, /*dirty=*/true);
+        e.state = Directory::State::Dirty;
+        e.owner = p;
+        e.sharers = bit(p);
+    }
+    if (!l1hit)
+        fillL1(p, addr);
+    return latency;
+}
+
+void
+Machine::issuePrefetches(ProcId p, Addr addr)
+{
+    Node &n = *nodes_[p];
+    ProcRun &r = runs_[p];
+    const Addr l1_line = n.l1.lineAddrOf(addr);
+    Cycles issue = r.clock;
+    for (unsigned i = 1; i <= cfg_.prefetchDegree; ++i) {
+        const Addr a = l1_line + i * cfg_.l1.lineBytes;
+        if (n.l1.contains(a))
+            continue;
+        const Addr l2_line = n.l2.lineAddrOf(a);
+        Cycles ready = issue + l2HitLat_;
+        if (!n.l2.contains(l2_line)) {
+            Directory::Entry &e = dir_.entry(l2_line);
+            if (e.state == Directory::State::Dirty && e.owner != p)
+                continue; // keep the prefetcher out of dirty remote lines
+            // The fetch occupies the home controller (contention) but the
+            // processor does not wait for it.
+            const ProcId home = dir_.homeOf(l2_line);
+            const Cycles qdelay = dir_.acquireController(home, issue);
+            ready = issue + qdelay +
+                    dir_.transactionLatency(p, home, e.owner, false);
+            if (e.state == Directory::State::Uncached)
+                e.state = Directory::State::Shared;
+            e.sharers |= bit(p);
+            fillL2(p, a, /*dirty=*/false);
+        }
+        fillL1(p, a);
+        n.prefetched[n.l1.lineAddrOf(a)] = ready;
+        // Prefetches leave the node back to back, one per miss-port slot.
+        issue += cfg_.lat.controllerOccupancy;
+        ++r.stats.prefetchesIssued;
+    }
+}
+
+void
+Machine::doRead(ProcId p, const TraceEntry &e)
+{
+    ProcRun &r = runs_[p];
+    ReadOutcome o = readAccess(p, e.addr, e.cls);
+    const Cycles stall =
+        o.latency > cfg_.lat.l1Hit ? o.latency - cfg_.lat.l1Hit : 0;
+    r.stats.busy += cfg_.issueCyclesPerRef;
+    r.stats.memStall += stall;
+    r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
+        stall;
+    r.clock += cfg_.issueCyclesPerRef + stall;
+}
+
+void
+Machine::doWrite(ProcId p, const TraceEntry &e)
+{
+    Node &n = *nodes_[p];
+    ProcRun &r = runs_[p];
+    ++r.stats.writes;
+    r.stats.busy += cfg_.issueCyclesPerRef;
+    r.clock += cfg_.issueCyclesPerRef;
+
+    const Cycles drain = writeTransaction(p, e.addr, e.cls);
+    const Cycles stall =
+        n.wb.push(r.clock, drain, n.l1.lineAddrOf(e.addr));
+    if (stall) {
+        ++r.stats.wbOverflows;
+        r.stats.memStall += stall;
+        r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
+            stall;
+        r.clock += stall;
+    }
+}
+
+void
+Machine::doLockAcq(ProcId p, const TraceEntry &e)
+{
+    ProcRun &r = runs_[p];
+    const Addr w = e.addr;
+
+    if (r.acqPending) {
+        // Phase 2: our test&set transaction has completed; take the lock
+        // if it is (still) free. The lock is held only from this point, so
+        // the hold time covers the critical section, not the acquire
+        // latency — exactly like a real test&test&set.
+        r.acqPending = false;
+        if (locks_.isHeld(w) && locks_.holder(w) != p) {
+            // Lost the race: spin (pure wait, charged to MSync on wake-up;
+            // re-execution pays a fresh coherence transfer on the word).
+            r.blocked = true;
+            r.blockStart = r.clock;
+            locks_.addWaiter(w, p);
+            return;
+        }
+        if (!locks_.isHeld(w)) {
+            bool ok = locks_.tryAcquire(w, p);
+            assert(ok);
+            (void)ok;
+        }
+        // else: handed off to us by the releaser.
+        ++r.pos;
+        return;
+    }
+
+    if (locks_.isHeld(w) && locks_.holder(w) != p) {
+        // Test phase sees the lock held: spin without issuing the RMW.
+        r.blocked = true;
+        r.blockStart = r.clock;
+        locks_.addWaiter(w, p);
+        return; // entry will be re-executed on wake-up
+    }
+
+    // Phase 1: the test&set itself — an exclusive access to the lock word.
+    // Its stall is memory time on metadata; only spinning is MSync.
+    const Cycles lat = rmwAccess(p, w, e.cls);
+    const Cycles stall =
+        lat > cfg_.lat.l1Hit ? lat - cfg_.lat.l1Hit : 0;
+    r.stats.busy += cfg_.issueCyclesPerRef;
+    r.stats.memStall += stall;
+    r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
+        stall;
+    r.clock += cfg_.issueCyclesPerRef + stall;
+    r.acqPending = true; // grab happens at the new, later time
+}
+
+void
+Machine::doLockRel(ProcId p, const TraceEntry &e)
+{
+    Node &n = *nodes_[p];
+    ProcRun &r = runs_[p];
+
+    // The release store goes through the write buffer like any other store
+    // and invalidates the spinners' cached copies of the lock word.
+    ++r.stats.writes;
+    r.stats.busy += cfg_.issueCyclesPerRef;
+    r.clock += cfg_.issueCyclesPerRef;
+    const Cycles drain = writeTransaction(p, e.addr, e.cls);
+    const Cycles stall =
+        n.wb.push(r.clock, drain, n.l1.lineAddrOf(e.addr));
+    if (stall) {
+        ++r.stats.wbOverflows;
+        r.stats.memStall += stall;
+        r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
+            stall;
+        r.clock += stall;
+    }
+
+    const ProcId next = locks_.release(e.addr, p);
+    if (next != LockTable::kNoWaiter) {
+        ProcRun &w = runs_[next];
+        assert(w.blocked);
+        const Cycles wake = std::max(w.clock, r.clock);
+        w.stats.syncStall += wake - w.blockStart;
+        w.clock = wake;
+        w.blocked = false;
+    }
+    ++r.pos;
+}
+
+void
+Machine::step(ProcId p)
+{
+    ProcRun &r = runs_[p];
+    const TraceEntry &e = (*r.entries)[r.pos];
+    switch (e.op) {
+      case Op::Read:
+        doRead(p, e);
+        ++r.pos;
+        break;
+      case Op::Write:
+        doWrite(p, e);
+        ++r.pos;
+        break;
+      case Op::Busy:
+        r.stats.busy += e.extra;
+        // Untraced private stack/static references ride along with the
+        // busy instructions and always hit (paper Section 4.2, about one
+        // reference per four instructions); count them so miss rates
+        // share the paper's denominator.
+        r.stats.assumedHitReads += e.extra / 4;
+        r.clock += e.extra;
+        ++r.pos;
+        break;
+      case Op::LockAcq:
+        doLockAcq(p, e);
+        break;
+      case Op::LockRel:
+        doLockRel(p, e);
+        break;
+    }
+}
+
+SimStats
+Machine::run(const std::vector<const TraceStream *> &traces)
+{
+    if (traces.size() > cfg_.nprocs)
+        throw std::invalid_argument("more traces than processors");
+
+    runs_.clear();
+    runs_.resize(cfg_.nprocs);
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        runs_[i].entries = &traces[i]->entries();
+
+    locks_.reset();
+    dir_.resetControllers();
+    for (auto &n : nodes_)
+        n->wb.reset();
+
+    for (;;) {
+        ProcId best = cfg_.nprocs;
+        for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+            ProcRun &r = runs_[p];
+            if (r.done() || r.blocked)
+                continue;
+            if (best == cfg_.nprocs || r.clock < runs_[best].clock)
+                best = p;
+        }
+        if (best == cfg_.nprocs) {
+#ifndef NDEBUG
+            for (ProcId p = 0; p < cfg_.nprocs; ++p)
+                assert(runs_[p].done() && "deadlock: all runnable blocked");
+#endif
+            break;
+        }
+        step(best);
+    }
+
+    SimStats out;
+    out.procs.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        out.procs.push_back(runs_[i].stats);
+    return out;
+}
+
+} // namespace sim
+} // namespace dss

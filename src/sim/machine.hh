@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The simulated 4-processor CC-NUMA machine of the paper's Section 4.3.
+ *
+ * Per node: one processor with a direct-mapped write-through L1
+ * (4 KB / 32 B lines in the baseline), a 2-way write-back L2
+ * (128 KB / 64 B lines), and a 16-entry write buffer; plus a slice of the
+ * interleaved main memory with its directory controller. The processor
+ * stalls on read misses and on write-buffer overflow. Round-trip read-miss
+ * latencies: L2 16, local memory 80, 2-hop remote 249, 3-hop remote 351
+ * cycles. Contention is modeled at the home memory controllers; the network
+ * is a fixed delay (paper's simplification).
+ *
+ * The Machine consumes one TraceStream per processor, interleaving them by
+ * local virtual time. Metalock acquire/release markers are resolved
+ * dynamically against the LockTable so spinning, hand-off and lock-word
+ * coherence misses reflect the simulated interleaving.
+ *
+ * Cache, directory and classification state persists across run() calls,
+ * which is how the warm-start experiments of Fig 12 chain queries;
+ * call resetMemoryState() for a cold start.
+ */
+
+#ifndef DSS_SIM_MACHINE_HH
+#define DSS_SIM_MACHINE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/addr.hh"
+#include "sim/cache.hh"
+#include "sim/directory.hh"
+#include "sim/spinlock_model.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "sim/write_buffer.hh"
+
+namespace dss {
+namespace sim {
+
+/** Full architecture configuration. */
+struct MachineConfig
+{
+    unsigned nprocs = 4;
+    CacheConfig l1{4 * 1024, 32, 1};
+    CacheConfig l2{128 * 1024, 64, 2};
+    std::size_t writeBufferEntries = 16;
+    std::size_t pageBytes = 8 * 1024;
+    LatencyConfig lat;
+
+    /** Sequential next-N-line prefetch of Data-class reads (Fig 13). */
+    bool prefetchData = false;
+    unsigned prefetchDegree = 4;
+
+    /** Issue cost charged to Busy per memory reference. */
+    Cycles issueCyclesPerRef = 1;
+
+    /** The paper's baseline machine. */
+    static MachineConfig baseline();
+
+    /**
+     * Same machine with @p l2_line byte L2 lines; the L1 line is always
+     * half the L2 line (paper Section 4.3).
+     */
+    MachineConfig withLineSize(std::size_t l2_line) const;
+
+    /** Same machine with different cache capacities. */
+    MachineConfig withCacheSizes(std::size_t l1_bytes,
+                                 std::size_t l2_bytes) const;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    /**
+     * Simulate one trace per processor (pass fewer traces than processors
+     * to leave some idle). Clocks restart at zero; caches, directory and
+     * miss-classification history persist from previous runs.
+     *
+     * @return statistics for this run only.
+     */
+    SimStats run(const std::vector<const TraceStream *> &traces);
+
+    /** Cold-start: drop caches, directory state and classification. */
+    void resetMemoryState();
+
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Direct cache access for tests. */
+    Cache &l1(ProcId p) { return nodes_.at(p)->l1; }
+    Cache &l2(ProcId p) { return nodes_.at(p)->l2; }
+
+  private:
+    struct Node
+    {
+        Node(const MachineConfig &cfg)
+            : l1(cfg.l1), l2(cfg.l2), wb(cfg.writeBufferEntries)
+        {}
+
+        Cache l1;
+        Cache l2;
+        WriteBuffer wb;
+        /** L1 lines filled by prefetch -> cycle the data arrives. A demand
+         * read that gets there first waits for the remainder. */
+        std::unordered_map<Addr, Cycles> prefetched;
+    };
+
+    /** Per-run execution state of one processor. */
+    struct ProcRun
+    {
+        const std::vector<TraceEntry> *entries = nullptr;
+        std::size_t pos = 0;
+        Cycles clock = 0;
+        bool blocked = false;
+        Cycles blockStart = 0;
+        /** A test&set transaction completed; the grab happens next step. */
+        bool acqPending = false;
+        ProcStats stats;
+
+        bool done() const { return !entries || pos >= entries->size(); }
+    };
+
+    /** Outcome of one load, for stall accounting. */
+    struct ReadOutcome
+    {
+        Cycles latency = 0; ///< total, including the issue cycle
+    };
+
+    ReadOutcome readAccess(ProcId p, Addr addr, DataClass cls);
+
+    /**
+     * Apply the coherence state changes of a store and return the drain
+     * latency of its write-buffer transaction.
+     */
+    Cycles writeTransaction(ProcId p, Addr addr, DataClass cls);
+
+    /**
+     * Atomic read-modify-write on a lock word (test&set): acquires
+     * exclusive ownership, the processor waits for completion.
+     * @return total latency including the issue cycle.
+     */
+    Cycles rmwAccess(ProcId p, Addr addr, DataClass cls);
+
+    void issuePrefetches(ProcId p, Addr addr);
+    void fillL2(ProcId p, Addr addr, bool dirty);
+    void fillL1(ProcId p, Addr addr);
+    void invalidateOtherCaches(Addr l2_line, ProcId except);
+    void dropFromDirectory(ProcId p, Addr l2_line);
+
+    void step(ProcId p);
+    void doRead(ProcId p, const TraceEntry &e);
+    void doWrite(ProcId p, const TraceEntry &e);
+    void doLockAcq(ProcId p, const TraceEntry &e);
+    void doLockRel(ProcId p, const TraceEntry &e);
+
+    MachineConfig cfg_;
+    Cycles l2HitLat_; ///< L2 round trip adjusted for the L1 line transfer
+    std::vector<std::unique_ptr<Node>> nodes_;
+    Directory dir_;
+    LockTable locks_;
+    std::vector<ProcRun> runs_;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_MACHINE_HH

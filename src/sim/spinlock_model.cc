@@ -1,0 +1,66 @@
+#include "sim/spinlock_model.hh"
+
+#include <cassert>
+
+namespace dss {
+namespace sim {
+
+bool
+LockTable::tryAcquire(Addr word, ProcId proc)
+{
+    State &s = locks_[word];
+    if (s.held)
+        return false;
+    s.held = true;
+    s.holderProc = proc;
+    return true;
+}
+
+void
+LockTable::addWaiter(Addr word, ProcId proc)
+{
+    State &s = locks_[word];
+    assert(s.held && "waiting on a free lock");
+    s.queue.push_back(proc);
+}
+
+ProcId
+LockTable::release(Addr word, ProcId proc)
+{
+    State &s = locks_[word];
+    assert(s.held && s.holderProc == proc && "release by non-holder");
+    (void)proc;
+    if (s.queue.empty()) {
+        s.held = false;
+        return kNoWaiter;
+    }
+    ProcId next = s.queue.front();
+    s.queue.pop_front();
+    s.holderProc = next; // hand-off: still held, new owner
+    return next;
+}
+
+bool
+LockTable::isHeld(Addr word) const
+{
+    auto it = locks_.find(word);
+    return it != locks_.end() && it->second.held;
+}
+
+ProcId
+LockTable::holder(Addr word) const
+{
+    auto it = locks_.find(word);
+    assert(it != locks_.end() && it->second.held);
+    return it->second.holderProc;
+}
+
+std::size_t
+LockTable::waiters(Addr word) const
+{
+    auto it = locks_.find(word);
+    return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+} // namespace sim
+} // namespace dss

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dynamic metalock state for the Machine.
+ *
+ * Postgres95's metalocks (LockMgrLock, BufMgrLock, ...) are test&test&set
+ * spinlocks on shared words. Traces record only acquire/release markers;
+ * whether an acquire spins depends on the simulated interleaving, so the
+ * Machine resolves contention at simulation time using this table. Waiting
+ * time is charged to MSync; the lock-word loads/stores themselves go
+ * through the caches and produce the LockSLock coherence misses of Fig 7.
+ */
+
+#ifndef DSS_SIM_SPINLOCK_MODEL_HH
+#define DSS_SIM_SPINLOCK_MODEL_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+class LockTable
+{
+  public:
+    /** Try to take the lock at @p word for @p proc. True on success. */
+    bool tryAcquire(Addr word, ProcId proc);
+
+    /** Queue @p proc as a waiter on @p word (lock must be held). */
+    void addWaiter(Addr word, ProcId proc);
+
+    /**
+     * Release the lock at @p word (must be held by @p proc).
+     * @return the next waiter granted the lock, or kNoWaiter.
+     */
+    static constexpr ProcId kNoWaiter = ~0u;
+    ProcId release(Addr word, ProcId proc);
+
+    /** True if @p word is currently held. */
+    bool isHeld(Addr word) const;
+
+    /** Holder of @p word (undefined if not held). */
+    ProcId holder(Addr word) const;
+
+    /** Number of queued waiters on @p word. */
+    std::size_t waiters(Addr word) const;
+
+    /** Drop all lock state (between runs). */
+    void reset() { locks_.clear(); }
+
+  private:
+    struct State
+    {
+        bool held = false;
+        ProcId holderProc = 0;
+        std::deque<ProcId> queue;
+    };
+
+    std::unordered_map<Addr, State> locks_;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_SPINLOCK_MODEL_HH

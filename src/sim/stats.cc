@@ -1,0 +1,117 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+namespace dss {
+namespace sim {
+
+std::uint64_t
+MissTable::byClass(DataClass c) const
+{
+    std::uint64_t n = 0;
+    for (std::size_t t = 0; t < kNumMissTypes; ++t)
+        n += count[static_cast<std::size_t>(c)][t];
+    return n;
+}
+
+std::uint64_t
+MissTable::byGroup(ClassGroup g) const
+{
+    std::uint64_t n = 0;
+    for (std::size_t c = 0; c < kNumDataClasses; ++c) {
+        if (groupOf(static_cast<DataClass>(c)) == g) {
+            for (std::size_t t = 0; t < kNumMissTypes; ++t)
+                n += count[c][t];
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+MissTable::byGroupAndType(ClassGroup g, MissType t) const
+{
+    std::uint64_t n = 0;
+    for (std::size_t c = 0; c < kNumDataClasses; ++c) {
+        if (groupOf(static_cast<DataClass>(c)) == g)
+            n += count[c][static_cast<std::size_t>(t)];
+    }
+    return n;
+}
+
+std::uint64_t
+MissTable::total() const
+{
+    std::uint64_t n = 0;
+    for (const auto &row : count)
+        for (std::uint64_t v : row)
+            n += v;
+    return n;
+}
+
+MissTable &
+MissTable::operator+=(const MissTable &o)
+{
+    for (std::size_t c = 0; c < kNumDataClasses; ++c)
+        for (std::size_t t = 0; t < kNumMissTypes; ++t)
+            count[c][t] += o.count[c][t];
+    return *this;
+}
+
+double
+ProcStats::l1MissRate() const
+{
+    std::uint64_t m = l1Misses.total();
+    std::uint64_t refs = reads + assumedHitReads;
+    return refs ? static_cast<double>(m) / static_cast<double>(refs) : 0.0;
+}
+
+double
+ProcStats::l2GlobalMissRate() const
+{
+    std::uint64_t m = l2Misses.total();
+    std::uint64_t refs = reads + assumedHitReads;
+    return refs ? static_cast<double>(m) / static_cast<double>(refs) : 0.0;
+}
+
+ProcStats &
+ProcStats::operator+=(const ProcStats &o)
+{
+    busy += o.busy;
+    memStall += o.memStall;
+    syncStall += o.syncStall;
+    for (std::size_t g = 0; g < kNumClassGroups; ++g)
+        memStallByGroup[g] += o.memStallByGroup[g];
+    reads += o.reads;
+    writes += o.writes;
+    assumedHitReads += o.assumedHitReads;
+    l1Hits += o.l1Hits;
+    l2Accesses += o.l2Accesses;
+    l2Hits += o.l2Hits;
+    wbOverflows += o.wbOverflows;
+    prefetchesIssued += o.prefetchesIssued;
+    prefetchesUseful += o.prefetchesUseful;
+    l1Misses += o.l1Misses;
+    l2Misses += o.l2Misses;
+    return *this;
+}
+
+ProcStats
+SimStats::aggregate() const
+{
+    ProcStats out;
+    for (const ProcStats &p : procs)
+        out += p;
+    return out;
+}
+
+Cycles
+SimStats::executionTime() const
+{
+    Cycles t = 0;
+    for (const ProcStats &p : procs)
+        t = std::max(t, p.totalCycles());
+    return t;
+}
+
+} // namespace sim
+} // namespace dss

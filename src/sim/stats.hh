@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Simulation statistics, organized to regenerate the paper's figures:
+ * execution-time breakdown (Busy/Mem/MSync, Fig 6a), memory-stall
+ * decomposition by structure group (Fig 6b, 9, 11), and read-miss counts
+ * per cache level x data class x miss type (Fig 7, 8, 10, 12).
+ */
+
+#ifndef DSS_SIM_STATS_HH
+#define DSS_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/addr.hh"
+#include "sim/cache.hh"
+
+namespace dss {
+namespace sim {
+
+/** Read-miss counters for one cache level. */
+struct MissTable
+{
+    std::array<std::array<std::uint64_t, kNumMissTypes>, kNumDataClasses>
+        count = {};
+
+    void
+    add(DataClass c, MissType t, std::uint64_t n = 1)
+    {
+        count[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)] += n;
+    }
+
+    std::uint64_t
+    of(DataClass c, MissType t) const
+    {
+        return count[static_cast<std::size_t>(c)][static_cast<std::size_t>(t)];
+    }
+
+    std::uint64_t byClass(DataClass c) const;
+    std::uint64_t byGroup(ClassGroup g) const;
+    std::uint64_t byGroupAndType(ClassGroup g, MissType t) const;
+    std::uint64_t total() const;
+
+    MissTable &operator+=(const MissTable &o);
+};
+
+/** Per-processor statistics. */
+struct ProcStats
+{
+    Cycles busy = 0;      ///< issue + compute cycles
+    Cycles memStall = 0;  ///< read-miss + write-buffer-overflow stall
+    Cycles syncStall = 0; ///< metalock acquire/spin/release time (MSync)
+
+    /** Mem stall attributed to the structure group missed on (Fig 6b). */
+    std::array<Cycles, kNumClassGroups> memStallByGroup = {};
+
+    std::uint64_t reads = 0;   ///< traced loads issued
+    std::uint64_t writes = 0;  ///< traced stores issued
+
+    /**
+     * References to private stack/static data, which the paper's scaling
+     * methodology assumes always hit (Section 4.2). They are not traced;
+     * the Machine infers them from Busy time (about one reference per
+     * three instructions) so miss *rates* use the same denominator the
+     * paper's do.
+     */
+    std::uint64_t assumedHitReads = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Accesses = 0; ///< L1 read misses reaching the L2
+    std::uint64_t l2Hits = 0;
+    std::uint64_t wbOverflows = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0; ///< prefetched lines hit before evict
+
+    MissTable l1Misses; ///< read misses in the primary cache
+    MissTable l2Misses; ///< read misses in the secondary cache
+
+    Cycles totalCycles() const { return busy + memStall + syncStall; }
+
+    /** PMem of Figs 9/11: stall on private structures. */
+    Cycles pmem() const
+    {
+        return memStallByGroup[static_cast<std::size_t>(ClassGroup::Priv)];
+    }
+
+    /** SMem of Figs 9/11: stall on shared structures. */
+    Cycles smem() const { return memStall - pmem(); }
+
+    /** Primary-cache read miss rate (paper Section 5.1). */
+    double l1MissRate() const;
+
+    /** Secondary-cache global miss rate: L2 misses / all loads. */
+    double l2GlobalMissRate() const;
+
+    ProcStats &operator+=(const ProcStats &o);
+};
+
+/** Whole-machine statistics for one simulated run. */
+struct SimStats
+{
+    std::vector<ProcStats> procs;
+
+    /** Sum over processors. */
+    ProcStats aggregate() const;
+
+    /** Longest processor time = parallel execution time. */
+    Cycles executionTime() const;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_STATS_HH

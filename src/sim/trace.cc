@@ -1,0 +1,34 @@
+#include "sim/trace.hh"
+
+namespace dss {
+namespace sim {
+
+TraceStream::Counts
+TraceStream::counts() const
+{
+    Counts c;
+    for (const TraceEntry &e : entries_) {
+        switch (e.op) {
+          case Op::Read:
+            ++c.reads;
+            ++c.readsByClass[static_cast<std::size_t>(e.cls)];
+            break;
+          case Op::Write:
+            ++c.writes;
+            ++c.writesByClass[static_cast<std::size_t>(e.cls)];
+            break;
+          case Op::Busy:
+            c.busyCycles += e.extra;
+            break;
+          case Op::LockAcq:
+            ++c.lockAcqs;
+            break;
+          case Op::LockRel:
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace sim
+} // namespace dss

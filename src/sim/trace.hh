@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Memory-reference traces.
+ *
+ * The DBMS engine executes for real against MemArena storage and emits one
+ * TraceEntry per load/store to traced structures, plus Busy entries for
+ * compute cycles and LockAcq/LockRel markers for metalock operations.
+ *
+ * Because the TPC-D queries studied are read-only, each processor's
+ * reference stream is independent of the multiprocessor interleaving (the
+ * paper makes the same observation); only metalock *timing* is
+ * interleaving-dependent and it is replayed dynamically by the Machine.
+ * This lets us capture per-processor streams once and reuse them across
+ * every architecture configuration (line-size sweeps, cache-size sweeps,
+ * prefetching, warm starts).
+ */
+
+#ifndef DSS_SIM_TRACE_HH
+#define DSS_SIM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+/** Kind of trace event. */
+enum class Op : std::uint8_t {
+    Read,    ///< Data load of `size` bytes at `addr`
+    Write,   ///< Data store of `size` bytes at `addr`
+    Busy,    ///< `extra` cycles of pure compute
+    LockAcq, ///< Metalock acquire on the lock word at `addr`
+    LockRel  ///< Metalock release on the lock word at `addr`
+};
+
+/** One trace event. Kept at 16 bytes; streams run to millions of entries. */
+struct TraceEntry
+{
+    Addr addr;          ///< Target address (unused for Busy)
+    std::uint32_t extra; ///< Busy cycles (Busy) / reserved otherwise
+    Op op;
+    DataClass cls;      ///< Software structure tag (captured at trace time)
+    std::uint8_t size;  ///< Access width in bytes
+
+    static TraceEntry
+    read(Addr a, DataClass c, std::uint8_t sz)
+    {
+        return {a, 0, Op::Read, c, sz};
+    }
+
+    static TraceEntry
+    write(Addr a, DataClass c, std::uint8_t sz)
+    {
+        return {a, 0, Op::Write, c, sz};
+    }
+
+    static TraceEntry
+    busy(std::uint32_t cycles)
+    {
+        return {0, cycles, Op::Busy, DataClass::Priv, 0};
+    }
+
+    static TraceEntry
+    lockAcq(Addr a, DataClass c)
+    {
+        return {a, 0, Op::LockAcq, c, 8};
+    }
+
+    static TraceEntry
+    lockRel(Addr a, DataClass c)
+    {
+        return {a, 0, Op::LockRel, c, 8};
+    }
+};
+
+static_assert(sizeof(TraceEntry) == 16, "keep trace entries compact");
+
+/** Sink interface the DBMS writes trace events into. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEntry &e) = 0;
+};
+
+/** Sink that drops everything (run the engine without tracing). */
+class NullSink final : public TraceSink
+{
+  public:
+    void record(const TraceEntry &) override {}
+};
+
+/**
+ * In-memory per-processor trace stream. Consecutive Busy entries are
+ * coalesced on the fly to keep streams compact.
+ */
+class TraceStream final : public TraceSink
+{
+  public:
+    void
+    record(const TraceEntry &e) override
+    {
+        if (e.op == Op::Busy) {
+            if (!entries_.empty() && entries_.back().op == Op::Busy) {
+                entries_.back().extra += e.extra;
+                return;
+            }
+            if (e.extra == 0)
+                return;
+        }
+        entries_.push_back(e);
+    }
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+
+    /** Summary counters, useful for tests and sanity checks. */
+    struct Counts
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t busyCycles = 0;
+        std::uint64_t lockAcqs = 0;
+        std::uint64_t readsByClass[kNumDataClasses] = {};
+        std::uint64_t writesByClass[kNumDataClasses] = {};
+    };
+
+    Counts counts() const;
+
+  private:
+    std::vector<TraceEntry> entries_;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_TRACE_HH

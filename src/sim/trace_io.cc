@@ -1,0 +1,110 @@
+#include "sim/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace dss {
+namespace sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'S', 'T', 'R', 'C', '0', '1'};
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v;
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        throw std::runtime_error("trace file truncated");
+    return v;
+}
+
+void
+validate(const TraceEntry &e)
+{
+    switch (e.op) {
+      case Op::Read:
+      case Op::Write:
+      case Op::Busy:
+      case Op::LockAcq:
+      case Op::LockRel:
+        break;
+      default:
+        throw std::runtime_error("trace file: bad op code");
+    }
+    if (static_cast<std::size_t>(e.cls) >= kNumDataClasses)
+        throw std::runtime_error("trace file: bad data class");
+}
+
+} // namespace
+
+void
+saveTraces(std::ostream &os, const std::vector<TraceStream> &streams)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(streams.size()));
+    for (const TraceStream &s : streams) {
+        writePod<std::uint64_t>(os, s.size());
+        const auto &entries = s.entries();
+        os.write(reinterpret_cast<const char *>(entries.data()),
+                 static_cast<std::streamsize>(entries.size() *
+                                              sizeof(TraceEntry)));
+    }
+    if (!os)
+        throw std::runtime_error("trace save failed");
+}
+
+std::vector<TraceStream>
+loadTraces(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("not a dss trace file (bad magic)");
+
+    auto nstreams = readPod<std::uint32_t>(is);
+    std::vector<TraceStream> out(nstreams);
+    for (std::uint32_t i = 0; i < nstreams; ++i) {
+        auto n = readPod<std::uint64_t>(is);
+        for (std::uint64_t j = 0; j < n; ++j) {
+            auto e = readPod<TraceEntry>(is);
+            validate(e);
+            // Use record() so an already-coalesced stream round-trips
+            // to identical contents.
+            out[i].record(e);
+        }
+    }
+    return out;
+}
+
+void
+saveTracesFile(const std::string &path,
+               const std::vector<TraceStream> &streams)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    saveTraces(os, streams);
+}
+
+std::vector<TraceStream>
+loadTracesFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    return loadTraces(is);
+}
+
+} // namespace sim
+} // namespace dss

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trace (de)serialization.
+ *
+ * The engine-side trace capture is fast, but users studying many machine
+ * configurations may want to capture per-processor streams once and
+ * re-simulate them elsewhere. The format is a small self-describing
+ * binary container: a magic/version header, the stream count, then each
+ * stream as an entry count followed by packed TraceEntry records.
+ */
+
+#ifndef DSS_SIM_TRACE_IO_HH
+#define DSS_SIM_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace dss {
+namespace sim {
+
+/** Write @p streams to @p os. Throws std::runtime_error on I/O failure. */
+void saveTraces(std::ostream &os, const std::vector<TraceStream> &streams);
+
+/** Read streams previously written by saveTraces(). Throws on a bad
+ * magic, version mismatch, truncation, or malformed entries. */
+std::vector<TraceStream> loadTraces(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveTracesFile(const std::string &path,
+                    const std::vector<TraceStream> &streams);
+std::vector<TraceStream> loadTracesFile(const std::string &path);
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_TRACE_IO_HH

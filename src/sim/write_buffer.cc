@@ -1,0 +1,59 @@
+#include "sim/write_buffer.hh"
+
+#include <algorithm>
+
+namespace dss {
+namespace sim {
+
+void
+WriteBuffer::retireUpTo(Cycles now)
+{
+    while (!pending_.empty() && pending_.front().retireAt <= now)
+        pending_.pop_front();
+}
+
+Cycles
+WriteBuffer::push(Cycles now, Cycles drain_latency, Addr line_addr)
+{
+    retireUpTo(now);
+    Cycles stall = 0;
+    if (pending_.size() >= capacity_) {
+        // Overflow: the processor waits for the oldest store to retire.
+        stall = pending_.front().retireAt - now;
+        now = pending_.front().retireAt;
+        pending_.pop_front();
+    }
+    Cycles start = std::max(lastRetire_, now);
+    Cycles retire = start + drain_latency;
+    lastRetire_ = retire;
+    pending_.push_back({retire, line_addr});
+    return stall;
+}
+
+bool
+WriteBuffer::containsLine(Addr line_addr, Cycles now)
+{
+    retireUpTo(now);
+    for (const Pending &p : pending_) {
+        if (p.lineAddr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+WriteBuffer::occupancy(Cycles now)
+{
+    retireUpTo(now);
+    return pending_.size();
+}
+
+void
+WriteBuffer::reset()
+{
+    pending_.clear();
+    lastRetire_ = 0;
+}
+
+} // namespace sim
+} // namespace dss

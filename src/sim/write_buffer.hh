@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-processor write buffer (16 entries in the baseline machine).
+ *
+ * The paper's processors do not stall on stores: stores enter a write
+ * buffer that drains to the memory system in FIFO order, one transaction at
+ * a time. The processor stalls only when it issues a store and the buffer
+ * is full (write-buffer overflow), which the paper counts as Mem time.
+ *
+ * The *state* effect of a store (marking lines dirty, invalidating other
+ * processors' copies) is applied by the Machine at issue time; this class
+ * models only the occupancy/timing side.
+ */
+
+#ifndef DSS_SIM_WRITE_BUFFER_HH
+#define DSS_SIM_WRITE_BUFFER_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(std::size_t capacity = 16) : capacity_(capacity) {}
+
+    /**
+     * Issue a store to @p line_addr at time @p now whose drain transaction
+     * costs @p drain_latency cycles.
+     *
+     * @return processor stall cycles (non-zero only on overflow).
+     */
+    Cycles push(Cycles now, Cycles drain_latency, Addr line_addr);
+
+    /**
+     * True if a store to @p line_addr is still buffered at @p now
+     * (loads check the buffer before the caches).
+     */
+    bool containsLine(Addr line_addr, Cycles now);
+
+    /** Number of stores still in flight at @p now. */
+    std::size_t occupancy(Cycles now);
+
+    /** Drop all pending stores (cold start). */
+    void reset();
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Pending
+    {
+        Cycles retireAt;
+        Addr lineAddr;
+    };
+
+    void retireUpTo(Cycles now);
+
+    std::size_t capacity_;
+    std::deque<Pending> pending_;
+    Cycles lastRetire_ = 0;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_WRITE_BUFFER_HH

@@ -1,0 +1,377 @@
+#include "tpcd/dbgen.hh"
+
+#include <array>
+#include <string>
+
+#include "tpcd/rng.hh"
+
+namespace dss {
+namespace tpcd {
+
+using db::AttrType;
+using db::Datum;
+using db::Schema;
+
+const char *const kMktSegments[5] = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+};
+
+const char *const kShipModes[7] = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB",
+};
+
+const char *const kOrderPriorities[5] = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW",
+};
+
+namespace {
+
+const char *const kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+};
+
+const char *const kRegions[5] = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST",
+};
+
+const char *const kPartTypes[6] = {
+    "STANDARD BRASS", "SMALL COPPER", "MEDIUM NICKEL",
+    "LARGE STEEL", "ECONOMY TIN", "PROMO ANODIZED",
+};
+
+const char *const kContainers[5] = {
+    "SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG", "WRAP BAG",
+};
+
+using Rng = SplitMix64;
+
+std::string
+padNum(const char *prefix, std::int64_t n)
+{
+    return std::string(prefix) + std::to_string(n);
+}
+
+} // namespace
+
+std::int32_t
+dateNum(int year, int month, int day)
+{
+    static const int cum[12] = {0,   31,  59,  90,  120, 151,
+                                181, 212, 243, 273, 304, 334};
+    std::int32_t days = 0;
+    for (int y = 1992; y < year; ++y) {
+        bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+        days += leap ? 366 : 365;
+    }
+    days += cum[month - 1];
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    if (leap && month > 2)
+        ++days;
+    return days + day - 1;
+}
+
+TpcdDb::TpcdDb(const ScaleConfig &scale, unsigned nprocs, std::uint64_t seed)
+    : scale_(scale)
+{
+    // Size arenas for the population: heap + indices fit comfortably in
+    // 4x the raw data estimate; private heaps hold per-query temps.
+    const std::size_t approx_rows =
+        scale.orders() * (1 + scale.maxLinesPerOrder) + scale.customers +
+        scale.parts * (1 + scale.partsuppPerPart) + scale.suppliers + 64;
+    const std::size_t shared_bytes =
+        std::max<std::size_t>(8u << 20, approx_rows * 256 * 2);
+    const std::size_t private_bytes =
+        std::max<std::size_t>(16u << 20, approx_rows * 64);
+
+    space_ = std::make_unique<sim::AddressSpace>(nprocs, shared_bytes,
+                                                 private_bytes);
+    nullSink_ = std::make_unique<sim::NullSink>();
+    db::TracedMemory setup(*space_, 0, *nullSink_);
+
+    const unsigned max_blocks = static_cast<unsigned>(
+        shared_bytes / db::kPageBytes);
+    bufmgr_ = std::make_unique<db::BufferManager>(setup, max_blocks);
+    lockmgr_ = std::make_unique<db::LockManager>(setup, 256, 4096);
+    catalog_ = std::make_unique<db::Catalog>(*bufmgr_, *lockmgr_);
+
+    Rng rng(seed);
+
+    // ---- region / nation -------------------------------------------------
+    {
+        Schema s;
+        s.add("r_regionkey", AttrType::Int32)
+            .add("r_name", AttrType::Char, 25)
+            .add("r_comment", AttrType::Char, 80);
+        region = catalog_->createTable(setup, "region", s);
+        for (int r = 0; r < 5; ++r) {
+            catalog_->insert(setup, region,
+                             {Datum{std::int64_t{r}}, Datum{kRegions[r]},
+                              Datum{std::string("region comment")}});
+        }
+    }
+    {
+        Schema s;
+        s.add("n_nationkey", AttrType::Int32)
+            .add("n_name", AttrType::Char, 25)
+            .add("n_regionkey", AttrType::Int32)
+            .add("n_comment", AttrType::Char, 80);
+        nation = catalog_->createTable(setup, "nation", s);
+        for (int n = 0; n < 25; ++n) {
+            catalog_->insert(setup, nation,
+                             {Datum{std::int64_t{n}}, Datum{kNations[n]},
+                              Datum{std::int64_t{n % 5}},
+                              Datum{std::string("nation comment")}});
+        }
+    }
+
+    // ---- supplier ---------------------------------------------------------
+    {
+        Schema s;
+        s.add("s_suppkey", AttrType::Int32)
+            .add("s_name", AttrType::Char, 25)
+            .add("s_address", AttrType::Char, 40)
+            .add("s_nationkey", AttrType::Int32)
+            .add("s_phone", AttrType::Char, 15)
+            .add("s_acctbal", AttrType::Double)
+            .add("s_comment", AttrType::Char, 40);
+        supplier = catalog_->createTable(setup, "supplier", s);
+        for (unsigned i = 1; i <= scale_.suppliers; ++i) {
+            catalog_->insert(
+                setup, supplier,
+                {Datum{std::int64_t{i}}, Datum{padNum("Supplier#", i)},
+                 Datum{padNum("Address ", rng.range(1, 99999))},
+                 Datum{rng.range(0, 24)},
+                 Datum{padNum("27-", rng.range(1000000, 9999999))},
+                 Datum{rng.money(-999.99, 9999.99)},
+                 Datum{std::string("supplier comment")}});
+        }
+    }
+
+    // ---- part / partsupp --------------------------------------------------
+    {
+        Schema s;
+        s.add("p_partkey", AttrType::Int32)
+            .add("p_name", AttrType::Char, 35)
+            .add("p_mfgr", AttrType::Char, 25)
+            .add("p_brand", AttrType::Char, 10)
+            .add("p_type", AttrType::Char, 25)
+            .add("p_size", AttrType::Int32)
+            .add("p_container", AttrType::Char, 10)
+            .add("p_retailprice", AttrType::Double)
+            .add("p_comment", AttrType::Char, 23);
+        part = catalog_->createTable(setup, "part", s);
+        for (unsigned i = 1; i <= scale_.parts; ++i) {
+            catalog_->insert(
+                setup, part,
+                {Datum{std::int64_t{i}}, Datum{padNum("Part#", i)},
+                 Datum{padNum("Manufacturer#", rng.range(1, 5))},
+                 Datum{padNum("Brand#", rng.range(11, 55))},
+                 Datum{kPartTypes[rng.range(0, 5)]},
+                 Datum{rng.range(1, 50)},
+                 Datum{kContainers[rng.range(0, 4)]},
+                 Datum{900.0 + (i % 1000) + rng.money(0, 100)},
+                 Datum{std::string("part comment")}});
+        }
+    }
+    {
+        Schema s;
+        s.add("ps_partkey", AttrType::Int32)
+            .add("ps_suppkey", AttrType::Int32)
+            .add("ps_availqty", AttrType::Int32)
+            .add("ps_supplycost", AttrType::Double)
+            .add("ps_comment", AttrType::Char, 60);
+        partsupp = catalog_->createTable(setup, "partsupp", s);
+        for (unsigned p = 1; p <= scale_.parts; ++p) {
+            for (unsigned j = 0; j < scale_.partsuppPerPart; ++j) {
+                catalog_->insert(
+                    setup, partsupp,
+                    {Datum{std::int64_t{p}},
+                     Datum{rng.range(1, scale_.suppliers)},
+                     Datum{rng.range(1, 9999)},
+                     Datum{rng.money(1.00, 1000.00)},
+                     Datum{std::string("partsupp comment")}});
+            }
+        }
+    }
+
+    // ---- customer ---------------------------------------------------------
+    {
+        Schema s;
+        s.add("c_custkey", AttrType::Int32)
+            .add("c_name", AttrType::Char, 18)
+            .add("c_address", AttrType::Char, 40)
+            .add("c_nationkey", AttrType::Int32)
+            .add("c_phone", AttrType::Char, 15)
+            .add("c_acctbal", AttrType::Double)
+            .add("c_mktsegment", AttrType::Char, 10)
+            .add("c_comment", AttrType::Char, 60);
+        customer = catalog_->createTable(setup, "customer", s);
+        for (unsigned i = 1; i <= scale_.customers; ++i) {
+            catalog_->insert(
+                setup, customer,
+                {Datum{std::int64_t{i}}, Datum{padNum("Customer#", i)},
+                 Datum{padNum("Address ", rng.range(1, 99999))},
+                 Datum{rng.range(0, 24)},
+                 Datum{padNum("13-", rng.range(1000000, 9999999))},
+                 Datum{rng.money(-999.99, 9999.99)},
+                 Datum{kMktSegments[rng.range(0, 4)]},
+                 Datum{std::string("customer comment")}});
+        }
+    }
+
+    // ---- orders / lineitem -------------------------------------------------
+    // TPC-D order dates span [1992-01-01, 1998-08-02 - 151 days].
+    const std::int32_t o_lo = dateNum(1992, 1, 1);
+    const std::int32_t o_hi = dateNum(1998, 8, 2) - 151;
+    {
+        Schema so;
+        so.add("o_orderkey", AttrType::Int32)
+            .add("o_custkey", AttrType::Int32)
+            .add("o_orderstatus", AttrType::Char, 1)
+            .add("o_totalprice", AttrType::Double)
+            .add("o_orderdate", AttrType::Date)
+            .add("o_orderpriority", AttrType::Char, 15)
+            .add("o_clerk", AttrType::Char, 15)
+            .add("o_shippriority", AttrType::Int32)
+            .add("o_comment", AttrType::Char, 49);
+        orders = catalog_->createTable(setup, "orders", so);
+
+        Schema sl;
+        sl.add("l_orderkey", AttrType::Int32)
+            .add("l_partkey", AttrType::Int32)
+            .add("l_suppkey", AttrType::Int32)
+            .add("l_linenumber", AttrType::Int32)
+            .add("l_quantity", AttrType::Double)
+            .add("l_extendedprice", AttrType::Double)
+            .add("l_discount", AttrType::Double)
+            .add("l_tax", AttrType::Double)
+            .add("l_returnflag", AttrType::Char, 1)
+            .add("l_linestatus", AttrType::Char, 1)
+            .add("l_shipdate", AttrType::Date)
+            .add("l_commitdate", AttrType::Date)
+            .add("l_receiptdate", AttrType::Date)
+            .add("l_shipinstruct", AttrType::Char, 25)
+            .add("l_shipmode", AttrType::Char, 10)
+            .add("l_comment", AttrType::Char, 27);
+        lineitem = catalog_->createTable(setup, "lineitem", sl);
+
+        const std::int32_t today = dateNum(1995, 6, 17); // TPC-D CURRENTDATE
+        for (unsigned o = 1; o <= scale_.orders(); ++o) {
+            const std::int64_t custkey = rng.range(1, scale_.customers);
+            const auto odate = static_cast<std::int32_t>(
+                rng.range(o_lo, o_hi));
+            const auto nlines = static_cast<unsigned>(
+                rng.range(1, scale_.maxLinesPerOrder));
+
+            double total = 0.0;
+            int shipped = 0;
+            struct Line
+            {
+                std::int64_t partkey, suppkey, quantity;
+                double price, disc, tax;
+                std::int32_t sdate, cdate, rdate;
+                const char *mode;
+            };
+            std::vector<Line> lines(nlines);
+            for (unsigned l = 0; l < nlines; ++l) {
+                Line &ln = lines[l];
+                ln.partkey = rng.range(1, scale_.parts);
+                ln.suppkey = rng.range(1, scale_.suppliers);
+                ln.quantity = rng.range(1, 50);
+                ln.disc = static_cast<double>(rng.range(0, 10)) / 100.0;
+                ln.tax = static_cast<double>(rng.range(0, 8)) / 100.0;
+                ln.price = static_cast<double>(ln.quantity) *
+                           (900.0 + static_cast<double>(ln.partkey % 1000));
+                ln.sdate = odate + static_cast<std::int32_t>(
+                                       rng.range(1, 121));
+                ln.cdate = odate + static_cast<std::int32_t>(
+                                       rng.range(30, 90));
+                ln.rdate = ln.sdate + static_cast<std::int32_t>(
+                                          rng.range(1, 30));
+                ln.mode = kShipModes[rng.range(0, 6)];
+                total += ln.price * (1 - ln.disc) * (1 + ln.tax);
+                if (ln.sdate <= today)
+                    ++shipped;
+            }
+            const char *status = shipped == 0              ? "O"
+                                 : shipped == static_cast<int>(nlines) ? "F"
+                                                                       : "P";
+            catalog_->insert(
+                setup, orders,
+                {Datum{std::int64_t{o}}, Datum{custkey}, Datum{status},
+                 Datum{total}, Datum{std::int64_t{odate}},
+                 Datum{kOrderPriorities[rng.range(0, 4)]},
+                 Datum{padNum("Clerk#", rng.range(1, 1000))},
+                 Datum{std::int64_t{0}},
+                 Datum{std::string("order comment")}});
+
+            for (unsigned l = 0; l < nlines; ++l) {
+                const Line &ln = lines[l];
+                const char *rf = ln.rdate <= today
+                                     ? (rng.range(0, 1) ? "R" : "A")
+                                     : "N";
+                catalog_->insert(
+                    setup, lineitem,
+                    {Datum{std::int64_t{o}}, Datum{ln.partkey},
+                     Datum{ln.suppkey}, Datum{std::int64_t{l + 1}},
+                     Datum{static_cast<double>(ln.quantity)},
+                     Datum{ln.price}, Datum{ln.disc}, Datum{ln.tax},
+                     Datum{rf}, Datum{ln.sdate <= today ? "F" : "O"},
+                     Datum{std::int64_t{ln.sdate}},
+                     Datum{std::int64_t{ln.cdate}},
+                     Datum{std::int64_t{ln.rdate}},
+                     Datum{std::string("DELIVER IN PERSON")},
+                     Datum{ln.mode},
+                     Datum{std::string("lineitem comment")}});
+            }
+        }
+    }
+
+    // ---- indices ------------------------------------------------------------
+    auto attr_of = [&](db::RelId rel, const char *name) {
+        return catalog_->relation(rel).schema.indexOf(name);
+    };
+    idxCustomerKey = catalog_->createIndex(setup, "customer_custkey",
+                                           customer,
+                                           attr_of(customer, "c_custkey"));
+    idxCustomerSegment = catalog_->createIndex(
+        setup, "customer_mktsegment", customer,
+        attr_of(customer, "c_mktsegment"));
+    idxOrdersKey = catalog_->createIndex(setup, "orders_orderkey", orders,
+                                         attr_of(orders, "o_orderkey"));
+    idxOrdersCust = catalog_->createIndex(setup, "orders_custkey", orders,
+                                          attr_of(orders, "o_custkey"));
+    idxOrdersDate = catalog_->createIndex(setup, "orders_orderdate", orders,
+                                          attr_of(orders, "o_orderdate"));
+    idxLineitemOrder = catalog_->createIndex(
+        setup, "lineitem_orderkey", lineitem,
+        attr_of(lineitem, "l_orderkey"));
+    idxLineitemPart = catalog_->createIndex(setup, "lineitem_partkey",
+                                            lineitem,
+                                            attr_of(lineitem, "l_partkey"));
+    idxPartKey = catalog_->createIndex(setup, "part_partkey", part,
+                                       attr_of(part, "p_partkey"));
+    idxSupplierKey = catalog_->createIndex(setup, "supplier_suppkey",
+                                           supplier,
+                                           attr_of(supplier, "s_suppkey"));
+    idxPartsuppPart = catalog_->createIndex(setup, "partsupp_partkey",
+                                            partsupp,
+                                            attr_of(partsupp, "ps_partkey"));
+    idxNationKey = catalog_->createIndex(setup, "nation_nationkey", nation,
+                                         attr_of(nation, "n_nationkey"));
+
+    nextOrderKey = static_cast<std::int64_t>(scale_.orders()) + 1;
+}
+
+std::size_t
+TpcdDb::dataBytes() const
+{
+    return static_cast<std::size_t>(bufmgr_->numBlocks()) * db::kPageBytes;
+}
+
+} // namespace tpcd
+} // namespace dss

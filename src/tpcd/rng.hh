@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SplitMix64: the deterministic generator behind the population generator
+ * (dbgen), the query-parameter picks, and the update functions.
+ */
+
+#ifndef DSS_TPCD_RNG_HH
+#define DSS_TPCD_RNG_HH
+
+#include <cstdint>
+
+namespace dss {
+namespace tpcd {
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        next() % static_cast<std::uint64_t>(hi - lo + 1));
+    }
+
+    /** Uniform money value in [lo, hi], 4-digit granularity. */
+    double
+    money(double lo, double hi)
+    {
+        return lo +
+               (hi - lo) * (static_cast<double>(next() % 10000) / 10000.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace tpcd
+} // namespace dss
+
+#endif // DSS_TPCD_RNG_HH

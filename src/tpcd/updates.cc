@@ -1,0 +1,108 @@
+#include "tpcd/updates.hh"
+
+#include "tpcd/rng.hh"
+
+namespace dss {
+namespace tpcd {
+
+using db::Datum;
+
+UpdateStats
+runUF1(TpcdDb &d, db::ExecContext &ctx, unsigned order_count,
+       std::uint64_t seed)
+{
+    SplitMix64 rng(seed ^ 0x5f1u);
+    const ScaleConfig &scale = d.scale();
+    const std::int32_t o_lo = dateNum(1992, 1, 1);
+    const std::int32_t o_hi = dateNum(1998, 8, 2) - 151;
+    const std::int32_t today = dateNum(1995, 6, 17);
+
+    UpdateStats stats;
+    for (unsigned i = 0; i < order_count; ++i) {
+        const std::int64_t orderkey = d.nextOrderKey++;
+        const std::int64_t custkey = rng.range(1, scale.customers);
+        const auto odate = static_cast<std::int32_t>(rng.range(o_lo, o_hi));
+        const auto nlines =
+            static_cast<unsigned>(rng.range(1, scale.maxLinesPerOrder));
+
+        // The order statement: relation write lock, insert, unlock.
+        db::lockForWrite(ctx, d.orders);
+        db::heapInsert(
+            ctx, d.orders,
+            {Datum{orderkey}, Datum{custkey}, Datum{std::string("O")},
+             Datum{0.0}, Datum{std::int64_t{odate}},
+             Datum{std::string(kOrderPriorities[rng.range(0, 4)])},
+             Datum{"Clerk#" + std::to_string(rng.range(1, 1000))},
+             Datum{std::int64_t{0}},
+             Datum{std::string("uf1 order")}});
+        db::unlockWrite(ctx, d.orders);
+        ++stats.orders;
+
+        // The lineitem statement for this order.
+        db::lockForWrite(ctx, d.lineitem);
+        for (unsigned l = 0; l < nlines; ++l) {
+            const std::int64_t partkey = rng.range(1, scale.parts);
+            const std::int64_t qty = rng.range(1, 50);
+            const double price =
+                static_cast<double>(qty) *
+                (900.0 + static_cast<double>(partkey % 1000));
+            const auto sdate =
+                odate + static_cast<std::int32_t>(rng.range(1, 121));
+            db::heapInsert(
+                ctx, d.lineitem,
+                {Datum{orderkey}, Datum{partkey},
+                 Datum{rng.range(1, scale.suppliers)},
+                 Datum{std::int64_t{l + 1}},
+                 Datum{static_cast<double>(qty)}, Datum{price},
+                 Datum{static_cast<double>(rng.range(0, 10)) / 100.0},
+                 Datum{static_cast<double>(rng.range(0, 8)) / 100.0},
+                 Datum{std::string("N")},
+                 Datum{std::string(sdate <= today ? "F" : "O")},
+                 Datum{std::int64_t{sdate}},
+                 Datum{std::int64_t{
+                     odate + static_cast<std::int32_t>(rng.range(30, 90))}},
+                 Datum{std::int64_t{
+                     sdate + static_cast<std::int32_t>(rng.range(1, 30))}},
+                 Datum{std::string("DELIVER IN PERSON")},
+                 Datum{std::string(kShipModes[rng.range(0, 6)])},
+                 Datum{std::string("uf1 lineitem")}});
+            ++stats.lineitems;
+        }
+        db::unlockWrite(ctx, d.lineitem);
+    }
+    return stats;
+}
+
+UpdateStats
+runUF2(TpcdDb &d, db::ExecContext &ctx, unsigned order_count)
+{
+    const db::BTree &order_idx = d.catalog().index(d.idxOrdersKey);
+    const db::BTree &li_idx = d.catalog().index(d.idxLineitemOrder);
+
+    UpdateStats stats;
+    db::BTree::Cursor c = order_idx.seek(ctx.mem, 0);
+    std::int64_t key;
+    db::Tid tid;
+    while (stats.orders < order_count && c.next(ctx.mem, key, tid)) {
+        // The order statement.
+        db::lockForWrite(ctx, d.orders);
+        bool was_live = db::heapDelete(ctx, d.orders, tid);
+        db::unlockWrite(ctx, d.orders);
+        if (!was_live)
+            continue; // stale index entry from an earlier UF2
+        ++stats.orders;
+
+        // The lineitem statement: delete this order's lines via the index.
+        db::lockForWrite(ctx, d.lineitem);
+        for (const db::Tid &lt : li_idx.lookupAll(ctx.mem, key)) {
+            if (db::heapDelete(ctx, d.lineitem, lt))
+                ++stats.lineitems;
+        }
+        db::unlockWrite(ctx, d.lineitem);
+    }
+    c.close(ctx.mem);
+    return stats;
+}
+
+} // namespace tpcd
+} // namespace dss

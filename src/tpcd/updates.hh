@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The TPC-D update functions UF1 and UF2.
+ *
+ * The paper describes them (Section 2.2.2) but does not trace them:
+ * Postgres95's relation-level-only datalocks make write queries "much more
+ * demanding on the locking algorithm". We implement them over the runtime
+ * DML layer — relation write locks, traced heap appends/tombstones and
+ * B-tree maintenance — so their memory behaviour can be characterized
+ * (bench/ext_update_queries) and the locking limitation demonstrated.
+ *
+ * UF1 inserts new orders (each with 1..7 lineitems); UF2 deletes the
+ * lowest-keyed live orders and their lineitems. As with the read-only
+ * queries, semantics follow the TPC-D ratios and value domains.
+ */
+
+#ifndef DSS_TPCD_UPDATES_HH
+#define DSS_TPCD_UPDATES_HH
+
+#include "db/dml.hh"
+#include "tpcd/dbgen.hh"
+
+namespace dss {
+namespace tpcd {
+
+/** What an update function did (for checks and reports). */
+struct UpdateStats
+{
+    unsigned orders = 0;
+    unsigned lineitems = 0;
+};
+
+/**
+ * UF1: insert @p order_count new orders with their lineitems, maintaining
+ * every index. Takes relation write locks per statement.
+ */
+UpdateStats runUF1(TpcdDb &db, db::ExecContext &ctx, unsigned order_count,
+                   std::uint64_t seed);
+
+/**
+ * UF2: delete the @p order_count lowest-keyed live orders and their
+ * lineitems (tombstoning; index entries are cleaned lazily at scan time).
+ */
+UpdateStats runUF2(TpcdDb &db, db::ExecContext &ctx, unsigned order_count);
+
+} // namespace tpcd
+} // namespace dss
+
+#endif // DSS_TPCD_UPDATES_HH

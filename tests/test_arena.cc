@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for MemArena and AddressSpace (tagged simulated memory).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/arena.hh"
+
+namespace {
+
+using namespace dss::sim;
+
+TEST(MemArena, AllocReturnsAlignedAddressesInsideArena)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::MetaOther);
+    Addr x = a.alloc(100, DataClass::Data);
+    EXPECT_EQ(x % MemArena::kGranule, 0u);
+    EXPECT_TRUE(a.contains(x));
+    EXPECT_TRUE(a.contains(x + 99));
+}
+
+TEST(MemArena, AllocRespectsCustomAlignment)
+{
+    MemArena a("t", 0x1000, 1 << 20, DataClass::MetaOther);
+    a.alloc(10, DataClass::Data);
+    Addr x = a.alloc(100, DataClass::Data, 8192);
+    EXPECT_EQ(x % 8192, 0u);
+}
+
+TEST(MemArena, AllocationsDoNotOverlap)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::MetaOther);
+    Addr x = a.alloc(64, DataClass::Data);
+    Addr y = a.alloc(64, DataClass::Index);
+    EXPECT_GE(y, x + 64);
+}
+
+TEST(MemArena, OutOfCapacityThrows)
+{
+    MemArena a("t", 0x1000, 256, DataClass::MetaOther);
+    a.alloc(128, DataClass::Data);
+    EXPECT_THROW(a.alloc(256, DataClass::Data), std::runtime_error);
+}
+
+TEST(MemArena, ClassTagsFollowAllocations)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::MetaOther);
+    Addr d = a.alloc(64, DataClass::Data);
+    Addr i = a.alloc(64, DataClass::Index);
+    EXPECT_EQ(a.classOf(d), DataClass::Data);
+    EXPECT_EQ(a.classOf(d + 63), DataClass::Data);
+    EXPECT_EQ(a.classOf(i), DataClass::Index);
+}
+
+TEST(MemArena, SetClassRetagsRange)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::MetaOther);
+    Addr d = a.alloc(128, DataClass::Data);
+    a.setClass(d + 64, 64, DataClass::Index);
+    EXPECT_EQ(a.classOf(d), DataClass::Data);
+    EXPECT_EQ(a.classOf(d + 64), DataClass::Index);
+}
+
+TEST(MemArena, ClassOfOutsideRangeReturnsDefault)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::Priv);
+    EXPECT_EQ(a.classOf(0x10), DataClass::Priv);
+}
+
+TEST(MemArena, HostBackingIsReadableAndWritable)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::MetaOther);
+    Addr x = a.alloc(8, DataClass::Data);
+    *reinterpret_cast<std::uint64_t *>(a.host(x)) = 0xdeadbeef;
+    EXPECT_EQ(*reinterpret_cast<std::uint64_t *>(a.host(x)), 0xdeadbeefu);
+}
+
+TEST(MemArena, RewindReleasesAndReusesAddresses)
+{
+    MemArena a("t", 0x1000, 4096, DataClass::MetaOther);
+    std::size_t mark = a.used();
+    Addr x = a.alloc(64, DataClass::Data);
+    a.rewind(mark);
+    Addr y = a.alloc(64, DataClass::Data);
+    EXPECT_EQ(x, y);
+}
+
+TEST(AddressSpace, SharedAndPrivateAreDisjoint)
+{
+    AddressSpace as(4, 1 << 20, 1 << 20);
+    Addr s = as.shared().alloc(64, DataClass::Data);
+    Addr p = as.priv(0).alloc(64, DataClass::Priv);
+    EXPECT_TRUE(AddressSpace::isShared(s));
+    EXPECT_FALSE(AddressSpace::isShared(p));
+}
+
+TEST(AddressSpace, ArenaOfResolvesEveryArena)
+{
+    AddressSpace as(2, 1 << 20, 1 << 20);
+    Addr s = as.shared().alloc(64, DataClass::Data);
+    Addr p0 = as.priv(0).alloc(64, DataClass::Priv);
+    Addr p1 = as.priv(1).alloc(64, DataClass::Priv);
+    EXPECT_EQ(as.arenaOf(s), &as.shared());
+    EXPECT_EQ(as.arenaOf(p0), &as.priv(0));
+    EXPECT_EQ(as.arenaOf(p1), &as.priv(1));
+    EXPECT_EQ(as.arenaOf(0x42), nullptr);
+}
+
+TEST(AddressSpace, OwnerOfPrivateAddresses)
+{
+    AddressSpace as(4, 1 << 20, 1 << 20);
+    Addr p2 = as.priv(2).alloc(64, DataClass::Priv);
+    EXPECT_EQ(as.ownerOf(p2), 2u);
+    Addr s = as.shared().alloc(64, DataClass::Data);
+    EXPECT_EQ(as.ownerOf(s), as.nprocs());
+}
+
+TEST(AddressSpace, ClassOfDispatchesToOwningArena)
+{
+    AddressSpace as(2, 1 << 20, 1 << 20);
+    Addr s = as.shared().alloc(64, DataClass::Index);
+    Addr p = as.priv(1).alloc(64, DataClass::Priv);
+    EXPECT_EQ(as.classOf(s), DataClass::Index);
+    EXPECT_EQ(as.classOf(p), DataClass::Priv);
+}
+
+TEST(DataClassTaxonomy, GroupingMatchesPaperFigures)
+{
+    EXPECT_EQ(groupOf(DataClass::Priv), ClassGroup::Priv);
+    EXPECT_EQ(groupOf(DataClass::Data), ClassGroup::Data);
+    EXPECT_EQ(groupOf(DataClass::Index), ClassGroup::Index);
+    for (DataClass c : {DataClass::BufDesc, DataClass::BufLook,
+                        DataClass::LockHash, DataClass::XidHash,
+                        DataClass::LockSLock, DataClass::MetaOther}) {
+        EXPECT_EQ(groupOf(c), ClassGroup::Metadata);
+        EXPECT_TRUE(isMetadataClass(c));
+        EXPECT_TRUE(isSharedClass(c));
+    }
+    EXPECT_FALSE(isSharedClass(DataClass::Priv));
+    EXPECT_FALSE(isMetadataClass(DataClass::Data));
+}
+
+TEST(DataClassTaxonomy, NamesAreStable)
+{
+    EXPECT_EQ(dataClassName(DataClass::LockSLock), "LockSLock");
+    EXPECT_EQ(classGroupName(ClassGroup::Metadata), "Metadata");
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit and property tests for the B+-tree: bulk build, point/range
+ * lookups, duplicate keys, cursors, and buffer-manager discipline.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "db_test_util.hh"
+
+namespace {
+
+using namespace dss;
+using dss::test::MemFixture;
+
+struct BTreeFixture : MemFixture
+{
+    db::BufferManager bufmgr{mem, 2048};
+
+    std::unique_ptr<db::BTree>
+    build(const std::vector<db::BTree::Entry> &entries, db::RelId rel = 50)
+    {
+        auto t = std::make_unique<db::BTree>(rel, bufmgr);
+        t->build(mem, entries);
+        return t;
+    }
+
+    static std::vector<db::BTree::Entry>
+    denseEntries(int n)
+    {
+        std::vector<db::BTree::Entry> out;
+        out.reserve(n);
+        for (int i = 0; i < n; ++i) {
+            out.push_back({i, db::Tid{i / 100,
+                                      static_cast<std::uint16_t>(i % 100)}});
+        }
+        return out;
+    }
+};
+
+TEST(BTree, EmptyTreeSeeksClosed)
+{
+    BTreeFixture f;
+    auto t = f.build({});
+    db::BTree::Cursor c = t->seek(f.mem, 5);
+    EXPECT_FALSE(c.open());
+    EXPECT_TRUE(t->lookupAll(f.mem, 5).empty());
+}
+
+TEST(BTree, SingleEntryLookup)
+{
+    BTreeFixture f;
+    auto t = f.build({{42, db::Tid{3, 7}}});
+    std::vector<db::Tid> r = t->lookupAll(f.mem, 42);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].block, 3);
+    EXPECT_EQ(r[0].slot, 7);
+    EXPECT_TRUE(t->lookupAll(f.mem, 41).empty());
+    EXPECT_TRUE(t->lookupAll(f.mem, 43).empty());
+}
+
+TEST(BTree, BuildTwiceThrows)
+{
+    BTreeFixture f;
+    auto t = f.build({{1, db::Tid{0, 0}}});
+    EXPECT_THROW(t->build(f.mem, {}), std::runtime_error);
+}
+
+TEST(BTree, SingleLeafStaysHeightOne)
+{
+    BTreeFixture f;
+    auto t = f.build(BTreeFixture::denseEntries(100));
+    EXPECT_EQ(t->height(), 1);
+    EXPECT_EQ(t->numPages(), 1u);
+}
+
+TEST(BTree, LargeBuildGrowsLevels)
+{
+    BTreeFixture f;
+    auto t = f.build(BTreeFixture::denseEntries(5000));
+    EXPECT_GE(t->height(), 2);
+    EXPECT_GT(t->numPages(), 10u);
+}
+
+TEST(BTree, DuplicateKeysAllReturned)
+{
+    BTreeFixture f;
+    std::vector<db::BTree::Entry> e;
+    for (int i = 0; i < 50; ++i)
+        e.push_back({7, db::Tid{0, static_cast<std::uint16_t>(i)}});
+    for (int i = 0; i < 50; ++i)
+        e.push_back({9, db::Tid{1, static_cast<std::uint16_t>(i)}});
+    auto t = f.build(e);
+    EXPECT_EQ(t->lookupAll(f.mem, 7).size(), 50u);
+    EXPECT_EQ(t->lookupAll(f.mem, 9).size(), 50u);
+    EXPECT_TRUE(t->lookupAll(f.mem, 8).empty());
+}
+
+TEST(BTree, DuplicatesSpanningLeavesAllFound)
+{
+    BTreeFixture f;
+    // 1000 copies of one key forces the run across multiple leaves.
+    std::vector<db::BTree::Entry> e;
+    for (int i = 0; i < 1000; ++i)
+        e.push_back({5, db::Tid{i / 100,
+                                static_cast<std::uint16_t>(i % 100)}});
+    e.push_back({6, db::Tid{99, 0}});
+    auto t = f.build(e);
+    EXPECT_EQ(t->lookupAll(f.mem, 5).size(), 1000u);
+    EXPECT_EQ(t->lookupAll(f.mem, 6).size(), 1u);
+}
+
+TEST(BTree, SeekIsLowerBound)
+{
+    BTreeFixture f;
+    auto t = f.build({{10, db::Tid{0, 0}},
+                      {20, db::Tid{0, 1}},
+                      {30, db::Tid{0, 2}}});
+    db::BTree::Cursor c = t->seek(f.mem, 15);
+    std::int64_t k;
+    db::Tid tid;
+    ASSERT_TRUE(c.next(f.mem, k, tid));
+    EXPECT_EQ(k, 20);
+    c.close(f.mem);
+}
+
+TEST(BTree, SeekPastEndIsClosed)
+{
+    BTreeFixture f;
+    auto t = f.build(BTreeFixture::denseEntries(10));
+    db::BTree::Cursor c = t->seek(f.mem, 100);
+    EXPECT_FALSE(c.open());
+}
+
+TEST(BTree, CursorWalksAllEntriesInOrder)
+{
+    BTreeFixture f;
+    const int n = 3000; // multiple leaves
+    auto t = f.build(BTreeFixture::denseEntries(n));
+    db::BTree::Cursor c = t->begin(f.mem);
+    std::int64_t k, prev = -1;
+    db::Tid tid;
+    int count = 0;
+    while (c.next(f.mem, k, tid)) {
+        EXPECT_GT(k, prev);
+        prev = k;
+        ++count;
+    }
+    EXPECT_EQ(count, n);
+    EXPECT_FALSE(c.open()); // auto-closed at end
+}
+
+TEST(BTree, CursorCloseUnpins)
+{
+    BTreeFixture f;
+    auto t = f.build(BTreeFixture::denseEntries(50));
+    db::BTree::Cursor c = t->seek(f.mem, 0);
+    ASSERT_TRUE(c.open());
+    EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, t->relId(), 0), 1);
+    c.close(f.mem);
+    EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, t->relId(), 0), 0);
+    c.close(f.mem); // idempotent
+}
+
+TEST(BTree, TraversalEmitsIndexClassReads)
+{
+    BTreeFixture f;
+    auto t = f.build(BTreeFixture::denseEntries(5000));
+    f.stream.clear();
+    t->lookupAll(f.mem, 2500);
+    EXPECT_GT(f.countOps(sim::Op::Read, sim::DataClass::Index), 0u);
+    // Descending the tree pins pages: metalock traffic.
+    EXPECT_GT(f.countOps(sim::Op::LockAcq, sim::DataClass::LockSLock), 0u);
+}
+
+TEST(BTree, PinsAreBalancedAfterLookups)
+{
+    BTreeFixture f;
+    auto t = f.build(BTreeFixture::denseEntries(5000));
+    for (int k = 0; k < 5000; k += 97)
+        t->lookupAll(f.mem, k);
+    for (unsigned b = 0; b < t->numPages(); ++b) {
+        EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, t->relId(),
+                                      static_cast<db::BlockNo>(b)),
+                  0)
+            << "page " << b << " left pinned";
+    }
+}
+
+/** Property sweep: lookupAll agrees with a host-side reference across
+ * sizes and key distributions. */
+class BTreeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(BTreeProperty, LookupMatchesReference)
+{
+    auto [n, key_range] = GetParam();
+    BTreeFixture f;
+    std::vector<db::BTree::Entry> e;
+    std::uint64_t rng = 12345 + n * 7 + key_range;
+    auto next = [&]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int i = 0; i < n; ++i) {
+        e.push_back({static_cast<std::int64_t>(next() % key_range),
+                     db::Tid{i / 100, static_cast<std::uint16_t>(i % 100)}});
+    }
+    std::stable_sort(e.begin(), e.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    auto t = f.build(e);
+
+    for (std::int64_t k = 0; k < key_range; k += 1 + key_range / 37) {
+        std::size_t expected = 0;
+        for (const auto &ent : e)
+            if (ent.first == k)
+                ++expected;
+        EXPECT_EQ(t->lookupAll(f.mem, k).size(), expected)
+            << "key " << k << " n=" << n << " range=" << key_range;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BTreeProperty,
+    ::testing::Values(std::make_tuple(10, 5), std::make_tuple(100, 20),
+                      std::make_tuple(1000, 50),
+                      std::make_tuple(1000, 2000),
+                      std::make_tuple(5000, 300),
+                      std::make_tuple(8000, 8000)));
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the buffer manager (pins through the lookup hash under
+ * BufMgrLock) and the lock manager (relation locks through LockHash /
+ * XidHash under LockMgrLock).
+ */
+
+#include <gtest/gtest.h>
+
+#include "db_test_util.hh"
+
+namespace {
+
+using namespace dss;
+using dss::test::MemFixture;
+
+struct BufFixture : MemFixture
+{
+    db::BufferManager bufmgr{mem, 64};
+};
+
+TEST(BufferManager, AllocBlockRegistersAndReturnsPage)
+{
+    BufFixture f;
+    sim::Addr page = f.bufmgr.allocBlock(f.mem, 7, 0, sim::DataClass::Data);
+    EXPECT_EQ(page % db::kPageBytes, 0u);
+    EXPECT_EQ(f.bufmgr.numBlocks(), 1u);
+    EXPECT_EQ(f.space.classOf(page), sim::DataClass::Data);
+}
+
+TEST(BufferManager, PinReturnsSamePageAsAlloc)
+{
+    BufFixture f;
+    sim::Addr page = f.bufmgr.allocBlock(f.mem, 7, 3, sim::DataClass::Data);
+    EXPECT_EQ(f.bufmgr.pinPage(f.mem, 7, 3), page);
+    f.bufmgr.unpinPage(f.mem, 7, 3);
+}
+
+TEST(BufferManager, PinCountsNest)
+{
+    BufFixture f;
+    f.bufmgr.allocBlock(f.mem, 7, 0, sim::DataClass::Data);
+    f.bufmgr.pinPage(f.mem, 7, 0);
+    f.bufmgr.pinPage(f.mem, 7, 0);
+    EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, 7, 0), 2);
+    f.bufmgr.unpinPage(f.mem, 7, 0);
+    EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, 7, 0), 1);
+    f.bufmgr.unpinPage(f.mem, 7, 0);
+    EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, 7, 0), 0);
+}
+
+TEST(BufferManager, DistinctRelBlockKeysResolve)
+{
+    BufFixture f;
+    sim::Addr a = f.bufmgr.allocBlock(f.mem, 1, 0, sim::DataClass::Data);
+    sim::Addr b = f.bufmgr.allocBlock(f.mem, 1, 1, sim::DataClass::Data);
+    sim::Addr c = f.bufmgr.allocBlock(f.mem, 2, 0, sim::DataClass::Index);
+    EXPECT_EQ(f.bufmgr.pinPage(f.mem, 1, 0), a);
+    EXPECT_EQ(f.bufmgr.pinPage(f.mem, 1, 1), b);
+    EXPECT_EQ(f.bufmgr.pinPage(f.mem, 2, 0), c);
+}
+
+TEST(BufferManager, MissingBlockThrows)
+{
+    BufFixture f;
+    f.bufmgr.allocBlock(f.mem, 1, 0, sim::DataClass::Data);
+    EXPECT_THROW(f.bufmgr.pinPage(f.mem, 1, 99), std::runtime_error);
+}
+
+TEST(BufferManager, UnpinWithoutPinThrows)
+{
+    BufFixture f;
+    f.bufmgr.allocBlock(f.mem, 1, 0, sim::DataClass::Data);
+    EXPECT_THROW(f.bufmgr.unpinPage(f.mem, 1, 0), std::runtime_error);
+}
+
+TEST(BufferManager, CapacityEnforced)
+{
+    MemFixture base;
+    db::BufferManager small(base.mem, 2);
+    small.allocBlock(base.mem, 1, 0, sim::DataClass::Data);
+    small.allocBlock(base.mem, 1, 1, sim::DataClass::Data);
+    EXPECT_THROW(small.allocBlock(base.mem, 1, 2, sim::DataClass::Data),
+                 std::runtime_error);
+}
+
+TEST(BufferManager, PinTracesMetadataDiscipline)
+{
+    BufFixture f;
+    f.bufmgr.allocBlock(f.mem, 1, 0, sim::DataClass::Data);
+    f.stream.clear();
+    f.bufmgr.pinPage(f.mem, 1, 0);
+    f.bufmgr.unpinPage(f.mem, 1, 0);
+    // The paper's Figure 7 metadata traffic: BufMgrLock acquire/release,
+    // lookup-hash probes, descriptor reads and pin-count writes.
+    EXPECT_EQ(f.countOps(sim::Op::LockAcq, sim::DataClass::LockSLock), 2u);
+    EXPECT_EQ(f.countOps(sim::Op::LockRel, sim::DataClass::LockSLock), 2u);
+    EXPECT_GT(f.countOps(sim::Op::Read, sim::DataClass::BufLook), 0u);
+    EXPECT_GT(f.countOps(sim::Op::Read, sim::DataClass::BufDesc), 0u);
+    EXPECT_EQ(f.countOps(sim::Op::Write, sim::DataClass::BufDesc), 2u);
+}
+
+TEST(BufferManager, ManyBlocksSurviveHashCollisions)
+{
+    MemFixture base;
+    db::BufferManager bm(base.mem, 512);
+    for (int b = 0; b < 512; ++b)
+        bm.allocBlock(base.mem, 3, b, sim::DataClass::Data);
+    for (int b = 0; b < 512; ++b) {
+        bm.pinPage(base.mem, 3, b);
+        bm.unpinPage(base.mem, 3, b);
+    }
+    EXPECT_EQ(bm.numBlocks(), 512u);
+}
+
+struct LockFixture : MemFixture
+{
+    db::LockManager lockmgr{mem, 32, 128};
+};
+
+TEST(LockManager, ReadLocksNeverConflict)
+{
+    LockFixture f;
+    EXPECT_TRUE(f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Read));
+    EXPECT_TRUE(f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Read));
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, 7), 2);
+    f.lockmgr.unlockRelation(f.mem, 1, 7);
+    f.lockmgr.unlockRelation(f.mem, 2, 7);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, 7), 0);
+}
+
+TEST(LockManager, WriteLockConflictsWithReaders)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Read);
+    EXPECT_THROW(f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Write),
+                 std::runtime_error);
+}
+
+TEST(LockManager, ReadConflictsWithWriter)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 9, db::LockMode::Write);
+    EXPECT_THROW(f.lockmgr.lockRelation(f.mem, 2, 9, db::LockMode::Read),
+                 std::runtime_error);
+}
+
+TEST(LockManager, UnlockWithoutLockThrows)
+{
+    LockFixture f;
+    EXPECT_THROW(f.lockmgr.unlockRelation(f.mem, 1, 7),
+                 std::runtime_error);
+}
+
+TEST(LockManager, SameXidRelockNests)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 5, 7, db::LockMode::Read);
+    f.lockmgr.lockRelation(f.mem, 5, 7, db::LockMode::Read);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, 7), 2);
+    f.lockmgr.releaseAll(f.mem, 5);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, 7), 0);
+}
+
+TEST(LockManager, ReleaseAllOnlyDropsOwnXid)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Read);
+    f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Read);
+    f.lockmgr.releaseAll(f.mem, 1);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, 7), 1);
+    f.lockmgr.releaseAll(f.mem, 2);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, 7), 0);
+}
+
+TEST(LockManager, TracesLockHashAndXidHash)
+{
+    LockFixture f;
+    f.stream.clear();
+    f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Read);
+    f.lockmgr.unlockRelation(f.mem, 1, 7);
+    EXPECT_EQ(f.countOps(sim::Op::LockAcq, sim::DataClass::LockSLock), 2u);
+    EXPECT_GT(f.countOps(sim::Op::Read, sim::DataClass::LockHash), 0u);
+    EXPECT_GT(f.countOps(sim::Op::Write, sim::DataClass::LockHash), 0u);
+    EXPECT_GT(f.countOps(sim::Op::Read, sim::DataClass::XidHash), 0u);
+    EXPECT_GT(f.countOps(sim::Op::Write, sim::DataClass::XidHash), 0u);
+}
+
+TEST(LockManager, ManyRelationsAndXids)
+{
+    LockFixture f;
+    for (db::RelId r = 1; r <= 20; ++r)
+        for (db::Xid x = 1; x <= 4; ++x)
+            f.lockmgr.lockRelation(f.mem, x, r, db::LockMode::Read);
+    for (db::RelId r = 1; r <= 20; ++r)
+        EXPECT_EQ(f.lockmgr.holdersOf(f.mem, r), 4);
+    for (db::Xid x = 1; x <= 4; ++x)
+        f.lockmgr.releaseAll(f.mem, x);
+    for (db::RelId r = 1; r <= 20; ++r)
+        EXPECT_EQ(f.lockmgr.holdersOf(f.mem, r), 0);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model and its
+ * cold/conflict/coherence miss classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace {
+
+using namespace dss::sim;
+
+TEST(CacheConfig, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache({1000, 32, 1}), std::invalid_argument);
+    EXPECT_THROW(Cache({4096, 24, 1}), std::invalid_argument);
+    EXPECT_THROW(Cache({4096, 32, 0}), std::invalid_argument);
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c({4096, 32, 1});
+    EXPECT_EQ(c.numSets(), 128u);
+    Cache c2({128 * 1024, 64, 2});
+    EXPECT_EQ(c2.numSets(), 1024u);
+}
+
+TEST(Cache, LineAddrMasksOffset)
+{
+    Cache c({4096, 32, 1});
+    EXPECT_EQ(c.lineAddrOf(0x1234), 0x1220u);
+    EXPECT_EQ(c.lineAddrOf(0x1220), 0x1220u);
+}
+
+TEST(Cache, MissThenFillThenHit)
+{
+    Cache c({4096, 32, 1});
+    EXPECT_FALSE(c.access(0x100));
+    c.fill(0x100);
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x11f)); // same line
+    EXPECT_FALSE(c.access(0x120)); // next line
+}
+
+TEST(Cache, DirectMappedConflictEviction)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x0);
+    // 0x1000 maps to the same set in a 4 KB direct-mapped cache.
+    Cache::Victim v = c.fill(0x1000);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0x0u);
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x1000));
+}
+
+TEST(Cache, TwoWayKeepsBothAliases)
+{
+    Cache c({4096, 32, 2});
+    c.fill(0x0);
+    Cache::Victim v = c.fill(0x800); // same set, second way
+    EXPECT_FALSE(v.valid);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x800));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c({4096, 32, 2});
+    c.fill(0x0);    // way A
+    c.fill(0x800);  // way B (same set: 4096/32/2 = 64 sets, stride 0x800)
+    c.access(0x0);  // A is now most recent
+    Cache::Victim v = c.fill(0x1000); // evicts B
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0x800u);
+    EXPECT_TRUE(c.contains(0x0));
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x0, /*dirty=*/true);
+    Cache::Victim v = c.fill(0x1000);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, AccessSetDirtyAndMarkClean)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40);
+    EXPECT_FALSE(c.isDirty(0x40));
+    c.access(0x40, /*set_dirty=*/true);
+    EXPECT_TRUE(c.isDirty(0x40));
+    c.markClean(0x40);
+    EXPECT_FALSE(c.isDirty(0x40));
+    c.markDirty(0x40);
+    EXPECT_TRUE(c.isDirty(0x40));
+}
+
+TEST(Cache, InvalidateRemovesLineAndReportsDirty)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40, true);
+    bool was_dirty = false;
+    EXPECT_TRUE(c.invalidate(0x40, /*coherence=*/true, &was_dirty));
+    EXPECT_TRUE(was_dirty);
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.invalidate(0x40, true)); // already gone
+}
+
+TEST(MissClassification, FirstTouchIsCold)
+{
+    Cache c({4096, 32, 1});
+    EXPECT_EQ(c.classifyMiss(0x40), MissType::Cold);
+}
+
+TEST(MissClassification, ReplacementMissIsConflict)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40);
+    c.fill(0x1040); // evicts 0x40 (replacement)
+    EXPECT_EQ(c.classifyMiss(0x40), MissType::Conf);
+}
+
+TEST(MissClassification, InvalidationMissIsCoherence)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40);
+    c.invalidate(0x40, /*coherence=*/true);
+    EXPECT_EQ(c.classifyMiss(0x40), MissType::Cohe);
+}
+
+TEST(MissClassification, RefillClearsCoherenceHistory)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40);
+    c.invalidate(0x40, true);
+    c.fill(0x40);          // re-fetched
+    c.fill(0x1040);        // replaced again
+    EXPECT_EQ(c.classifyMiss(0x40), MissType::Conf);
+}
+
+TEST(MissClassification, NonCoherenceInvalidateIsNotCohe)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40);
+    c.invalidate(0x40, /*coherence=*/false); // inclusion victim
+    EXPECT_EQ(c.classifyMiss(0x40), MissType::Conf);
+}
+
+TEST(Cache, ResetForgetsContentsAndHistory)
+{
+    Cache c({4096, 32, 1});
+    c.fill(0x40);
+    c.invalidate(0x40, true);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.classifyMiss(0x40), MissType::Cold); // history gone
+}
+
+TEST(Cache, ResidentLinesEnumeratesValidLines)
+{
+    Cache c({4096, 32, 2});
+    c.fill(0x0);
+    c.fill(0x40);
+    c.fill(0x80);
+    std::vector<Addr> lines = c.residentLines();
+    EXPECT_EQ(lines.size(), 3u);
+}
+
+/** Property sweep: geometry invariants across configurations. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>>
+{};
+
+TEST_P(CacheGeometry, FillMakesResidentUntilEvicted)
+{
+    auto [size, line, assoc] = GetParam();
+    Cache c({size, line, assoc});
+    // Fill exactly capacity lines with a stride hitting every set evenly:
+    // all must be resident (no premature eviction).
+    const std::size_t nlines = size / line;
+    for (std::size_t i = 0; i < nlines; ++i) {
+        Cache::Victim v = c.fill(static_cast<Addr>(i * line));
+        EXPECT_FALSE(v.valid) << "premature eviction at line " << i;
+    }
+    for (std::size_t i = 0; i < nlines; ++i)
+        EXPECT_TRUE(c.contains(static_cast<Addr>(i * line)));
+    // One more line must evict exactly one victim.
+    Cache::Victim v = c.fill(static_cast<Addr>(nlines * line));
+    EXPECT_TRUE(v.valid);
+}
+
+TEST_P(CacheGeometry, AccessAfterFillAlwaysHits)
+{
+    auto [size, line, assoc] = GetParam();
+    Cache c({size, line, assoc});
+    for (Addr a = 0; a < 8 * line; a += line) {
+        if (!c.access(a))
+            c.fill(a);
+        EXPECT_TRUE(c.access(a));
+        EXPECT_TRUE(c.access(a + line - 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(4096, 32, 1),
+                      std::make_tuple(4096, 8, 1),
+                      std::make_tuple(4096, 128, 1),
+                      std::make_tuple(128 * 1024, 64, 2),
+                      std::make_tuple(128 * 1024, 16, 2),
+                      std::make_tuple(128 * 1024, 256, 2),
+                      std::make_tuple(32 * 1024 * 1024, 64, 2),
+                      std::make_tuple(8192, 64, 4)));
+
+} // namespace

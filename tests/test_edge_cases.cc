@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Edge cases curated from a coverage pass: merge-join duplicate replay,
+ * hash-join gaps, sort rescan, partitioned-scan rescan, b-tree boundary
+ * seeks, machine contention accounting, dbgen internal consistency, and
+ * report guards.
+ */
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "db_test_util.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "tpcd_test_util.hh"
+
+namespace {
+
+using namespace dss;
+using namespace dss::db;
+using dss::test::CatalogFixture;
+using dss::test::MemFixture;
+
+// ---------------------------------------------------------------------
+// Executor edges
+
+struct EdgeFixture : CatalogFixture
+{
+    db::PrivateHeap privHeap{space, 0};
+
+    ExecContext
+    ctx()
+    {
+        return ExecContext{mem, catalog, privHeap, 99};
+    }
+};
+
+TEST(MergeJoinEdge, LeftDuplicatesReplayRightGroup)
+{
+    EdgeFixture f;
+    // Left: keys {5,5,5}; right: keys {5,5} -> 3 x 2 = 6 output rows.
+    Schema ls;
+    ls.add("lk", AttrType::Int32);
+    RelId lrel = f.catalog.createTable(f.mem, "l", ls);
+    for (int i = 0; i < 3; ++i)
+        f.catalog.insert(f.mem, lrel, {Datum{std::int64_t{5}}});
+    Schema rs;
+    rs.add("rk", AttrType::Int32).add("v", AttrType::Int32);
+    RelId rrel = f.catalog.createTable(f.mem, "r", rs);
+    for (int i = 0; i < 2; ++i)
+        f.catalog.insert(f.mem, rrel,
+                         {Datum{std::int64_t{5}},
+                          Datum{static_cast<std::int64_t>(i)}});
+
+    auto left = std::make_unique<SeqScanNode>(f.catalog.relation(lrel),
+                                              nullptr);
+    auto right = std::make_unique<SeqScanNode>(f.catalog.relation(rrel),
+                                               nullptr);
+    std::vector<ProjItem> proj{{false, 0}, {true, 1}};
+    MergeJoinNode join(std::move(left), std::move(right), 0, 0, proj);
+    ExecContext c = f.ctx();
+    auto rows = runQuery(c, join);
+    EXPECT_EQ(rows.size(), 6u);
+}
+
+TEST(MergeJoinEdge, AlternatingGapsAlignCorrectly)
+{
+    EdgeFixture f;
+    // Left keys: 1, 3, 5, 7; right keys: 2, 3, 6, 7 -> matches {3, 7}.
+    Schema ls;
+    ls.add("lk", AttrType::Int32);
+    RelId lrel = f.catalog.createTable(f.mem, "l", ls);
+    for (int k : {1, 3, 5, 7})
+        f.catalog.insert(f.mem, lrel,
+                         {Datum{static_cast<std::int64_t>(k)}});
+    Schema rs;
+    rs.add("rk", AttrType::Int32);
+    RelId rrel = f.catalog.createTable(f.mem, "r", rs);
+    for (int k : {2, 3, 6, 7})
+        f.catalog.insert(f.mem, rrel,
+                         {Datum{static_cast<std::int64_t>(k)}});
+
+    auto left = std::make_unique<SeqScanNode>(f.catalog.relation(lrel),
+                                              nullptr);
+    auto right = std::make_unique<SeqScanNode>(f.catalog.relation(rrel),
+                                               nullptr);
+    std::vector<ProjItem> proj{{false, 0}, {true, 0}};
+    MergeJoinNode join(std::move(left), std::move(right), 0, 0, proj);
+    ExecContext c = f.ctx();
+    auto rows = runQuery(c, join);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(datumInt(rows[0][0]), 3);
+    EXPECT_EQ(datumInt(rows[1][0]), 7);
+}
+
+TEST(SortEdge, RescanReplaysSortedOutput)
+{
+    EdgeFixture f;
+    f.fill(30);
+    auto scan = std::make_unique<SeqScanNode>(f.catalog.relation(f.table),
+                                              nullptr);
+    SortNode sort(std::move(scan), {0}, {true}); // k descending
+    ExecContext c = f.ctx();
+    sort.open(c);
+    sim::Addr out;
+    ASSERT_TRUE(sort.next(c, out));
+    EXPECT_EQ(datumInt(readAttr(f.mem, out,
+                                f.catalog.relation(f.table).schema, 0)),
+              29);
+    sort.rescan(c);
+    ASSERT_TRUE(sort.next(c, out));
+    EXPECT_EQ(datumInt(readAttr(f.mem, out,
+                                f.catalog.relation(f.table).schema, 0)),
+              29);
+    sort.close(c);
+}
+
+TEST(SeqScanEdge, PartitionedRescanStaysInRange)
+{
+    EdgeFixture f;
+    f.fill(600); // several blocks
+    const Relation &r = f.catalog.relation(f.table);
+    ASSERT_GE(r.blocks.size(), 2u);
+    SeqScanNode scan(r, nullptr, 1, 2); // only block 1
+    ExecContext c = f.ctx();
+    scan.open(c);
+    sim::Addr out;
+    std::size_t first_pass = 0;
+    while (scan.next(c, out))
+        ++first_pass;
+    scan.rescan(c);
+    std::size_t second_pass = 0;
+    while (scan.next(c, out))
+        ++second_pass;
+    scan.close(c);
+    EXPECT_GT(first_pass, 0u);
+    EXPECT_EQ(first_pass, second_pass);
+    EXPECT_LT(first_pass, 600u);
+}
+
+TEST(HashJoinEdge, ProbeMissesInterleaveWithHits)
+{
+    EdgeFixture f;
+    f.fill(20); // probe keys 0..19
+    Schema bs;
+    bs.add("bk", AttrType::Int32);
+    RelId brel = f.catalog.createTable(f.mem, "b", bs);
+    for (int k = 0; k < 20; k += 3) // build keys 0, 3, 6, ...
+        f.catalog.insert(f.mem, brel,
+                         {Datum{static_cast<std::int64_t>(k)}});
+
+    auto probe = std::make_unique<SeqScanNode>(
+        f.catalog.relation(f.table), nullptr);
+    auto build = std::make_unique<SeqScanNode>(f.catalog.relation(brel),
+                                               nullptr);
+    std::vector<ProjItem> proj{{false, 0}};
+    HashJoinNode join(std::move(probe), std::move(build), 0, 0, proj);
+    ExecContext c = f.ctx();
+    auto rows = runQuery(c, join);
+    EXPECT_EQ(rows.size(), 7u); // keys 0,3,6,9,12,15,18
+}
+
+// ---------------------------------------------------------------------
+// B-tree boundary seeks
+
+TEST(BTreeEdge, SeekBelowFirstAndAtLast)
+{
+    MemFixture base;
+    db::BufferManager bm(base.mem, 256);
+    BTree tree(50, bm);
+    std::vector<BTree::Entry> e;
+    for (int i = 10; i <= 1000; i += 10)
+        e.push_back({i, db::Tid{0, static_cast<std::uint16_t>(i / 10)}});
+    tree.build(base.mem, e);
+
+    // Below the first key: cursor lands on the first entry.
+    BTree::Cursor c = tree.seek(base.mem, -100);
+    std::int64_t k;
+    db::Tid t;
+    ASSERT_TRUE(c.next(base.mem, k, t));
+    EXPECT_EQ(k, 10);
+    c.close(base.mem);
+
+    // Exactly the last key.
+    EXPECT_EQ(tree.lookupAll(base.mem, 1000).size(), 1u);
+    // Just past it.
+    EXPECT_TRUE(tree.lookupAll(base.mem, 1001).empty());
+}
+
+TEST(BTreeEdge, ExtremeKeysRoundTrip)
+{
+    MemFixture base;
+    db::BufferManager bm(base.mem, 256);
+    BTree tree(50, bm);
+    const std::int64_t lo = std::numeric_limits<std::int64_t>::min() + 1;
+    const std::int64_t hi = std::numeric_limits<std::int64_t>::max() - 1;
+    tree.build(base.mem,
+               {{lo, db::Tid{1, 1}}, {0, db::Tid{2, 2}},
+                {hi, db::Tid{3, 3}}});
+    EXPECT_EQ(tree.lookupAll(base.mem, lo).size(), 1u);
+    EXPECT_EQ(tree.lookupAll(base.mem, 0).size(), 1u);
+    EXPECT_EQ(tree.lookupAll(base.mem, hi).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Machine accounting edges
+
+TEST(MachineEdge, ControllerContentionDelaysSimultaneousMisses)
+{
+    // Four processors miss on four different lines of the SAME page (one
+    // home controller): later requests queue behind earlier ones.
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    sim::Machine m(cfg);
+    std::vector<sim::TraceStream> traces(4);
+    for (unsigned p = 0; p < 4; ++p) {
+        traces[p].record(sim::TraceEntry::read(0x40 * (p + 1) * 2,
+                                               sim::DataClass::Data, 8));
+    }
+    sim::SimStats s =
+        m.run({&traces[0], &traces[1], &traces[2], &traces[3]});
+    // All four requests arrive at cycle 0 at home node 0; stalls must be
+    // strictly increasing by the controller occupancy.
+    std::vector<sim::Cycles> stalls;
+    for (const auto &p : s.procs)
+        stalls.push_back(p.memStall);
+    std::sort(stalls.begin(), stalls.end());
+    for (std::size_t i = 1; i < stalls.size(); ++i)
+        EXPECT_GT(stalls[i], stalls[i - 1]);
+}
+
+TEST(MachineEdge, PrefetchDegreeZeroIsInert)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.prefetchData = true;
+    cfg.prefetchDegree = 0;
+    sim::Machine m(cfg);
+    sim::TraceStream t;
+    for (sim::Addr a = 0; a < 4096; a += 32)
+        t.record(sim::TraceEntry::read(a, sim::DataClass::Data, 8));
+    sim::SimStats s = m.run({&t});
+    EXPECT_EQ(s.procs[0].prefetchesIssued, 0u);
+}
+
+TEST(MachineEdge, IdleProcessorsReportNothing)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    sim::Machine m(cfg);
+    sim::TraceStream t;
+    t.record(sim::TraceEntry::read(0x0, sim::DataClass::Data, 8));
+    sim::SimStats s = m.run({&t}); // 1 trace on a 4-proc machine
+    ASSERT_EQ(s.procs.size(), 1u); // stats only for driven processors
+}
+
+// ---------------------------------------------------------------------
+// dbgen internal consistency
+
+TEST(DbgenEdge, OrderStatusAgreesWithLineitemShipdates)
+{
+    tpcd::TpcdDb db(tpcd::ScaleConfig::tiny(), 1, 42);
+    auto orders = dss::test::dumpRelation(db, db.orders);
+    auto li = dss::test::dumpRelation(db, db.lineitem);
+    const Schema &os = db.catalog().relation(db.orders).schema;
+    const Schema &ls = db.catalog().relation(db.lineitem).schema;
+    const std::int32_t today = tpcd::dateNum(1995, 6, 17);
+
+    std::map<std::int64_t, std::pair<int, int>> shipped; // ok -> (done, n)
+    for (const auto &l : li) {
+        auto ok = datumInt(l[ls.indexOf("l_orderkey")]);
+        auto sd = datumInt(l[ls.indexOf("l_shipdate")]);
+        auto &[done, n] = shipped[ok];
+        done += sd <= today ? 1 : 0;
+        ++n;
+    }
+    for (const auto &o : orders) {
+        auto ok = datumInt(o[os.indexOf("o_orderkey")]);
+        std::string st = datumStr(o[os.indexOf("o_orderstatus")]);
+        auto [done, n] = shipped[ok];
+        if (done == 0)
+            EXPECT_EQ(st, "O") << "order " << ok;
+        else if (done == n)
+            EXPECT_EQ(st, "F") << "order " << ok;
+        else
+            EXPECT_EQ(st, "P") << "order " << ok;
+    }
+}
+
+TEST(DbgenEdge, LineStatusFollowsShipdate)
+{
+    tpcd::TpcdDb db(tpcd::ScaleConfig::tiny(), 1, 42);
+    auto li = dss::test::dumpRelation(db, db.lineitem);
+    const Schema &ls = db.catalog().relation(db.lineitem).schema;
+    const std::int32_t today = tpcd::dateNum(1995, 6, 17);
+    for (const auto &l : li) {
+        auto sd = datumInt(l[ls.indexOf("l_shipdate")]);
+        std::string status = datumStr(l[ls.indexOf("l_linestatus")]);
+        EXPECT_EQ(status, sd <= today ? "F" : "O");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report guards
+
+TEST(ReportEdge, EmptyMissTablePrintsHeaderOnly)
+{
+    sim::MissTable empty;
+    std::ostringstream os;
+    harness::printMissTable(os, "nothing", empty);
+    EXPECT_NE(os.str().find("structure"), std::string::npos);
+    EXPECT_EQ(os.str().find("Data "), std::string::npos);
+}
+
+TEST(ReportEdge, BreakdownsOfEmptyStatsAreZero)
+{
+    sim::SimStats st;
+    st.procs.resize(1); // all-zero processor
+    harness::TimeBreakdown tb = harness::timeBreakdown(st);
+    EXPECT_EQ(tb.total, 0u);
+    EXPECT_EQ(tb.busy, 0.0);
+    harness::MemBreakdown mb = harness::memBreakdown(st);
+    EXPECT_EQ(mb.totalMem, 0u);
+}
+
+} // namespace

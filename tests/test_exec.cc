@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Executor tests: every physical operator checked against hand-computed
+ * results on a small catalog, plus pipeline/rescan/projection mechanics.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "db_test_util.hh"
+
+namespace {
+
+using namespace dss;
+using namespace dss::db;
+using dss::test::CatalogFixture;
+
+struct ExecFixture : CatalogFixture
+{
+    db::PrivateHeap privHeap{space, 0};
+
+    ExecContext
+    ctx()
+    {
+        return ExecContext{mem, catalog, privHeap, 42};
+    }
+
+    /** Drain a plan into host rows. */
+    std::vector<std::vector<Datum>>
+    run(ExecNode &plan)
+    {
+        ExecContext c = ctx();
+        return runQuery(c, plan);
+    }
+
+    const Relation &
+    rel()
+    {
+        return catalog.relation(table);
+    }
+};
+
+TEST(SeqScan, UnfilteredReturnsEveryTuple)
+{
+    ExecFixture f;
+    f.fill(500); // spans several pages
+    SeqScanNode scan(f.rel(), nullptr);
+    auto rows = f.run(scan);
+    ASSERT_EQ(rows.size(), 500u);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(datumInt(rows[i][0]), i); // insertion order preserved
+}
+
+TEST(SeqScan, PredicateFilters)
+{
+    ExecFixture f;
+    f.fill(100);
+    SeqScanNode scan(f.rel(),
+                     cmp(CmpOp::Lt, col(f.rel().schema, "k"), litInt(10)));
+    auto rows = f.run(scan);
+    EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(SeqScan, OutputIsPrivateCopy)
+{
+    ExecFixture f;
+    f.fill(5);
+    SeqScanNode scan(f.rel(), nullptr);
+    ExecContext c = f.ctx();
+    scan.open(c);
+    sim::Addr out = 0;
+    ASSERT_TRUE(scan.next(c, out));
+    EXPECT_FALSE(sim::AddressSpace::isShared(out));
+    scan.close(c);
+}
+
+TEST(SeqScan, LocksAndPinsBalanced)
+{
+    ExecFixture f;
+    f.fill(300);
+    SeqScanNode scan(f.rel(), nullptr);
+    auto rows = f.run(scan);
+    EXPECT_EQ(rows.size(), 300u);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, f.table), 0);
+    for (db::BlockNo b : f.rel().blocks)
+        EXPECT_EQ(f.bufmgr.pinCountOf(f.mem, f.table, b), 0);
+}
+
+TEST(SeqScan, RescanRestarts)
+{
+    ExecFixture f;
+    f.fill(20);
+    SeqScanNode scan(f.rel(), nullptr);
+    ExecContext c = f.ctx();
+    scan.open(c);
+    sim::Addr out;
+    for (int i = 0; i < 7; ++i)
+        ASSERT_TRUE(scan.next(c, out));
+    scan.rescan(c);
+    int count = 0;
+    while (scan.next(c, out))
+        ++count;
+    EXPECT_EQ(count, 20);
+    scan.close(c);
+}
+
+struct IndexedFixture : ExecFixture
+{
+    RelId idx = 0;
+
+    IndexedFixture()
+    {
+        fill(400);
+        idx = catalog.createIndex(mem, "t_k", table,
+                                  rel().schema.indexOf("k"));
+    }
+};
+
+TEST(IndexScan, RangeScanReturnsRange)
+{
+    IndexedFixture f;
+    IndexScanNode scan(f.rel(), f.catalog.index(f.idx), 100, 199, nullptr);
+    auto rows = f.run(scan);
+    ASSERT_EQ(rows.size(), 100u);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(datumInt(rows[i][0]), 100 + static_cast<int>(i));
+}
+
+TEST(IndexScan, ResidualPredicateApplies)
+{
+    IndexedFixture f;
+    // k in [0, 99] and s == "r3" -> k % 10 == 3 -> 10 rows.
+    IndexScanNode scan(f.rel(), f.catalog.index(f.idx), 0, 99,
+                       cmp(CmpOp::Eq, col(f.rel().schema, "s"),
+                           litStr("r3")));
+    auto rows = f.run(scan);
+    EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(IndexScan, BindKeyNarrowsToEquality)
+{
+    IndexedFixture f;
+    IndexScanNode scan(f.rel(), f.catalog.index(f.idx),
+                       IndexScanNode::kMinKey, IndexScanNode::kMaxKey,
+                       nullptr);
+    ExecContext c = f.ctx();
+    scan.open(c);
+    scan.bindKey(77);
+    scan.rescan(c);
+    sim::Addr out;
+    ASSERT_TRUE(scan.next(c, out));
+    EXPECT_EQ(datumInt(readAttr(f.mem, out, f.rel().schema, 0)), 77);
+    EXPECT_FALSE(scan.next(c, out));
+    // Rebind and rescan again: fresh results.
+    scan.bindKey(5);
+    scan.rescan(c);
+    ASSERT_TRUE(scan.next(c, out));
+    EXPECT_EQ(datumInt(readAttr(f.mem, out, f.rel().schema, 0)), 5);
+    scan.close(c);
+}
+
+TEST(IndexScan, DrainedStaysDrainedUntilRescan)
+{
+    IndexedFixture f;
+    IndexScanNode scan(f.rel(), f.catalog.index(f.idx), 7, 7, nullptr);
+    ExecContext c = f.ctx();
+    scan.open(c);
+    sim::Addr out;
+    ASSERT_TRUE(scan.next(c, out));
+    EXPECT_FALSE(scan.next(c, out));
+    EXPECT_FALSE(scan.next(c, out)); // must not re-seek by itself
+    scan.close(c);
+}
+
+TEST(IndexScan, LocksTableAndIndex)
+{
+    IndexedFixture f;
+    IndexScanNode scan(f.rel(), f.catalog.index(f.idx), 0, 10, nullptr);
+    ExecContext c = f.ctx();
+    scan.open(c);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, f.table), 1);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, f.idx), 1);
+    scan.close(c);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, f.table), 0);
+    EXPECT_EQ(f.lockmgr.holdersOf(f.mem, f.idx), 0);
+}
+
+/** Second table for join tests: "u" = {k Int32, w Double}, k = 0..n-1
+ * repeated fan_out times. */
+struct JoinFixture : IndexedFixture
+{
+    RelId utable = 0;
+    RelId uidx = 0;
+
+    void
+    makeU(int n, int fan_out)
+    {
+        Schema s;
+        s.add("uk", AttrType::Int32).add("w", AttrType::Double);
+        utable = catalog.createTable(mem, "u", s);
+        for (int rep = 0; rep < fan_out; ++rep) {
+            for (int k = 0; k < n; ++k) {
+                catalog.insert(mem, utable,
+                               {Datum{static_cast<std::int64_t>(k)},
+                                Datum{k + rep * 0.25}});
+            }
+        }
+        uidx = catalog.createIndex(mem, "u_k", utable, 0);
+    }
+
+    const Relation &
+    urel()
+    {
+        return catalog.relation(utable);
+    }
+};
+
+TEST(NestedLoopJoin, IndexInnerMatchesFanOut)
+{
+    JoinFixture f;
+    f.makeU(50, 3);
+    auto outer = std::make_unique<SeqScanNode>(
+        f.rel(), cmp(CmpOp::Lt, col(f.rel().schema, "k"), litInt(50)));
+    auto inner = std::make_unique<IndexScanNode>(
+        f.urel(), f.catalog.index(f.uidx), IndexScanNode::kMinKey,
+        IndexScanNode::kMaxKey, nullptr);
+    std::vector<ProjItem> proj{{false, 0}, {true, 1}};
+    NestedLoopJoinNode join(std::move(outer), std::move(inner),
+                            f.rel().schema.indexOf("k"), nullptr, proj);
+    auto rows = f.run(join);
+    EXPECT_EQ(rows.size(), 150u); // 50 outer x 3 matches
+    EXPECT_EQ(join.schema().numAttrs(), 2u);
+}
+
+TEST(NestedLoopJoin, NoMatchesYieldsEmpty)
+{
+    JoinFixture f;
+    f.makeU(10, 1);
+    auto outer = std::make_unique<SeqScanNode>(
+        f.rel(), cmp(CmpOp::Ge, col(f.rel().schema, "k"), litInt(300)));
+    auto inner = std::make_unique<IndexScanNode>(
+        f.urel(), f.catalog.index(f.uidx), IndexScanNode::kMinKey,
+        IndexScanNode::kMaxKey, nullptr);
+    std::vector<ProjItem> proj{{false, 0}};
+    NestedLoopJoinNode join(std::move(outer), std::move(inner),
+                            f.rel().schema.indexOf("k"), nullptr, proj);
+    auto rows = f.run(join);
+    EXPECT_TRUE(rows.empty()); // outer keys 300..399 have no inner match
+}
+
+TEST(NestedLoopJoin, ExtraPredicateOnProjectedRow)
+{
+    JoinFixture f;
+    f.makeU(20, 1);
+    auto outer = std::make_unique<SeqScanNode>(
+        f.rel(), cmp(CmpOp::Lt, col(f.rel().schema, "k"), litInt(20)));
+    auto inner = std::make_unique<IndexScanNode>(
+        f.urel(), f.catalog.index(f.uidx), IndexScanNode::kMinKey,
+        IndexScanNode::kMaxKey, nullptr);
+    std::vector<ProjItem> proj{{false, 0}, {true, 1}};
+    NestedLoopJoinNode join(std::move(outer), std::move(inner),
+                            f.rel().schema.indexOf("k"),
+                            cmp(CmpOp::Lt, attr(1), litReal(5.0)), proj);
+    auto rows = f.run(join);
+    EXPECT_EQ(rows.size(), 5u); // w = 0..19, keep w < 5
+}
+
+TEST(MergeJoin, JoinsSortedStreamsWithDuplicates)
+{
+    JoinFixture f;
+    f.makeU(100, 2); // two duplicates per key on the right
+    // Left: t filtered to k < 100, sorted by k (SeqScan emits in order).
+    auto left = std::make_unique<SeqScanNode>(
+        f.rel(), cmp(CmpOp::Lt, col(f.rel().schema, "k"), litInt(100)));
+    // Right: u in index order (sorted by uk).
+    auto right = std::make_unique<IndexScanNode>(
+        f.urel(), f.catalog.index(f.uidx), IndexScanNode::kMinKey,
+        IndexScanNode::kMaxKey, nullptr);
+    std::vector<ProjItem> proj{{false, 0}, {true, 0}, {true, 1}};
+    MergeJoinNode join(std::move(left), std::move(right), 0, 0, proj);
+    auto rows = f.run(join);
+    ASSERT_EQ(rows.size(), 200u);
+    for (const auto &r : rows)
+        EXPECT_EQ(datumInt(r[0]), datumInt(r[1])); // keys really match
+}
+
+TEST(MergeJoin, DisjointKeysProduceNothing)
+{
+    JoinFixture f;
+    f.makeU(10, 1);
+    auto left = std::make_unique<SeqScanNode>(
+        f.rel(), cmp(CmpOp::Ge, col(f.rel().schema, "k"), litInt(200)));
+    auto right = std::make_unique<IndexScanNode>(
+        f.urel(), f.catalog.index(f.uidx), IndexScanNode::kMinKey,
+        IndexScanNode::kMaxKey, nullptr);
+    std::vector<ProjItem> proj{{false, 0}};
+    MergeJoinNode join(std::move(left), std::move(right), 0, 0, proj);
+    EXPECT_TRUE(f.run(join).empty());
+}
+
+TEST(HashJoin, MatchesNestedLoopResult)
+{
+    JoinFixture f;
+    f.makeU(60, 2);
+    auto probe = std::make_unique<SeqScanNode>(
+        f.rel(), cmp(CmpOp::Lt, col(f.rel().schema, "k"), litInt(60)));
+    auto build = std::make_unique<SeqScanNode>(f.urel(), nullptr);
+    std::vector<ProjItem> proj{{false, 0}, {true, 1}};
+    HashJoinNode join(std::move(probe), std::move(build), 0, 0, proj);
+    auto rows = f.run(join);
+    EXPECT_EQ(rows.size(), 120u); // 60 probe keys x 2 build matches
+}
+
+TEST(HashJoin, EmptyBuildSideYieldsNothing)
+{
+    JoinFixture f;
+    f.makeU(10, 1);
+    auto probe = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    auto build = std::make_unique<SeqScanNode>(
+        f.urel(), cmp(CmpOp::Lt, col(f.urel().schema, "uk"), litInt(0)));
+    std::vector<ProjItem> proj{{false, 0}};
+    HashJoinNode join(std::move(probe), std::move(build), 0, 0, proj);
+    EXPECT_TRUE(f.run(join).empty());
+}
+
+TEST(Sort, OrdersAscendingByDefault)
+{
+    ExecFixture f;
+    // Insert keys in scrambled order.
+    for (int i = 0; i < 200; ++i) {
+        int k = (i * 73) % 200;
+        f.catalog.insert(f.mem, f.table,
+                         {Datum{static_cast<std::int64_t>(k)},
+                          Datum{k * 1.0}, Datum{std::string("x")}});
+    }
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    SortNode sort(std::move(scan), {0});
+    auto rows = f.run(sort);
+    ASSERT_EQ(rows.size(), 200u);
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LE(datumInt(rows[i - 1][0]), datumInt(rows[i][0]));
+}
+
+TEST(Sort, DescendingAndMultiKey)
+{
+    ExecFixture f;
+    f.fill(100);
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    // Sort by s asc (10 groups), then k desc within each group.
+    SortNode sort(std::move(scan),
+                  {f.rel().schema.indexOf("s"),
+                   f.rel().schema.indexOf("k")},
+                  {false, true});
+    auto rows = f.run(sort);
+    ASSERT_EQ(rows.size(), 100u);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        int c = compareDatum(rows[i - 1][2], rows[i][2]);
+        EXPECT_LE(c, 0);
+        if (c == 0) {
+            EXPECT_GE(datumInt(rows[i - 1][0]), datumInt(rows[i][0]));
+        }
+    }
+}
+
+TEST(Sort, EmptyInputYieldsNothing)
+{
+    ExecFixture f;
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    SortNode sort(std::move(scan), {0});
+    EXPECT_TRUE(f.run(sort).empty());
+}
+
+TEST(Sort, StableForEqualKeys)
+{
+    ExecFixture f;
+    f.fill(50);
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    // Sort by s only: within a group, insertion (k) order must persist.
+    SortNode sort(std::move(scan), {f.rel().schema.indexOf("s")});
+    auto rows = f.run(sort);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        if (compareDatum(rows[i - 1][2], rows[i][2]) == 0) {
+            EXPECT_LT(datumInt(rows[i - 1][0]), datumInt(rows[i][0]));
+        }
+    }
+}
+
+TEST(Aggregate, GlobalSumCountAvgMinMax)
+{
+    ExecFixture f;
+    f.fill(10); // v = 0, 1.5, ..., 13.5
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggSpec::Op::Sum, attr(1), "sum_v"});
+    aggs.push_back({AggSpec::Op::Count, nullptr, "n"});
+    aggs.push_back({AggSpec::Op::Avg, attr(1), "avg_v"});
+    aggs.push_back({AggSpec::Op::Min, attr(1), "min_v"});
+    aggs.push_back({AggSpec::Op::Max, attr(1), "max_v"});
+    AggregateNode agg(std::move(scan), {}, std::move(aggs));
+    auto rows = f.run(agg);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(datumReal(rows[0][0]), 67.5); // sum 0..13.5
+    EXPECT_EQ(datumInt(rows[0][1]), 10);
+    EXPECT_DOUBLE_EQ(datumReal(rows[0][2]), 6.75);
+    EXPECT_DOUBLE_EQ(datumReal(rows[0][3]), 0.0);
+    EXPECT_DOUBLE_EQ(datumReal(rows[0][4]), 13.5);
+}
+
+TEST(Aggregate, GlobalOverEmptyInputYieldsOneRow)
+{
+    ExecFixture f;
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggSpec::Op::Count, nullptr, "n"});
+    aggs.push_back({AggSpec::Op::Sum, attr(1), "s"});
+    AggregateNode agg(std::move(scan), {}, std::move(aggs));
+    auto rows = f.run(agg);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(datumInt(rows[0][0]), 0);
+    EXPECT_DOUBLE_EQ(datumReal(rows[0][1]), 0.0);
+}
+
+TEST(Aggregate, GroupedOverSortedInput)
+{
+    ExecFixture f;
+    f.fill(100); // s groups r0..r9, 10 rows each
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    auto sort = std::make_unique<SortNode>(
+        std::move(scan),
+        std::vector<std::size_t>{f.rel().schema.indexOf("s")});
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggSpec::Op::Count, nullptr, "n"});
+    aggs.push_back({AggSpec::Op::Sum, attr(0), "sum_k"});
+    AggregateNode agg(std::move(sort), {f.rel().schema.indexOf("s")},
+                      std::move(aggs));
+    auto rows = f.run(agg);
+    ASSERT_EQ(rows.size(), 10u);
+    double total_k = 0;
+    for (const auto &r : rows) {
+        EXPECT_EQ(datumInt(r[1]), 10); // 10 rows per group
+        total_k += datumReal(r[2]);
+    }
+    EXPECT_DOUBLE_EQ(total_k, 99.0 * 100 / 2);
+}
+
+TEST(Aggregate, PureGroupEmitsOneRowPerGroup)
+{
+    ExecFixture f;
+    f.fill(40);
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    auto sort = std::make_unique<SortNode>(
+        std::move(scan),
+        std::vector<std::size_t>{f.rel().schema.indexOf("s")});
+    AggregateNode group(std::move(sort), {f.rel().schema.indexOf("s")},
+                        {});
+    auto rows = f.run(group);
+    EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(Aggregate, RejectsEmptySpecification)
+{
+    ExecFixture f;
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    EXPECT_THROW(AggregateNode(std::move(scan), {}, {}),
+                 std::invalid_argument);
+}
+
+TEST(PlanTree, CollectLogicalOpsWalksChildren)
+{
+    JoinFixture f;
+    f.makeU(10, 1);
+    auto outer = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    auto inner = std::make_unique<IndexScanNode>(
+        f.urel(), f.catalog.index(f.uidx), IndexScanNode::kMinKey,
+        IndexScanNode::kMaxKey, nullptr);
+    std::vector<ProjItem> proj{{false, 0}};
+    auto join = std::make_unique<NestedLoopJoinNode>(
+        std::move(outer), std::move(inner), 0, nullptr, proj);
+    auto sort = std::make_unique<SortNode>(std::move(join),
+                                           std::vector<std::size_t>{0});
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggSpec::Op::Count, nullptr, "n"});
+    AggregateNode root(std::move(sort), {0}, std::move(aggs));
+
+    auto ops = collectLogicalOps(root);
+    auto has = [&](LogicalOp op) {
+        return std::find(ops.begin(), ops.end(), op) != ops.end();
+    };
+    EXPECT_TRUE(has(LogicalOp::SeqScanSelect));
+    EXPECT_TRUE(has(LogicalOp::IndexScanSelect));
+    EXPECT_TRUE(has(LogicalOp::NestedLoopJoin));
+    EXPECT_TRUE(has(LogicalOp::Sort));
+    EXPECT_TRUE(has(LogicalOp::Group));
+    EXPECT_TRUE(has(LogicalOp::Aggregate));
+    EXPECT_FALSE(has(LogicalOp::MergeJoin));
+    EXPECT_FALSE(has(LogicalOp::HashJoin));
+}
+
+TEST(PlanTree, RescanUnsupportedNodesThrow)
+{
+    ExecFixture f;
+    auto scan = std::make_unique<SeqScanNode>(f.rel(), nullptr);
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggSpec::Op::Count, nullptr, "n"});
+    AggregateNode agg(std::move(scan), {}, std::move(aggs));
+    ExecContext c = f.ctx();
+    EXPECT_THROW(agg.rescan(c), std::logic_error);
+    EXPECT_THROW(agg.bindKey(1), std::logic_error);
+}
+
+} // namespace

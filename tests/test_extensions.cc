@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the extension features: partitioned sequential scans /
+ * intra-query parallelism (the paper's future work) and the
+ * lock-discipline ablation knob.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace {
+
+using namespace dss;
+using namespace dss::db;
+
+struct ExtFixture : ::testing::Test
+{
+    harness::Workload wl{tpcd::ScaleConfig::tiny(), 4, 42};
+
+    tpcd::TpcdDb &
+    db()
+    {
+        return wl.db();
+    }
+
+    std::vector<std::vector<Datum>>
+    runPlan(NodePtr plan)
+    {
+        sim::NullSink sink;
+        TracedMemory mem(db().space(), 0, sink);
+        PrivateHeap priv(db().space(), 0);
+        std::size_t mark = priv.mark();
+        ExecContext ctx{mem, db().catalog(), priv, 999};
+        auto rows = runQuery(ctx, *plan);
+        priv.rewind(mark);
+        return rows;
+    }
+};
+
+TEST_F(ExtFixture, PartitionedScanRangesCoverEveryBlockOnce)
+{
+    const Relation &li = db().catalog().relation(db().lineitem);
+    // Count tuples per partition; they must sum to the table.
+    std::uint64_t total = 0;
+    for (unsigned p = 0; p < 4; ++p) {
+        const std::size_t n = li.blocks.size();
+        std::size_t lo = n * p / 4, hi = n * (p + 1) / 4;
+        sim::NullSink sink;
+        TracedMemory mem(db().space(), 0, sink);
+        PrivateHeap priv(db().space(), 0);
+        std::size_t mark = priv.mark();
+        ExecContext ctx{mem, db().catalog(), priv, 500 + p};
+        SeqScanNode scan(li, nullptr, lo, hi);
+        scan.open(ctx);
+        sim::Addr out;
+        while (scan.next(ctx, out))
+            ++total;
+        scan.close(ctx);
+        priv.rewind(mark);
+    }
+    EXPECT_EQ(total, li.numTuples);
+}
+
+TEST_F(ExtFixture, PartitionedQ6PartialsSumToWholeQuery)
+{
+    tpcd::Q6Params params = tpcd::Q6Params::fromSeed(3);
+    auto whole = runPlan(tpcd::buildQ6(db(), params));
+    ASSERT_EQ(whole.size(), 1u);
+
+    double partial_sum = 0;
+    for (unsigned p = 0; p < 4; ++p) {
+        auto part = runPlan(tpcd::buildQ6Partition(db(), params, p, 4));
+        ASSERT_EQ(part.size(), 1u);
+        partial_sum += datumReal(part[0][0]);
+    }
+    EXPECT_NEAR(partial_sum, datumReal(whole[0][0]), 1e-6);
+}
+
+TEST_F(ExtFixture, BadPartitionSpecThrows)
+{
+    tpcd::Q6Params params = tpcd::Q6Params::fromSeed(3);
+    EXPECT_THROW(tpcd::buildQ6Partition(db(), params, 4, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(tpcd::buildQ6Partition(db(), params, 0, 0),
+                 std::invalid_argument);
+}
+
+TEST_F(ExtFixture, IntraQueryTracesPartitionTheScan)
+{
+    harness::TraceSet intra = wl.traceIntraQueryQ6(3);
+    ASSERT_EQ(intra.size(), 4u);
+
+    // Each partition reads a disjoint set of lineitem heap lines.
+    auto data_lines = [&](const sim::TraceStream &t) {
+        std::set<sim::Addr> out;
+        for (const sim::TraceEntry &e : t.entries())
+            if (e.op == sim::Op::Read && e.cls == sim::DataClass::Data)
+                out.insert(e.addr & ~static_cast<sim::Addr>(db::kPageBytes -
+                                                            1));
+        return out;
+    };
+    std::set<sim::Addr> seen;
+    for (const sim::TraceStream &t : intra) {
+        for (sim::Addr page : data_lines(t)) {
+            EXPECT_EQ(seen.count(page), 0u)
+                << "page 0x" << std::hex << page << " scanned twice";
+            seen.insert(page);
+        }
+    }
+    EXPECT_GE(seen.size(),
+              db().catalog().relation(db().lineitem).blocks.size());
+}
+
+TEST_F(ExtFixture, IntraQueryParallelismGivesRealSpeedup)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    harness::TraceSet solo;
+    solo.push_back(wl.traceOne(tpcd::QueryId::Q6, 0, 7919));
+    harness::TraceSet intra = wl.traceIntraQueryQ6(7919);
+
+    sim::Cycles t1 = harness::runCold(cfg, solo).executionTime();
+    sim::Cycles t4 = harness::runCold(cfg, intra).executionTime();
+    EXPECT_LT(t4, t1 / 2); // at least 2x on 4 processors
+}
+
+TEST_F(ExtFixture, LockDisciplineKnobRemovesLockManagerTraffic)
+{
+    harness::TraceSet on =
+        wl.traceWithLockDiscipline(tpcd::QueryId::Q3, 1, true);
+    harness::TraceSet off =
+        wl.traceWithLockDiscipline(tpcd::QueryId::Q3, 1, false);
+
+    // Count LockMgrLock acquires specifically (BufMgrLock pin traffic is
+    // untouched by the knob).
+    const sim::Addr lockmgr_word = wl.db().lockmgr().lockAddr();
+    auto lockmgr_acqs = [&](const harness::TraceSet &set) {
+        std::uint64_t n = 0;
+        for (const sim::TraceStream &t : set)
+            for (const sim::TraceEntry &e : t.entries())
+                if (e.op == sim::Op::LockAcq && e.addr == lockmgr_word)
+                    ++n;
+        return n;
+    };
+    EXPECT_LT(lockmgr_acqs(off), lockmgr_acqs(on) / 8);
+}
+
+TEST_F(ExtFixture, LockDisciplineOffStillComputesSameResult)
+{
+    // The knob must not change query semantics: compare the simulated
+    // machines' read counts per data class (the data path is identical;
+    // only lock-manager activity differs).
+    harness::TraceSet on =
+        wl.traceWithLockDiscipline(tpcd::QueryId::Q3, 5, true);
+    harness::TraceSet off =
+        wl.traceWithLockDiscipline(tpcd::QueryId::Q3, 5, false);
+    for (unsigned p = 0; p < 4; ++p) {
+        auto con = on[p].counts();
+        auto coff = off[p].counts();
+        EXPECT_EQ(con.readsByClass[static_cast<int>(sim::DataClass::Data)],
+                  coff.readsByClass[static_cast<int>(
+                      sim::DataClass::Data)]);
+        EXPECT_EQ(
+            con.readsByClass[static_cast<int>(sim::DataClass::Index)],
+            coff.readsByClass[static_cast<int>(sim::DataClass::Index)]);
+        EXPECT_GT(
+            con.readsByClass[static_cast<int>(sim::DataClass::LockHash)],
+            coff.readsByClass[static_cast<int>(
+                sim::DataClass::LockHash)]);
+    }
+}
+
+/** Partition-count sweep: partials always recombine to the whole. */
+class PartitionSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PartitionSweep, PartialAggregatesRecombine)
+{
+    const unsigned nparts = GetParam();
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 1, 42);
+    tpcd::Q6Params params = tpcd::Q6Params::fromSeed(11);
+
+    sim::NullSink sink;
+    TracedMemory mem(wl.db().space(), 0, sink);
+    PrivateHeap priv(wl.db().space(), 0);
+    ExecContext ctx{mem, wl.db().catalog(), priv, 1};
+
+    auto whole_plan = tpcd::buildQ6(wl.db(), params);
+    auto whole = runQuery(ctx, *whole_plan);
+    double partial_sum = 0;
+    for (unsigned p = 0; p < nparts; ++p) {
+        auto plan = tpcd::buildQ6Partition(wl.db(), params, p, nparts);
+        auto rows = runQuery(ctx, *plan);
+        partial_sum += datumReal(rows[0][0]);
+    }
+    EXPECT_NEAR(partial_sum, datumReal(whole[0][0]), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 16));
+
+} // namespace

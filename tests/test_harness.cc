@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the experiment harness: workload tracing, cold/warm runs, and
+ * report formatting.
+ */
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+namespace {
+
+using namespace dss;
+
+struct WorkloadFixture : ::testing::Test
+{
+    harness::Workload wl{tpcd::ScaleConfig::tiny(), 2, 42};
+};
+
+TEST_F(WorkloadFixture, TraceProducesOneStreamPerProcessor)
+{
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_FALSE(traces[0].empty());
+    EXPECT_FALSE(traces[1].empty());
+}
+
+TEST_F(WorkloadFixture, ProcessorsGetDistinctParameters)
+{
+    // Paper Section 4.3: same query type, different parameters per
+    // processor. Different parameters -> different reference streams.
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q3);
+    EXPECT_NE(traces[0].size(), traces[1].size());
+}
+
+TEST_F(WorkloadFixture, ProcessorsTouchTheSameSharedData)
+{
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+    // Both scan the same lineitem pages: the set of shared Data addresses
+    // overlaps heavily.
+    auto shared_addrs = [](const sim::TraceStream &t) {
+        std::set<sim::Addr> out;
+        for (const sim::TraceEntry &e : t.entries())
+            if (e.op == sim::Op::Read && e.cls == sim::DataClass::Data)
+                out.insert(e.addr & ~63ull);
+        return out;
+    };
+    std::set<sim::Addr> a = shared_addrs(traces[0]);
+    std::set<sim::Addr> b = shared_addrs(traces[1]);
+    std::size_t common = 0;
+    for (sim::Addr x : a)
+        common += b.count(x);
+    EXPECT_GT(common, a.size() / 2);
+}
+
+TEST_F(WorkloadFixture, PrivateReferencesAreProcessorLocal)
+{
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+    for (unsigned p = 0; p < 2; ++p) {
+        for (const sim::TraceEntry &e : traces[p].entries()) {
+            if (e.op != sim::Op::Read && e.op != sim::Op::Write)
+                continue;
+            if (e.cls == sim::DataClass::Priv) {
+                EXPECT_EQ(wl.db().space().ownerOf(e.addr), p)
+                    << "private ref of proc " << p << " in wrong arena";
+            }
+        }
+    }
+}
+
+TEST_F(WorkloadFixture, TracesAreLockBalanced)
+{
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q3);
+    for (const sim::TraceStream &t : traces) {
+        std::map<sim::Addr, int> held;
+        for (const sim::TraceEntry &e : t.entries()) {
+            if (e.op == sim::Op::LockAcq)
+                ++held[e.addr];
+            else if (e.op == sim::Op::LockRel)
+                --held[e.addr];
+            EXPECT_GE(held.empty() ? 0 : held.begin()->second, 0);
+        }
+        for (const auto &[addr, n] : held)
+            EXPECT_EQ(n, 0) << "lock 0x" << std::hex << addr
+                            << " not released";
+    }
+}
+
+TEST_F(WorkloadFixture, TracingIsDeterministicAcrossWorkloads)
+{
+    // Two identically seeded workloads produce identical traces. (Within
+    // one workload, consecutive queries use fresh transaction ids, whose
+    // xid-hash probe paths legitimately differ.)
+    harness::Workload other(tpcd::ScaleConfig::tiny(), 2, 42);
+    sim::TraceStream a = wl.traceOne(tpcd::QueryId::Q6, 0, 99);
+    sim::TraceStream b = other.traceOne(tpcd::QueryId::Q6, 0, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.entries()[i].addr, b.entries()[i].addr);
+        EXPECT_EQ(a.entries()[i].op, b.entries()[i].op);
+    }
+}
+
+TEST_F(WorkloadFixture, RunColdAndWarmSequences)
+{
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.nprocs = 2;
+    cfg = cfg.withCacheSizes(1 << 20, 32 << 20); // big enough to reuse
+
+    sim::SimStats cold = harness::runCold(cfg, traces);
+    std::vector<sim::SimStats> seq =
+        harness::runSequence(cfg, {&traces, &traces});
+    ASSERT_EQ(seq.size(), 2u);
+    // First run of the sequence == a cold run.
+    EXPECT_EQ(seq[0].aggregate().l2Misses.total(),
+              cold.aggregate().l2Misses.total());
+    // Warm run reuses the whole scanned table.
+    EXPECT_LT(seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Data),
+              cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Data) /
+                  4);
+}
+
+TEST(Report, FixedAndPctFormat)
+{
+    EXPECT_EQ(harness::fixed(12.345, 1), "12.3");
+    EXPECT_EQ(harness::fixed(2.0, 2), "2.00");
+    EXPECT_EQ(harness::pct(1, 4), "25.0");
+    EXPECT_EQ(harness::pct(1, 0), "0.0"); // guard against empty whole
+}
+
+TEST(Report, TimeBreakdownFractionsSumToOne)
+{
+    sim::SimStats st;
+    st.procs.resize(1);
+    st.procs[0].busy = 600;
+    st.procs[0].memStall = 300;
+    st.procs[0].syncStall = 100;
+    harness::TimeBreakdown tb = harness::timeBreakdown(st);
+    EXPECT_EQ(tb.total, 1000u);
+    EXPECT_DOUBLE_EQ(tb.busy + tb.mem + tb.msync, 1.0);
+}
+
+TEST(Report, MemBreakdownFollowsGroups)
+{
+    sim::SimStats st;
+    st.procs.resize(1);
+    st.procs[0].memStall = 100;
+    st.procs[0].memStallByGroup[static_cast<int>(
+        sim::ClassGroup::Data)] = 75;
+    st.procs[0].memStallByGroup[static_cast<int>(
+        sim::ClassGroup::Priv)] = 25;
+    harness::MemBreakdown mb = harness::memBreakdown(st);
+    EXPECT_DOUBLE_EQ(
+        mb.byGroup[static_cast<int>(sim::ClassGroup::Data)], 0.75);
+    EXPECT_DOUBLE_EQ(
+        mb.byGroup[static_cast<int>(sim::ClassGroup::Priv)], 0.25);
+}
+
+TEST(Report, TextTableAlignsColumns)
+{
+    harness::TextTable t({"a", "long_header"});
+    t.addRow({"xxxx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("a     long_header"), std::string::npos);
+    EXPECT_NE(out.find("xxxx"), std::string::npos);
+}
+
+TEST(Report, MissTablePrintsOnlyNonEmptyRows)
+{
+    sim::MissTable t;
+    t.add(sim::DataClass::Data, sim::MissType::Cold, 60);
+    t.add(sim::DataClass::LockSLock, sim::MissType::Cohe, 40);
+    std::ostringstream os;
+    harness::printMissTable(os, "test", t);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Data"), std::string::npos);
+    EXPECT_NE(out.find("LockSLock"), std::string::npos);
+    EXPECT_EQ(out.find("XidHash"), std::string::npos); // zero row omitted
+    EXPECT_NE(out.find("60.0"), std::string::npos);    // normalized to 100
+}
+
+TEST(Report, TracePtrsViewsAllStreams)
+{
+    harness::TraceSet set(3);
+    auto ptrs = harness::tracePtrs(set);
+    ASSERT_EQ(ptrs.size(), 3u);
+    EXPECT_EQ(ptrs[0], &set[0]);
+    EXPECT_EQ(ptrs[2], &set[2]);
+}
+
+} // namespace

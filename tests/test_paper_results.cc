@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Paper-invariant integration tests: the qualitative findings of every
+ * section of the evaluation, asserted end-to-end on a reduced population
+ * (1/4 of the default experiment scale to keep test time short — the
+ * findings are scale-invariant, which is itself part of the paper's
+ * methodology argument).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace {
+
+using namespace dss;
+
+/** One shared workload for all paper-invariant tests (built once). */
+class PaperResults : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        tpcd::ScaleConfig scale;
+        scale.customers = 150;
+        scale.parts = 200;
+        scale.suppliers = 10;
+        wl_ = new harness::Workload(scale, 4, 42);
+        q3_ = new harness::TraceSet(wl_->trace(tpcd::QueryId::Q3, 11));
+        q6_ = new harness::TraceSet(wl_->trace(tpcd::QueryId::Q6, 11));
+        q12_ = new harness::TraceSet(wl_->trace(tpcd::QueryId::Q12, 11));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete q3_;
+        delete q6_;
+        delete q12_;
+        delete wl_;
+        wl_ = nullptr;
+        q3_ = q6_ = q12_ = nullptr;
+    }
+
+    static harness::Workload *wl_;
+    static harness::TraceSet *q3_, *q6_, *q12_;
+
+    static sim::ProcStats
+    baselineRun(const harness::TraceSet &t)
+    {
+        return harness::runCold(sim::MachineConfig::baseline(), t)
+            .aggregate();
+    }
+};
+
+harness::Workload *PaperResults::wl_ = nullptr;
+harness::TraceSet *PaperResults::q3_ = nullptr;
+harness::TraceSet *PaperResults::q6_ = nullptr;
+harness::TraceSet *PaperResults::q12_ = nullptr;
+
+double
+frac(sim::Cycles part, sim::Cycles whole)
+{
+    return whole ? static_cast<double>(part) / static_cast<double>(whole)
+                 : 0.0;
+}
+
+// ---- Section 5.1: overall memory behaviour ---------------------------
+
+TEST_F(PaperResults, BusyAndMemFractionsInPaperBands)
+{
+    for (const harness::TraceSet *t : {q3_, q6_, q12_}) {
+        sim::ProcStats s = baselineRun(*t);
+        double busy = frac(s.busy, s.totalCycles());
+        double mem = frac(s.memStall, s.totalCycles());
+        EXPECT_GT(busy, 0.40);
+        EXPECT_LT(busy, 0.80);
+        EXPECT_GT(mem, 0.20);
+        EXPECT_LT(mem, 0.50);
+    }
+}
+
+TEST_F(PaperResults, MSyncVisibleOnlyForIndexQuery)
+{
+    sim::ProcStats s3 = baselineRun(*q3_);
+    sim::ProcStats s6 = baselineRun(*q6_);
+    EXPECT_GT(frac(s3.syncStall, s3.totalCycles()), 0.01);
+    EXPECT_LT(frac(s6.syncStall, s6.totalCycles()), 0.01);
+}
+
+TEST_F(PaperResults, IndexQuerySharedStallIsMetadataAndIndices)
+{
+    // Fig 6b: Q3's shared stall dominated by Metadata + Index.
+    sim::ProcStats s = baselineRun(*q3_);
+    sim::Cycles meta = s.memStallByGroup[static_cast<int>(
+        sim::ClassGroup::Metadata)];
+    sim::Cycles index =
+        s.memStallByGroup[static_cast<int>(sim::ClassGroup::Index)];
+    sim::Cycles data =
+        s.memStallByGroup[static_cast<int>(sim::ClassGroup::Data)];
+    EXPECT_GT(meta + index, 2 * data);
+}
+
+TEST_F(PaperResults, SequentialQueriesStallOnData)
+{
+    // Fig 6b: Q6/Q12 dominated by Data.
+    for (const harness::TraceSet *t : {q6_, q12_}) {
+        sim::ProcStats s = baselineRun(*t);
+        sim::Cycles data =
+            s.memStallByGroup[static_cast<int>(sim::ClassGroup::Data)];
+        EXPECT_GT(frac(data, s.memStall), 0.40);
+        sim::Cycles index = s.memStallByGroup[static_cast<int>(
+            sim::ClassGroup::Index)];
+        EXPECT_GT(data, 5 * std::max<sim::Cycles>(index, 1));
+    }
+}
+
+// ---- Figure 7: miss classification ------------------------------------
+
+TEST_F(PaperResults, L1MissesDominatedByPrivateConflicts)
+{
+    for (const harness::TraceSet *t : {q3_, q6_, q12_}) {
+        sim::ProcStats s = baselineRun(*t);
+        std::uint64_t priv = s.l1Misses.byGroup(sim::ClassGroup::Priv);
+        EXPECT_GT(frac(priv, s.l1Misses.total()), 0.35);
+        std::uint64_t conf = s.l1Misses.byGroupAndType(
+            sim::ClassGroup::Priv, sim::MissType::Conf);
+        EXPECT_GT(frac(conf, priv), 0.80); // almost all conflicts
+    }
+}
+
+TEST_F(PaperResults, SequentialL2MissesAreColdData)
+{
+    for (const harness::TraceSet *t : {q6_, q12_}) {
+        sim::ProcStats s = baselineRun(*t);
+        std::uint64_t data = s.l2Misses.byGroup(sim::ClassGroup::Data);
+        EXPECT_GT(frac(data, s.l2Misses.total()), 0.55);
+        std::uint64_t cold = s.l2Misses.byGroupAndType(
+            sim::ClassGroup::Data, sim::MissType::Cold);
+        EXPECT_GT(frac(cold, data), 0.90);
+    }
+}
+
+TEST_F(PaperResults, IndexQueryL2MissesAreAMix)
+{
+    sim::ProcStats s = baselineRun(*q3_);
+    std::uint64_t meta = s.l2Misses.byGroup(sim::ClassGroup::Metadata);
+    std::uint64_t index = s.l2Misses.byGroup(sim::ClassGroup::Index);
+    std::uint64_t data = s.l2Misses.byGroup(sim::ClassGroup::Data);
+    EXPECT_GT(meta, 0u);
+    EXPECT_GT(index, 0u);
+    EXPECT_GT(data, 0u);
+    // Metadata misses are mostly coherence; LockSLock is prominent.
+    std::uint64_t meta_cohe = s.l2Misses.byGroupAndType(
+        sim::ClassGroup::Metadata, sim::MissType::Cohe);
+    EXPECT_GT(frac(meta_cohe, meta), 0.5);
+    EXPECT_GT(s.l2Misses.byClass(sim::DataClass::LockSLock),
+              s.l2Misses.byClass(sim::DataClass::XidHash));
+}
+
+TEST_F(PaperResults, MissRatesInPaperBallpark)
+{
+    // Section 5.1: L1 3.4-5.5%, L2 global 0.5-0.8% (we accept 2x slack).
+    for (const harness::TraceSet *t : {q3_, q6_, q12_}) {
+        sim::ProcStats s = baselineRun(*t);
+        EXPECT_GT(s.l1MissRate(), 0.015);
+        EXPECT_LT(s.l1MissRate(), 0.08);
+        EXPECT_GT(s.l2GlobalMissRate(), 0.002);
+        EXPECT_LT(s.l2GlobalMissRate(), 0.02);
+    }
+}
+
+// ---- Figures 8/9: spatial locality -------------------------------------
+
+TEST_F(PaperResults, DataMissesFallWithLineSize)
+{
+    const harness::TraceSet &t = *q6_;
+    std::uint64_t prev = ~0ull;
+    for (std::size_t line : {16, 32, 64, 128, 256}) {
+        sim::ProcStats s =
+            harness::runCold(
+                sim::MachineConfig::baseline().withLineSize(line), t)
+                .aggregate();
+        std::uint64_t data = s.l2Misses.byGroup(sim::ClassGroup::Data);
+        EXPECT_LE(data, prev) << "line " << line;
+        prev = data;
+    }
+}
+
+TEST_F(PaperResults, PrivL1MissesGrowWithLineSize)
+{
+    const harness::TraceSet &t = *q6_;
+    sim::ProcStats small =
+        harness::runCold(sim::MachineConfig::baseline().withLineSize(32),
+                         t)
+            .aggregate();
+    sim::ProcStats big =
+        harness::runCold(sim::MachineConfig::baseline().withLineSize(256),
+                         t)
+            .aggregate();
+    EXPECT_GT(big.l1Misses.byGroup(sim::ClassGroup::Priv),
+              small.l1Misses.byGroup(sim::ClassGroup::Priv));
+}
+
+TEST_F(PaperResults, SixtyFourByteLinesMinimizeExecutionTime)
+{
+    for (const harness::TraceSet *t : {q3_, q6_, q12_}) {
+        sim::Cycles at64 =
+            harness::runCold(
+                sim::MachineConfig::baseline().withLineSize(64), *t)
+                .aggregate()
+                .totalCycles();
+        sim::Cycles at16 =
+            harness::runCold(
+                sim::MachineConfig::baseline().withLineSize(16), *t)
+                .aggregate()
+                .totalCycles();
+        sim::Cycles at256 =
+            harness::runCold(
+                sim::MachineConfig::baseline().withLineSize(256), *t)
+                .aggregate()
+                .totalCycles();
+        EXPECT_LT(at64, at16);
+        EXPECT_LT(at64, at256);
+    }
+}
+
+// ---- Figures 10/11: temporal locality ----------------------------------
+
+TEST_F(PaperResults, DataL2MissesFlatAcrossCacheSizes)
+{
+    // No intra-query temporal locality on database data.
+    const harness::TraceSet &t = *q6_;
+    sim::ProcStats small = harness::runCold(
+                               sim::MachineConfig::baseline(), t)
+                               .aggregate();
+    sim::ProcStats big =
+        harness::runCold(sim::MachineConfig::baseline().withCacheSizes(
+                             256 << 10, 8 << 20),
+                         t)
+            .aggregate();
+    double ratio =
+        frac(big.l2Misses.byGroup(sim::ClassGroup::Data),
+             std::max<std::uint64_t>(
+                 1, small.l2Misses.byGroup(sim::ClassGroup::Data)));
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.05);
+}
+
+TEST_F(PaperResults, PrivL1MissesCollapseWithCacheSize)
+{
+    const harness::TraceSet &t = *q12_;
+    sim::ProcStats small = harness::runCold(
+                               sim::MachineConfig::baseline(), t)
+                               .aggregate();
+    sim::ProcStats big =
+        harness::runCold(sim::MachineConfig::baseline().withCacheSizes(
+                             256 << 10, 8 << 20),
+                         t)
+            .aggregate();
+    EXPECT_LT(big.l1Misses.byGroup(sim::ClassGroup::Priv),
+              small.l1Misses.byGroup(sim::ClassGroup::Priv) / 5);
+}
+
+TEST_F(PaperResults, IndexQueryGainsSharedLocalityFromBigCaches)
+{
+    // Fig 10: Q3's index + metadata misses shrink with cache size.
+    const harness::TraceSet &t = *q3_;
+    sim::ProcStats small = harness::runCold(
+                               sim::MachineConfig::baseline(), t)
+                               .aggregate();
+    sim::ProcStats big =
+        harness::runCold(sim::MachineConfig::baseline().withCacheSizes(
+                             256 << 10, 8 << 20),
+                         t)
+            .aggregate();
+    EXPECT_LT(big.l2Misses.byGroup(sim::ClassGroup::Index),
+              small.l2Misses.byGroup(sim::ClassGroup::Index));
+}
+
+// ---- Figure 12: inter-query reuse ---------------------------------------
+
+TEST_F(PaperResults, SequentialQueryReusesTableAcrossQueries)
+{
+    sim::MachineConfig cfg =
+        sim::MachineConfig::baseline().withCacheSizes(1 << 20, 32 << 20);
+    harness::TraceSet warm = wl_->trace(tpcd::QueryId::Q12, 99);
+    auto seq = harness::runSequence(cfg, {&warm, q12_});
+    sim::SimStats cold = harness::runCold(cfg, *q12_);
+    std::uint64_t cold_data =
+        cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+    std::uint64_t warm_data =
+        seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+    EXPECT_LT(warm_data, cold_data / 3); // nearly all data misses gone
+}
+
+TEST_F(PaperResults, IndexQueryBarelyWarmsSequentialQuery)
+{
+    sim::MachineConfig cfg =
+        sim::MachineConfig::baseline().withCacheSizes(1 << 20, 32 << 20);
+    harness::TraceSet warm = wl_->trace(tpcd::QueryId::Q3, 99);
+    auto seq = harness::runSequence(cfg, {&warm, q12_});
+    sim::SimStats cold = harness::runCold(cfg, *q12_);
+    std::uint64_t cold_data =
+        cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+    std::uint64_t warm_data =
+        seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+    EXPECT_GT(warm_data, cold_data / 2); // only a few misses disappear
+}
+
+TEST_F(PaperResults, IndexReuseAcrossIndexQueries)
+{
+    sim::MachineConfig cfg =
+        sim::MachineConfig::baseline().withCacheSizes(1 << 20, 32 << 20);
+    harness::TraceSet warm = wl_->trace(tpcd::QueryId::Q3, 99);
+    auto seq = harness::runSequence(cfg, {&warm, q3_});
+    sim::SimStats cold = harness::runCold(cfg, *q3_);
+    EXPECT_LT(seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Index),
+              cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Index));
+}
+
+// ---- Figure 13 / Section 6: prefetching ---------------------------------
+
+TEST_F(PaperResults, PrefetchingHelpsSequentialQueries)
+{
+    sim::MachineConfig opt = sim::MachineConfig::baseline();
+    opt.prefetchData = true;
+    for (const harness::TraceSet *t : {q6_, q12_}) {
+        sim::Cycles base = harness::runCold(sim::MachineConfig::baseline(),
+                                            *t)
+                               .aggregate()
+                               .totalCycles();
+        sim::Cycles with_pf =
+            harness::runCold(opt, *t).aggregate().totalCycles();
+        EXPECT_LT(with_pf, base);
+        // "Modest" gains: well under 25%.
+        EXPECT_GT(with_pf, base * 3 / 4);
+    }
+}
+
+TEST_F(PaperResults, PrefetchingBarelyChangesIndexQuery)
+{
+    sim::MachineConfig opt = sim::MachineConfig::baseline();
+    opt.prefetchData = true;
+    sim::Cycles base =
+        harness::runCold(sim::MachineConfig::baseline(), *q3_)
+            .aggregate()
+            .totalCycles();
+    sim::Cycles with_pf =
+        harness::runCold(opt, *q3_).aggregate().totalCycles();
+    double delta = std::abs(static_cast<double>(with_pf) -
+                            static_cast<double>(base)) /
+                   static_cast<double>(base);
+    EXPECT_LT(delta, 0.05);
+}
+
+TEST_F(PaperResults, PrefetchingDisturbsPrivateData)
+{
+    sim::MachineConfig opt = sim::MachineConfig::baseline();
+    opt.prefetchData = true;
+    for (const harness::TraceSet *t : {q3_, q6_, q12_}) {
+        sim::ProcStats base =
+            harness::runCold(sim::MachineConfig::baseline(), *t)
+                .aggregate();
+        sim::ProcStats with_pf = harness::runCold(opt, *t).aggregate();
+        EXPECT_GE(with_pf.pmem(), base.pmem()); // PMem goes up (or equal)
+    }
+}
+
+} // namespace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * End-to-end smoke test: build a tiny TPC-D database, trace Q6 on two
+ * processors, run it on the baseline machine, and sanity-check the stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/workload.hh"
+
+namespace {
+
+using namespace dss;
+
+TEST(Smoke, TinyQ6EndToEnd)
+{
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 2);
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_GT(traces[0].size(), 1000u);
+
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.nprocs = 2;
+    sim::SimStats stats = harness::runCold(cfg, traces);
+    ASSERT_EQ(stats.procs.size(), 2u);
+    EXPECT_GT(stats.procs[0].busy, 0u);
+    EXPECT_GT(stats.procs[0].reads, 0u);
+    EXPECT_GT(stats.procs[0].l1Misses.total(), 0u);
+}
+
+TEST(Smoke, Q6ResultMatchesHandComputation)
+{
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 1);
+    auto rows = wl.execute(tpcd::QueryId::Q6, 5);
+    ASSERT_EQ(rows.size(), 1u);        // global aggregate: one row
+    ASSERT_EQ(rows[0].size(), 1u);     // sum(extendedprice * discount)
+    EXPECT_GE(db::datumReal(rows[0][0]), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for trace serialization: round trips, corruption detection, and
+ * simulation equivalence of reloaded traces.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "sim/trace_io.hh"
+
+namespace {
+
+using namespace dss;
+using namespace dss::sim;
+
+std::vector<TraceStream>
+sampleStreams()
+{
+    std::vector<TraceStream> out(2);
+    out[0].record(TraceEntry::read(0x1000, DataClass::Data, 8));
+    out[0].record(TraceEntry::busy(42));
+    out[0].record(TraceEntry::write(0x2000, DataClass::Priv, 4));
+    out[0].record(TraceEntry::lockAcq(0x3000, DataClass::LockSLock));
+    out[0].record(TraceEntry::lockRel(0x3000, DataClass::LockSLock));
+    out[1].record(TraceEntry::read(0x4000, DataClass::Index, 8));
+    return out;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryEntry)
+{
+    std::vector<TraceStream> in = sampleStreams();
+    std::stringstream buf;
+    saveTraces(buf, in);
+    std::vector<TraceStream> out = loadTraces(buf);
+
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t s = 0; s < in.size(); ++s) {
+        ASSERT_EQ(out[s].size(), in[s].size());
+        for (std::size_t i = 0; i < in[s].size(); ++i) {
+            const TraceEntry &a = in[s].entries()[i];
+            const TraceEntry &b = out[s].entries()[i];
+            EXPECT_EQ(a.addr, b.addr);
+            EXPECT_EQ(a.op, b.op);
+            EXPECT_EQ(a.cls, b.cls);
+            EXPECT_EQ(a.extra, b.extra);
+            EXPECT_EQ(a.size, b.size);
+        }
+    }
+}
+
+TEST(TraceIo, EmptySetRoundTrips)
+{
+    std::stringstream buf;
+    saveTraces(buf, {});
+    EXPECT_TRUE(loadTraces(buf).empty());
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    std::stringstream buf;
+    buf << "NOTATRACEFILE.....";
+    EXPECT_THROW(loadTraces(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationRejected)
+{
+    std::vector<TraceStream> in = sampleStreams();
+    std::stringstream buf;
+    saveTraces(buf, in);
+    std::string bytes = buf.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() - 7));
+    EXPECT_THROW(loadTraces(cut), std::runtime_error);
+}
+
+TEST(TraceIo, CorruptOpCodeRejected)
+{
+    std::vector<TraceStream> in = sampleStreams();
+    std::stringstream buf;
+    saveTraces(buf, in);
+    std::string bytes = buf.str();
+    // First entry's op byte lives at header(8) + count(4) + n(8) + addr(8)
+    // + extra(4).
+    bytes[8 + 4 + 8 + 8 + 4] = 0x7f;
+    std::stringstream bad(bytes);
+    EXPECT_THROW(loadTraces(bad), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTripAndSimulationEquivalence)
+{
+    // Capture a real workload trace, save, reload, and check the machine
+    // produces identical statistics from the reloaded copy.
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 2, 42);
+    harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
+
+    const std::string path = ::testing::TempDir() + "/dss_traces.bin";
+    saveTracesFile(path, traces);
+    std::vector<TraceStream> reloaded = loadTracesFile(path);
+
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.nprocs = 2;
+    sim::SimStats a = harness::runCold(cfg, traces);
+    harness::TraceSet reloaded_set;
+    for (auto &t : reloaded)
+        reloaded_set.push_back(std::move(t));
+    sim::SimStats b = harness::runCold(cfg, reloaded_set);
+
+    ASSERT_EQ(a.procs.size(), b.procs.size());
+    for (std::size_t p = 0; p < a.procs.size(); ++p) {
+        EXPECT_EQ(a.procs[p].totalCycles(), b.procs[p].totalCycles());
+        EXPECT_EQ(a.procs[p].l1Misses.total(),
+                  b.procs[p].l1Misses.total());
+        EXPECT_EQ(a.procs[p].l2Misses.total(),
+                  b.procs[p].l2Misses.total());
+    }
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(loadTracesFile("/nonexistent/dir/trace.bin"),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for trace streams (entry encoding, busy coalescing, counts)
+ * and simulation statistics (miss tables, aggregation, rates).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace dss::sim;
+
+TEST(TraceEntry, FactoriesEncodeFields)
+{
+    TraceEntry r = TraceEntry::read(0x1234, DataClass::Data, 8);
+    EXPECT_EQ(r.op, Op::Read);
+    EXPECT_EQ(r.addr, 0x1234u);
+    EXPECT_EQ(r.cls, DataClass::Data);
+    EXPECT_EQ(r.size, 8);
+
+    TraceEntry w = TraceEntry::write(0x10, DataClass::Priv, 4);
+    EXPECT_EQ(w.op, Op::Write);
+
+    TraceEntry b = TraceEntry::busy(42);
+    EXPECT_EQ(b.op, Op::Busy);
+    EXPECT_EQ(b.extra, 42u);
+
+    TraceEntry la = TraceEntry::lockAcq(0x99, DataClass::LockSLock);
+    EXPECT_EQ(la.op, Op::LockAcq);
+    TraceEntry lr = TraceEntry::lockRel(0x99, DataClass::LockSLock);
+    EXPECT_EQ(lr.op, Op::LockRel);
+}
+
+TEST(TraceStream, CoalescesConsecutiveBusy)
+{
+    TraceStream s;
+    s.record(TraceEntry::busy(10));
+    s.record(TraceEntry::busy(20));
+    s.record(TraceEntry::read(0x40, DataClass::Data, 8));
+    s.record(TraceEntry::busy(5));
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.entries()[0].extra, 30u);
+}
+
+TEST(TraceStream, DropsZeroBusy)
+{
+    TraceStream s;
+    s.record(TraceEntry::busy(0));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(TraceStream, CountsSummarizeByClass)
+{
+    TraceStream s;
+    s.record(TraceEntry::read(0x40, DataClass::Data, 8));
+    s.record(TraceEntry::read(0x80, DataClass::Index, 8));
+    s.record(TraceEntry::write(0xc0, DataClass::Priv, 8));
+    s.record(TraceEntry::busy(7));
+    s.record(TraceEntry::lockAcq(0x100, DataClass::LockSLock));
+    s.record(TraceEntry::lockRel(0x100, DataClass::LockSLock));
+    TraceStream::Counts c = s.counts();
+    EXPECT_EQ(c.reads, 2u);
+    EXPECT_EQ(c.writes, 1u);
+    EXPECT_EQ(c.busyCycles, 7u);
+    EXPECT_EQ(c.lockAcqs, 1u);
+    EXPECT_EQ(c.readsByClass[static_cast<int>(DataClass::Data)], 1u);
+    EXPECT_EQ(c.writesByClass[static_cast<int>(DataClass::Priv)], 1u);
+}
+
+TEST(MissTable, AddAndQuery)
+{
+    MissTable t;
+    t.add(DataClass::Data, MissType::Cold, 5);
+    t.add(DataClass::Data, MissType::Conf);
+    t.add(DataClass::LockSLock, MissType::Cohe, 3);
+    EXPECT_EQ(t.of(DataClass::Data, MissType::Cold), 5u);
+    EXPECT_EQ(t.byClass(DataClass::Data), 6u);
+    EXPECT_EQ(t.byGroup(ClassGroup::Metadata), 3u);
+    EXPECT_EQ(t.byGroupAndType(ClassGroup::Metadata, MissType::Cohe), 3u);
+    EXPECT_EQ(t.total(), 9u);
+}
+
+TEST(MissTable, Accumulate)
+{
+    MissTable a, b;
+    a.add(DataClass::Data, MissType::Cold, 1);
+    b.add(DataClass::Data, MissType::Cold, 2);
+    b.add(DataClass::Priv, MissType::Conf, 4);
+    a += b;
+    EXPECT_EQ(a.of(DataClass::Data, MissType::Cold), 3u);
+    EXPECT_EQ(a.total(), 7u);
+}
+
+TEST(ProcStats, TotalsAndSplits)
+{
+    ProcStats s;
+    s.busy = 600;
+    s.memStall = 300;
+    s.syncStall = 100;
+    s.memStallByGroup[static_cast<int>(ClassGroup::Priv)] = 120;
+    s.memStallByGroup[static_cast<int>(ClassGroup::Data)] = 180;
+    EXPECT_EQ(s.totalCycles(), 1000u);
+    EXPECT_EQ(s.pmem(), 120u);
+    EXPECT_EQ(s.smem(), 180u);
+}
+
+TEST(ProcStats, MissRatesUseAssumedHitDenominator)
+{
+    ProcStats s;
+    s.reads = 100;
+    s.assumedHitReads = 100;
+    s.l1Misses.add(DataClass::Data, MissType::Cold, 10);
+    s.l2Misses.add(DataClass::Data, MissType::Cold, 2);
+    EXPECT_DOUBLE_EQ(s.l1MissRate(), 10.0 / 200.0);
+    EXPECT_DOUBLE_EQ(s.l2GlobalMissRate(), 2.0 / 200.0);
+}
+
+TEST(ProcStats, RatesZeroWithoutReferences)
+{
+    ProcStats s;
+    EXPECT_EQ(s.l1MissRate(), 0.0);
+    EXPECT_EQ(s.l2GlobalMissRate(), 0.0);
+}
+
+TEST(SimStats, AggregateSumsProcessors)
+{
+    SimStats st;
+    st.procs.resize(2);
+    st.procs[0].busy = 100;
+    st.procs[0].reads = 10;
+    st.procs[1].busy = 200;
+    st.procs[1].reads = 20;
+    st.procs[1].l1Misses.add(DataClass::Priv, MissType::Conf, 4);
+    ProcStats agg = st.aggregate();
+    EXPECT_EQ(agg.busy, 300u);
+    EXPECT_EQ(agg.reads, 30u);
+    EXPECT_EQ(agg.l1Misses.total(), 4u);
+}
+
+TEST(SimStats, ExecutionTimeIsSlowestProcessor)
+{
+    SimStats st;
+    st.procs.resize(3);
+    st.procs[0].busy = 100;
+    st.procs[1].busy = 500;
+    st.procs[2].busy = 50;
+    st.procs[2].memStall = 200;
+    EXPECT_EQ(st.executionTime(), 500u);
+}
+
+TEST(MissTypeNames, Stable)
+{
+    EXPECT_EQ(missTypeName(MissType::Cold), "Cold");
+    EXPECT_EQ(missTypeName(MissType::Conf), "Conf");
+    EXPECT_EQ(missTypeName(MissType::Cohe), "Cohe");
+}
+
+} // namespace

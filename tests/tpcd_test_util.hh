@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helper for TPC-D correctness tests: dump a relation to host rows
+ * through the page layer directly, bypassing the executor — an
+ * independent reference path for brute-force query evaluation.
+ */
+
+#ifndef DSS_TESTS_TPCD_TEST_UTIL_HH
+#define DSS_TESTS_TPCD_TEST_UTIL_HH
+
+#include <vector>
+
+#include "db/page.hh"
+#include "tpcd/dbgen.hh"
+
+namespace dss {
+namespace test {
+
+inline std::vector<std::vector<db::Datum>>
+dumpRelation(tpcd::TpcdDb &db, db::RelId rel)
+{
+    sim::NullSink sink;
+    db::TracedMemory mem(db.space(), 0, sink);
+    const db::Relation &r = db.catalog().relation(rel);
+    std::vector<std::vector<db::Datum>> rows;
+    for (db::BlockNo b : r.blocks) {
+        sim::Addr page_addr = db.bufmgr().pinPage(mem, rel, b);
+        db::PageRef page(mem, page_addr);
+        std::uint16_t n = page.numSlots();
+        for (std::uint16_t s = 0; s < n; ++s) {
+            sim::Addr t = page.tupleAddr(s);
+            if (!t)
+                continue; // deleted tuple
+            std::vector<db::Datum> row;
+            for (std::size_t a = 0; a < r.schema.numAttrs(); ++a)
+                row.push_back(readAttr(mem, t, r.schema, a));
+            rows.push_back(std::move(row));
+        }
+        db.bufmgr().unpinPage(mem, rel, b);
+    }
+    return rows;
+}
+
+} // namespace test
+} // namespace dss
+
+#endif // DSS_TESTS_TPCD_TEST_UTIL_HH
