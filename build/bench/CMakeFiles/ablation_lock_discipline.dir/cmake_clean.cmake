@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_discipline.dir/ablation_lock_discipline.cc.o"
+  "CMakeFiles/ablation_lock_discipline.dir/ablation_lock_discipline.cc.o.d"
+  "ablation_lock_discipline"
+  "ablation_lock_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

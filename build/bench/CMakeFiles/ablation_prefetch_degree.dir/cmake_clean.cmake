@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetch_degree.dir/ablation_prefetch_degree.cc.o"
+  "CMakeFiles/ablation_prefetch_degree.dir/ablation_prefetch_degree.cc.o.d"
+  "ablation_prefetch_degree"
+  "ablation_prefetch_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetch_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_intra_query.dir/ext_intra_query.cc.o"
+  "CMakeFiles/ext_intra_query.dir/ext_intra_query.cc.o.d"
+  "ext_intra_query"
+  "ext_intra_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_intra_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nested_query.dir/ext_nested_query.cc.o"
+  "CMakeFiles/ext_nested_query.dir/ext_nested_query.cc.o.d"
+  "ext_nested_query"
+  "ext_nested_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nested_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

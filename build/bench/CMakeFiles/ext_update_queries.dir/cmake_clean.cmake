@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_update_queries.dir/ext_update_queries.cc.o"
+  "CMakeFiles/ext_update_queries.dir/ext_update_queries.cc.o.d"
+  "ext_update_queries"
+  "ext_update_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_update_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cache_size_misses.dir/fig10_cache_size_misses.cc.o"
+  "CMakeFiles/fig10_cache_size_misses.dir/fig10_cache_size_misses.cc.o.d"
+  "fig10_cache_size_misses"
+  "fig10_cache_size_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache_size_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

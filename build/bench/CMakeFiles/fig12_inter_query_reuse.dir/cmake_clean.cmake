@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inter_query_reuse.dir/fig12_inter_query_reuse.cc.o"
+  "CMakeFiles/fig12_inter_query_reuse.dir/fig12_inter_query_reuse.cc.o.d"
+  "fig12_inter_query_reuse"
+  "fig12_inter_query_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inter_query_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_prefetch.dir/fig13_prefetch.cc.o"
+  "CMakeFiles/fig13_prefetch.dir/fig13_prefetch.cc.o.d"
+  "fig13_prefetch"
+  "fig13_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

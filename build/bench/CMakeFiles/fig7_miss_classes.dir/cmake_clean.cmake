@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_miss_classes.dir/fig7_miss_classes.cc.o"
+  "CMakeFiles/fig7_miss_classes.dir/fig7_miss_classes.cc.o.d"
+  "fig7_miss_classes"
+  "fig7_miss_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_miss_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

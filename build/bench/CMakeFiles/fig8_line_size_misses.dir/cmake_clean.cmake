@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_line_size_misses.dir/fig8_line_size_misses.cc.o"
+  "CMakeFiles/fig8_line_size_misses.dir/fig8_line_size_misses.cc.o.d"
+  "fig8_line_size_misses"
+  "fig8_line_size_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_line_size_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_line_size_misses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_db.dir/microbench_db.cc.o"
+  "CMakeFiles/microbench_db.dir/microbench_db.cc.o.d"
+  "microbench_db"
+  "microbench_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

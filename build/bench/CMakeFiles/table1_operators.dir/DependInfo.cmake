@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_operators.cc" "bench/CMakeFiles/table1_operators.dir/table1_operators.cc.o" "gcc" "bench/CMakeFiles/table1_operators.dir/table1_operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dss_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dss_tpcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dss_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dss_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

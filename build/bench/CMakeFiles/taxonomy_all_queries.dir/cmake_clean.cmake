@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_all_queries.dir/taxonomy_all_queries.cc.o"
+  "CMakeFiles/taxonomy_all_queries.dir/taxonomy_all_queries.cc.o.d"
+  "taxonomy_all_queries"
+  "taxonomy_all_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_all_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

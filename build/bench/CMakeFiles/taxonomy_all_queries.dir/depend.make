@@ -1,0 +1,2 @@
+# Empty dependencies file for taxonomy_all_queries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_size_study.dir/line_size_study.cpp.o"
+  "CMakeFiles/line_size_study.dir/line_size_study.cpp.o.d"
+  "line_size_study"
+  "line_size_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_size_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_cache_study.dir/warm_cache_study.cpp.o"
+  "CMakeFiles/warm_cache_study.dir/warm_cache_study.cpp.o.d"
+  "warm_cache_study"
+  "warm_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cc" "src/CMakeFiles/dss_db.dir/db/btree.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/btree.cc.o.d"
+  "/root/repo/src/db/bufmgr.cc" "src/CMakeFiles/dss_db.dir/db/bufmgr.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/bufmgr.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/dss_db.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/dml.cc" "src/CMakeFiles/dss_db.dir/db/dml.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/dml.cc.o.d"
+  "/root/repo/src/db/exec.cc" "src/CMakeFiles/dss_db.dir/db/exec.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/exec.cc.o.d"
+  "/root/repo/src/db/expr.cc" "src/CMakeFiles/dss_db.dir/db/expr.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/expr.cc.o.d"
+  "/root/repo/src/db/lockmgr.cc" "src/CMakeFiles/dss_db.dir/db/lockmgr.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/lockmgr.cc.o.d"
+  "/root/repo/src/db/mem.cc" "src/CMakeFiles/dss_db.dir/db/mem.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/mem.cc.o.d"
+  "/root/repo/src/db/page.cc" "src/CMakeFiles/dss_db.dir/db/page.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/page.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/CMakeFiles/dss_db.dir/db/schema.cc.o" "gcc" "src/CMakeFiles/dss_db.dir/db/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dss_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

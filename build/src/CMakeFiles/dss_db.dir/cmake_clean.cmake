@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_db.dir/db/btree.cc.o"
+  "CMakeFiles/dss_db.dir/db/btree.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/bufmgr.cc.o"
+  "CMakeFiles/dss_db.dir/db/bufmgr.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/catalog.cc.o"
+  "CMakeFiles/dss_db.dir/db/catalog.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/dml.cc.o"
+  "CMakeFiles/dss_db.dir/db/dml.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/exec.cc.o"
+  "CMakeFiles/dss_db.dir/db/exec.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/expr.cc.o"
+  "CMakeFiles/dss_db.dir/db/expr.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/lockmgr.cc.o"
+  "CMakeFiles/dss_db.dir/db/lockmgr.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/mem.cc.o"
+  "CMakeFiles/dss_db.dir/db/mem.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/page.cc.o"
+  "CMakeFiles/dss_db.dir/db/page.cc.o.d"
+  "CMakeFiles/dss_db.dir/db/schema.cc.o"
+  "CMakeFiles/dss_db.dir/db/schema.cc.o.d"
+  "libdss_db.a"
+  "libdss_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

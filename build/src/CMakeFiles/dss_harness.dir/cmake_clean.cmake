@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_harness.dir/harness/report.cc.o"
+  "CMakeFiles/dss_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/dss_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/dss_harness.dir/harness/runner.cc.o.d"
+  "CMakeFiles/dss_harness.dir/harness/workload.cc.o"
+  "CMakeFiles/dss_harness.dir/harness/workload.cc.o.d"
+  "libdss_harness.a"
+  "libdss_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

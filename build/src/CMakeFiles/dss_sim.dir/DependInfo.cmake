@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arena.cc" "src/CMakeFiles/dss_sim.dir/sim/arena.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/arena.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/dss_sim.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/directory.cc" "src/CMakeFiles/dss_sim.dir/sim/directory.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/directory.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/dss_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/spinlock_model.cc" "src/CMakeFiles/dss_sim.dir/sim/spinlock_model.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/spinlock_model.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/dss_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/dss_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/CMakeFiles/dss_sim.dir/sim/trace_io.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/trace_io.cc.o.d"
+  "/root/repo/src/sim/write_buffer.cc" "src/CMakeFiles/dss_sim.dir/sim/write_buffer.cc.o" "gcc" "src/CMakeFiles/dss_sim.dir/sim/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

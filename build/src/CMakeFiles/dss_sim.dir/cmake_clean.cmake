@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_sim.dir/sim/arena.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/arena.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/cache.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/cache.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/directory.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/directory.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/spinlock_model.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/spinlock_model.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/trace.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/trace_io.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/trace_io.cc.o.d"
+  "CMakeFiles/dss_sim.dir/sim/write_buffer.cc.o"
+  "CMakeFiles/dss_sim.dir/sim/write_buffer.cc.o.d"
+  "libdss_sim.a"
+  "libdss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_tpcd.dir/tpcd/dbgen.cc.o"
+  "CMakeFiles/dss_tpcd.dir/tpcd/dbgen.cc.o.d"
+  "CMakeFiles/dss_tpcd.dir/tpcd/queries.cc.o"
+  "CMakeFiles/dss_tpcd.dir/tpcd/queries.cc.o.d"
+  "CMakeFiles/dss_tpcd.dir/tpcd/updates.cc.o"
+  "CMakeFiles/dss_tpcd.dir/tpcd/updates.cc.o.d"
+  "libdss_tpcd.a"
+  "libdss_tpcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_tpcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arena.cc" "tests/CMakeFiles/dss_tests.dir/test_arena.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_arena.cc.o.d"
+  "/root/repo/tests/test_btree.cc" "tests/CMakeFiles/dss_tests.dir/test_btree.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_btree.cc.o.d"
+  "/root/repo/tests/test_bufmgr_lockmgr.cc" "tests/CMakeFiles/dss_tests.dir/test_bufmgr_lockmgr.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_bufmgr_lockmgr.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/dss_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/dss_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_directory.cc" "tests/CMakeFiles/dss_tests.dir/test_directory.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_directory.cc.o.d"
+  "/root/repo/tests/test_dml.cc" "tests/CMakeFiles/dss_tests.dir/test_dml.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_dml.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/dss_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_exec.cc" "tests/CMakeFiles/dss_tests.dir/test_exec.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_exec.cc.o.d"
+  "/root/repo/tests/test_expr.cc" "tests/CMakeFiles/dss_tests.dir/test_expr.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_expr.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/dss_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/dss_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/dss_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/dss_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_mem_page.cc" "tests/CMakeFiles/dss_tests.dir/test_mem_page.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_mem_page.cc.o.d"
+  "/root/repo/tests/test_nested.cc" "tests/CMakeFiles/dss_tests.dir/test_nested.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_nested.cc.o.d"
+  "/root/repo/tests/test_paper_results.cc" "tests/CMakeFiles/dss_tests.dir/test_paper_results.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_paper_results.cc.o.d"
+  "/root/repo/tests/test_query_reference.cc" "tests/CMakeFiles/dss_tests.dir/test_query_reference.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_query_reference.cc.o.d"
+  "/root/repo/tests/test_schema.cc" "tests/CMakeFiles/dss_tests.dir/test_schema.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_schema.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/dss_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_spinlock.cc" "tests/CMakeFiles/dss_tests.dir/test_spinlock.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_spinlock.cc.o.d"
+  "/root/repo/tests/test_tpcd.cc" "tests/CMakeFiles/dss_tests.dir/test_tpcd.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_tpcd.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/dss_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_trace_stats.cc" "tests/CMakeFiles/dss_tests.dir/test_trace_stats.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_trace_stats.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/dss_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/dss_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dss_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dss_tpcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dss_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dss_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
