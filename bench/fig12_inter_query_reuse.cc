@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -38,15 +39,44 @@ printRun(const std::string &label, const sim::SimStats &stats, double base)
               << '\n';
 }
 
+// Case labels are space-padded for the text report; strip that for JSON.
+std::string
+trimmed(std::string s)
+{
+    while (!s.empty() && s.back() == ' ')
+        s.pop_back();
+    return s;
+}
+
+obs::Json
+normalizedRow(const sim::SimStats &stats, double base)
+{
+    const sim::MissTable &m = stats.aggregate().l2Misses;
+    auto n = [&](sim::ClassGroup g) {
+        return 100.0 * static_cast<double>(m.byGroup(g)) / base;
+    };
+    obs::Json row = obs::Json::object();
+    row["metadataPct"] = n(sim::ClassGroup::Metadata);
+    row["indexPct"] = n(sim::ClassGroup::Index);
+    row["dataPct"] = n(sim::ClassGroup::Data);
+    row["privPct"] = n(sim::ClassGroup::Priv);
+    row["totalPct"] = 100.0 * static_cast<double>(m.total()) / base;
+    return row;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts =
+        harness::BenchOptions::parse(argc, argv, "fig12_inter_query_reuse");
+    harness::ObsSession session("fig12_inter_query_reuse", opts);
+
     std::cout << "=== Figure 12: secondary-cache misses with warm caches "
                  "(1M L1 / 32M L2; cold run = 100) ===\n\n";
 
-    harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    harness::Workload wl(opts.scaleConfig(), 4);
     sim::MachineConfig cfg = sim::MachineConfig::baseline().withCacheSizes(
         1 << 20, 32 << 20);
 
@@ -64,8 +94,10 @@ main()
         const harness::TraceSet *measured;
     };
 
+    obs::Json &figure = session.extra();
     auto run_group = [&](const char *title, const Case (&cases)[3]) {
         std::cout << title << '\n';
+        obs::Json rows = obs::Json::array();
         double base = 1;
         for (const Case &c : cases) {
             std::vector<const harness::TraceSet *> seq;
@@ -73,15 +105,25 @@ main()
                 seq.push_back(c.warm);
             seq.push_back(c.measured);
             std::vector<sim::SimStats> all =
-                harness::runSequence(cfg, seq);
+                harness::runSequence(cfg, seq, session.sampler(),
+                                     session.timeline(),
+                                     session.registrySlot());
             const sim::SimStats &measured = all.back();
+            session.addRun(trimmed(c.label), measured);
             if (!c.warm) {
                 base = std::max<double>(
                     1.0, static_cast<double>(
                              measured.aggregate().l2Misses.total()));
             }
             printRun(c.label, measured, base);
+            if (session.wantJson()) {
+                obs::Json row = normalizedRow(measured, base);
+                row["label"] = trimmed(c.label);
+                rows.push(std::move(row));
+            }
         }
+        if (session.wantJson())
+            figure[title] = std::move(rows);
         std::cout << '\n';
     };
 
@@ -98,5 +140,5 @@ main()
         {"Q12, warmed by Q3         ", &q3_b, &q12_a},
     };
     run_group("Figure 12(b): misses of Q12", q12_cases);
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }

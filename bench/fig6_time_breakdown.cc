@@ -11,18 +11,23 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts =
+        harness::BenchOptions::parse(argc, argv, "fig6_time_breakdown");
+    harness::ObsSession session("fig6_time_breakdown", opts);
+
     std::cout << "=== Figure 6: execution time and memory-stall breakdown "
                  "(baseline machine) ===\n\n";
 
-    harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    harness::Workload wl(opts.scaleConfig(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
 
     const tpcd::QueryId queries[] = {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
@@ -35,7 +40,10 @@ main()
 
     for (tpcd::QueryId q : queries) {
         harness::TraceSet traces = wl.trace(q);
-        sim::SimStats stats = harness::runCold(cfg, traces);
+        sim::SimStats stats =
+            harness::runCold(cfg, traces, session.sampler(),
+                             session.timeline(), session.registrySlot());
+        session.addRun(tpcd::queryName(q), stats);
 
         harness::TimeBreakdown tb = harness::timeBreakdown(stats);
         fig6a.addRow({tpcd::queryName(q), std::to_string(tb.total),
@@ -58,5 +66,5 @@ main()
     fig6a.print(std::cout);
     std::cout << "\nFigure 6(b): memory stall time by structure\n";
     fig6b.print(std::cout);
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }

@@ -13,18 +13,23 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts =
+        harness::BenchOptions::parse(argc, argv, "fig7_miss_classes");
+    harness::ObsSession session("fig7_miss_classes", opts);
+
     std::cout << "=== Figure 7: miss classification by data structure "
                  "(baseline machine) ===\n\n";
 
-    harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    harness::Workload wl(opts.scaleConfig(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
 
     harness::TextTable rates(
@@ -33,7 +38,10 @@ main()
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
                             tpcd::QueryId::Q12}) {
         harness::TraceSet traces = wl.trace(q);
-        sim::SimStats stats = harness::runCold(cfg, traces);
+        sim::SimStats stats =
+            harness::runCold(cfg, traces, session.sampler(),
+                             session.timeline(), session.registrySlot());
+        session.addRun(tpcd::queryName(q), stats);
         sim::ProcStats agg = stats.aggregate();
 
         harness::printMissTable(
@@ -54,5 +62,5 @@ main()
     std::cout << "Section 5.1 absolute miss rates "
                  "(paper: L1 5.5/3.4/4.8%, L2 0.8/0.6/0.5%)\n";
     rates.print(std::cout);
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -32,28 +33,40 @@ className(tpcd::QueryClass c)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts =
+        harness::BenchOptions::parse(argc, argv, "taxonomy_all_queries");
+    harness::ObsSession session("taxonomy_all_queries", opts);
+
     std::cout << "=== Taxonomy: measured access-pattern class of Q1..Q17 "
                  "===\n\n";
 
-    // A reduced population keeps the long-plan queries quick; the class
-    // boundaries are scale-invariant.
+    // The default population here is already reduced from the paper scale:
+    // it keeps the long-plan queries quick, and the class boundaries are
+    // scale-invariant. --scale tiny shrinks it further for smoke tests.
     tpcd::ScaleConfig scale;
     scale.customers = 300;
     scale.parts = 400;
     scale.suppliers = 20;
+    if (opts.scale == "tiny")
+        scale = tpcd::ScaleConfig::tiny();
     harness::Workload wl(scale, 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
 
     harness::TextTable tab({"query", "Data% of shared L2 misses",
                             "Index+Meta%", "measured class",
                             "paper class", "agree"});
+    obs::Json taxonomy = obs::Json::array();
     int agreements = 0;
     for (int qi = 1; qi <= tpcd::kNumQueries; ++qi) {
         auto q = static_cast<tpcd::QueryId>(qi);
         harness::TraceSet traces = wl.trace(q);
-        sim::ProcStats agg = harness::runCold(cfg, traces).aggregate();
+        sim::SimStats stats =
+            harness::runCold(cfg, traces, session.sampler(),
+                             session.timeline(), session.registrySlot());
+        session.addRun(tpcd::queryName(q), stats);
+        sim::ProcStats agg = stats.aggregate();
 
         const double data = static_cast<double>(
             agg.l2Misses.byGroup(sim::ClassGroup::Data));
@@ -77,11 +90,28 @@ main()
                     harness::fixed(100 * (index + meta) / shared),
                     className(measured), className(paper),
                     agree ? "yes" : "NO"});
+
+        if (session.wantJson()) {
+            obs::Json row = obs::Json::object();
+            row["query"] = tpcd::queryName(q);
+            row["dataSharePct"] = 100 * data_share;
+            row["indexMetaSharePct"] = 100 * (index + meta) / shared;
+            row["measuredClass"] = className(measured);
+            row["paperClass"] = className(paper);
+            row["agree"] = agree;
+            taxonomy.push(std::move(row));
+        }
     }
     tab.print(std::cout);
     std::cout << "\nagreement: " << agreements << "/17 queries\n"
               << "(the paper's taxonomy comes from the select algorithm "
                  "in Table 1; the\nmeasured class is derived purely from "
                  "the simulated miss mix)\n";
-    return 0;
+
+    if (session.wantJson()) {
+        session.extra()["taxonomy"] = std::move(taxonomy);
+        session.extra()["agreements"] =
+            static_cast<std::int64_t>(agreements);
+    }
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the full test suite.
+# Usage: scripts/check.sh [build-dir]   (default: build/)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j"$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j"$(nproc)"

@@ -1,0 +1,159 @@
+#include "harness/options.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/stats_json.hh"
+
+namespace dss {
+namespace harness {
+
+namespace {
+
+void
+usage(std::ostream &os, const std::string &bench)
+{
+    os << "usage: " << bench << " [options]\n"
+       << "  --json <path>    write a machine-readable JSON report\n"
+       << "  --trace <path>   write a Chrome trace-event timeline\n"
+       << "                   (open in chrome://tracing or Perfetto)\n"
+       << "  --epoch <cycles> sample counters every N simulated cycles\n"
+       << "  --scale <name>   database population: paper (default), tiny\n"
+       << "  --help           show this message\n";
+}
+
+} // namespace
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, const std::string &bench_name)
+{
+    BenchOptions opts;
+    auto needValue = [&](int i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << bench_name << ": " << argv[i]
+                      << " requires a value\n";
+            std::exit(2);
+        }
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout, bench_name);
+            std::exit(0);
+        } else if (arg == "--json") {
+            opts.jsonPath = needValue(i++);
+        } else if (arg == "--trace") {
+            opts.tracePath = needValue(i++);
+        } else if (arg == "--epoch") {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            opts.epochCycles = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || opts.epochCycles == 0) {
+                std::cerr << bench_name
+                          << ": --epoch needs a positive cycle count, got '"
+                          << v << "'\n";
+                std::exit(2);
+            }
+        } else if (arg == "--scale") {
+            opts.scale = needValue(i++);
+            if (opts.scale != "paper" && opts.scale != "tiny") {
+                std::cerr << bench_name << ": unknown --scale '"
+                          << opts.scale << "' (paper, tiny)\n";
+                std::exit(2);
+            }
+        } else {
+            std::cerr << bench_name << ": unknown option '" << arg
+                      << "'\n";
+            usage(std::cerr, bench_name);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+tpcd::ScaleConfig
+BenchOptions::scaleConfig() const
+{
+    return scale == "tiny" ? tpcd::ScaleConfig::tiny()
+                           : tpcd::ScaleConfig::paperScale();
+}
+
+ObsSession::ObsSession(std::string bench_name, BenchOptions opts)
+    : bench_(std::move(bench_name)), opts_(std::move(opts)),
+      runs_(obs::Json::array()), extra_(obs::Json::object())
+{
+    if (opts_.epochCycles > 0)
+        sampler_ = std::make_unique<obs::Sampler>(opts_.epochCycles);
+    if (!opts_.tracePath.empty())
+        timeline_ = std::make_unique<obs::Timeline>();
+}
+
+obs::Json *
+ObsSession::registrySlot()
+{
+    if (!wantJson())
+        return nullptr;
+    pendingRegistry_ = obs::Json();
+    return &pendingRegistry_;
+}
+
+void
+ObsSession::addRun(const std::string &label, const sim::SimStats &stats)
+{
+    if (!wantJson())
+        return;
+    obs::Json run = obs::Json::object();
+    run["label"] = label;
+    run["stats"] = obs::toJson(stats);
+    if (!pendingRegistry_.isNull()) {
+        run["counters"] = std::move(pendingRegistry_);
+        pendingRegistry_ = obs::Json();
+    }
+    runs_.push(std::move(run));
+}
+
+bool
+ObsSession::finish(const sim::MachineConfig &cfg, std::ostream &err)
+{
+    bool ok = true;
+    if (wantJson()) {
+        obs::Json doc = obs::Json::object();
+        doc["bench"] = bench_;
+        doc["scale"] = opts_.scale;
+        doc["config"] = obs::toJson(cfg);
+        doc["runs"] = std::move(runs_);
+        if (extra_.size() > 0)
+            for (const auto &[k, v] : extra_.members())
+                doc[k] = v;
+        if (sampler_)
+            doc["epochs"] = sampler_->toJson();
+        std::ofstream os(opts_.jsonPath);
+        if (!os) {
+            err << bench_ << ": cannot write " << opts_.jsonPath << '\n';
+            ok = false;
+        } else {
+            doc.dump(os, 2);
+            os << '\n';
+            err << "wrote JSON report to " << opts_.jsonPath << '\n';
+        }
+    }
+    if (timeline_) {
+        std::ofstream os(opts_.tracePath);
+        if (!os) {
+            err << bench_ << ": cannot write " << opts_.tracePath << '\n';
+            ok = false;
+        } else {
+            timeline_->writeChromeJson(os);
+            os << '\n';
+            err << "wrote Chrome trace to " << opts_.tracePath
+                << " (open in chrome://tracing or https://ui.perfetto.dev)"
+                << '\n';
+        }
+    }
+    return ok;
+}
+
+} // namespace harness
+} // namespace dss

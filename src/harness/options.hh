@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared command-line flag layer and JSON/trace output session for the
+ * bench/ binaries.
+ *
+ * Every figure binary accepts the same observability flags:
+ *
+ *   --json <path>    write a machine-readable report of the run
+ *   --trace <path>   write a Chrome trace-event timeline (chrome://tracing)
+ *   --epoch <cycles> sample per-processor counters every N simulated
+ *                    cycles into the JSON report's "epochs" series
+ *   --scale <name>   database population: "paper" (default) or "tiny"
+ *
+ * ObsSession owns the wiring: it hands out the sampler/timeline pointers
+ * to pass to the runner, collects per-run stats and registry snapshots,
+ * and writes the output files on finish().
+ */
+
+#ifndef DSS_HARNESS_OPTIONS_HH
+#define DSS_HARNESS_OPTIONS_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/sampler.hh"
+#include "obs/timeline.hh"
+#include "sim/machine.hh"
+#include "tpcd/dbgen.hh"
+
+namespace dss {
+namespace harness {
+
+struct BenchOptions
+{
+    std::string jsonPath;        ///< --json; empty = no JSON output
+    std::string tracePath;       ///< --trace; empty = no timeline output
+    sim::Cycles epochCycles = 0; ///< --epoch; 0 = no time-series sampling
+    std::string scale = "paper"; ///< --scale
+
+    /**
+     * Parse the shared flags. Prints usage and exits(0) on --help; prints
+     * an error and exits(2) on unknown flags or malformed values.
+     */
+    static BenchOptions parse(int argc, char **argv,
+                              const std::string &bench_name);
+
+    /** The TPC-D population selected by --scale. */
+    tpcd::ScaleConfig scaleConfig() const;
+};
+
+/** Observability output for one bench invocation. */
+class ObsSession
+{
+  public:
+    ObsSession(std::string bench_name, BenchOptions opts);
+
+    /** Sampler to pass to the runner; null unless --epoch was given. */
+    obs::Sampler *sampler() { return sampler_.get(); }
+
+    /** Timeline to pass to the runner; null unless --trace was given. */
+    obs::Timeline *timeline() { return timeline_.get(); }
+
+    /**
+     * Destination for a runner registry snapshot of the next addRun();
+     * null unless --json was given (snapshots are only kept for JSON).
+     */
+    obs::Json *registrySlot();
+
+    /**
+     * Record one simulated run under @p label. Appends the full
+     * toJson(stats) plus any registry snapshot captured since the last
+     * addRun() to the report's "runs" array.
+     */
+    void addRun(const std::string &label, const sim::SimStats &stats);
+
+    /** Free-form extra payload ("figure" data) merged into the report. */
+    obs::Json &extra() { return extra_; }
+
+    bool wantJson() const { return !opts_.jsonPath.empty(); }
+
+    /**
+     * Write the requested output files (JSON report and/or Chrome trace)
+     * and note them on @p err. No-op for files that were not requested.
+     * @return false if any file could not be written.
+     */
+    bool finish(const sim::MachineConfig &cfg, std::ostream &err);
+
+  private:
+    std::string bench_;
+    BenchOptions opts_;
+    std::unique_ptr<obs::Sampler> sampler_;
+    std::unique_ptr<obs::Timeline> timeline_;
+    obs::Json pendingRegistry_;
+    obs::Json runs_;
+    obs::Json extra_;
+};
+
+} // namespace harness
+} // namespace dss
+
+#endif // DSS_HARNESS_OPTIONS_HH

@@ -1,5 +1,6 @@
 #include "harness/report.hh"
 
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -49,6 +50,10 @@ TextTable::print(std::ostream &os) const
 std::string
 fixed(double v, int precision)
 {
+    // A nan/inf that reaches a report cell would print as "nan"/"inf" and
+    // poison downstream parsing; render it as "n/a" instead.
+    if (!std::isfinite(v))
+        return "n/a";
     std::ostringstream ss;
     ss << std::fixed << std::setprecision(precision) << v;
     return ss.str();
@@ -57,7 +62,10 @@ fixed(double v, int precision)
 std::string
 pct(double part, double whole, int precision)
 {
-    return fixed(whole > 0 ? 100.0 * part / whole : 0.0, precision);
+    const double ratio = 100.0 * part / whole;
+    if (whole <= 0 || !std::isfinite(ratio))
+        return fixed(0.0, precision);
+    return fixed(ratio, precision);
 }
 
 TimeBreakdown

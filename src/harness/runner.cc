@@ -1,24 +1,47 @@
 #include "harness/runner.hh"
 
+#include "obs/registry.hh"
+
 namespace dss {
 namespace harness {
 
+namespace {
+
+void
+snapshotRegistry(const sim::Machine &machine, obs::Json *out)
+{
+    if (!out)
+        return;
+    obs::Registry reg;
+    machine.registerStats(reg);
+    *out = reg.toJson();
+}
+
+} // namespace
+
 sim::SimStats
-runCold(const sim::MachineConfig &cfg, const TraceSet &traces)
+runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
+        obs::Sampler *sampler, obs::Timeline *timeline,
+        obs::Json *registry_snapshot)
 {
     sim::Machine machine(cfg);
-    return machine.run(tracePtrs(traces));
+    sim::SimStats stats = machine.run(tracePtrs(traces), sampler, timeline);
+    snapshotRegistry(machine, registry_snapshot);
+    return stats;
 }
 
 std::vector<sim::SimStats>
 runSequence(const sim::MachineConfig &cfg,
-            const std::vector<const TraceSet *> &sequence)
+            const std::vector<const TraceSet *> &sequence,
+            obs::Sampler *sampler, obs::Timeline *timeline,
+            obs::Json *registry_snapshot)
 {
     sim::Machine machine(cfg);
     std::vector<sim::SimStats> out;
     out.reserve(sequence.size());
     for (const TraceSet *traces : sequence)
-        out.push_back(machine.run(tracePtrs(*traces)));
+        out.push_back(machine.run(tracePtrs(*traces), sampler, timeline));
+    snapshotRegistry(machine, registry_snapshot);
     return out;
 }
 

@@ -1,7 +1,9 @@
 /**
  * @file
  * Experiment runner: simulate trace sets on Machine configurations, cold
- * or warm (the warm-start chaining of the paper's Figure 12).
+ * or warm (the warm-start chaining of the paper's Figure 12), optionally
+ * observed by the obs layer (epoch sampler, Chrome-trace timeline, and a
+ * counter-registry snapshot).
  */
 
 #ifndef DSS_HARNESS_RUNNER_HH
@@ -13,19 +15,43 @@
 #include "sim/machine.hh"
 
 namespace dss {
+namespace obs {
+class Json;
+class Sampler;
+class Timeline;
+} // namespace obs
+
 namespace harness {
 
-/** Simulate @p traces on a fresh machine with @p cfg (cold caches). */
-sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces);
+/**
+ * Simulate @p traces on a fresh machine with @p cfg (cold caches).
+ *
+ * @param sampler  Optional epoch sampler receiving counter deltas.
+ * @param timeline Optional timeline receiving busy/stall/lock spans.
+ * @param registry_snapshot When non-null, the machine's full counter
+ *        registry (per-proc stats, cache/write-buffer/directory/lock
+ *        counters) is snapshotted into this JSON object after the run.
+ */
+sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
+                      obs::Sampler *sampler = nullptr,
+                      obs::Timeline *timeline = nullptr,
+                      obs::Json *registry_snapshot = nullptr);
 
 /**
  * Simulate a sequence of trace sets on one machine without flushing caches
- * between them (Fig 12: "caches warmed up with another execution").
+ * between them (Fig 12: "caches warmed up with another execution"). The
+ * sampler and timeline, when given, observe every run of the chain: epoch
+ * samples carry their run index, and timeline runs are laid out
+ * back-to-back on the trace time axis.
+ *
  * @return per-run statistics, in order.
  */
 std::vector<sim::SimStats>
 runSequence(const sim::MachineConfig &cfg,
-            const std::vector<const TraceSet *> &sequence);
+            const std::vector<const TraceSet *> &sequence,
+            obs::Sampler *sampler = nullptr,
+            obs::Timeline *timeline = nullptr,
+            obs::Json *registry_snapshot = nullptr);
 
 } // namespace harness
 } // namespace dss

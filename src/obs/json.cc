@@ -1,0 +1,551 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dss {
+namespace obs {
+
+Json::Type
+Json::type() const
+{
+    switch (value_.index()) {
+      case 0: return Type::Null;
+      case 1: return Type::Bool;
+      case 2: return Type::Int;
+      case 3: return Type::Uint;
+      case 4: return Type::Double;
+      case 5: return Type::String;
+      case 6: return Type::Array;
+      default: return Type::Object;
+    }
+}
+
+bool
+Json::isNumber() const
+{
+    Type t = type();
+    return t == Type::Int || t == Type::Uint || t == Type::Double;
+}
+
+bool
+Json::asBool() const
+{
+    if (auto *b = std::get_if<bool>(&value_))
+        return *b;
+    throw std::runtime_error("Json: not a bool");
+}
+
+double
+Json::asDouble() const
+{
+    switch (type()) {
+      case Type::Int: return static_cast<double>(std::get<std::int64_t>(value_));
+      case Type::Uint:
+        return static_cast<double>(std::get<std::uint64_t>(value_));
+      case Type::Double: return std::get<double>(value_);
+      default: throw std::runtime_error("Json: not a number");
+    }
+}
+
+std::int64_t
+Json::asInt() const
+{
+    switch (type()) {
+      case Type::Int: return std::get<std::int64_t>(value_);
+      case Type::Uint:
+        return static_cast<std::int64_t>(std::get<std::uint64_t>(value_));
+      case Type::Double:
+        return static_cast<std::int64_t>(std::get<double>(value_));
+      default: throw std::runtime_error("Json: not a number");
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (type()) {
+      case Type::Int:
+        return static_cast<std::uint64_t>(std::get<std::int64_t>(value_));
+      case Type::Uint: return std::get<std::uint64_t>(value_);
+      case Type::Double:
+        return static_cast<std::uint64_t>(std::get<double>(value_));
+      default: throw std::runtime_error("Json: not a number");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    if (auto *s = std::get_if<std::string>(&value_))
+        return *s;
+    throw std::runtime_error("Json: not a string");
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type() == Type::Null)
+        value_ = Object{};
+    auto *obj = std::get_if<Object>(&value_);
+    if (!obj)
+        throw std::runtime_error("Json: not an object");
+    for (auto &[k, v] : *obj)
+        if (k == key)
+            return v;
+    obj->emplace_back(key, Json());
+    return obj->back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    auto *obj = std::get_if<Object>(&value_);
+    if (!obj)
+        return nullptr;
+    for (const auto &[k, v] : *obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::size_t
+Json::size() const
+{
+    if (auto *a = std::get_if<Array>(&value_))
+        return a->size();
+    if (auto *o = std::get_if<Object>(&value_))
+        return o->size();
+    return 0;
+}
+
+Json &
+Json::push(Json v)
+{
+    if (type() == Type::Null)
+        value_ = Array{};
+    auto *a = std::get_if<Array>(&value_);
+    if (!a)
+        throw std::runtime_error("Json: not an array");
+    a->push_back(std::move(v));
+    return *this;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    auto *a = std::get_if<Array>(&value_);
+    if (!a || i >= a->size())
+        throw std::runtime_error("Json: bad array index");
+    return (*a)[i];
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    auto *o = std::get_if<Object>(&value_);
+    if (!o)
+        throw std::runtime_error("Json: not an object");
+    return *o;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeDouble(std::ostream &os, double v)
+{
+    // Non-finite values are not representable in JSON; emit null so the
+    // output always parses (the reporting layer guards these upstream).
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char t[32];
+        std::snprintf(t, sizeof t, "%.*g", prec, v);
+        if (std::strtod(t, nullptr) == v) {
+            os << t;
+            return;
+        }
+    }
+    os << buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::ostream &os, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (pretty)
+            os << '\n' << std::string(static_cast<std::size_t>(indent * d),
+                                      ' ');
+    };
+    switch (type()) {
+      case Type::Null: os << "null"; break;
+      case Type::Bool: os << (std::get<bool>(value_) ? "true" : "false");
+        break;
+      case Type::Int: os << std::get<std::int64_t>(value_); break;
+      case Type::Uint: os << std::get<std::uint64_t>(value_); break;
+      case Type::Double: writeDouble(os, std::get<double>(value_)); break;
+      case Type::String:
+        os << '"' << jsonEscape(std::get<std::string>(value_)) << '"';
+        break;
+      case Type::Array: {
+        const auto &a = std::get<Array>(value_);
+        if (a.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            a[i].dumpTo(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        break;
+      }
+      case Type::Object: {
+        const auto &o = std::get<Object>(value_);
+        if (o.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < o.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            os << '"' << jsonEscape(o[i].first) << "\":";
+            if (pretty)
+                os << ' ';
+            o[i].second.dumpTo(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    dumpTo(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    dumpTo(os, indent, 0);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("Json::parse: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (s_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        if (pos_ + 4 > s_.size())
+            fail("truncated \\u escape");
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = s_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad hex digit in \\u escape");
+        }
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                if (static_cast<unsigned char>(c) < 0x20)
+                    fail("raw control character in string");
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("truncated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = hex4();
+                // Combine surrogate pairs into one code point.
+                if (cp >= 0xd800 && cp <= 0xdbff &&
+                    s_.compare(pos_, 2, "\\u") == 0) {
+                    pos_ += 2;
+                    unsigned lo = hex4();
+                    if (lo >= 0xdc00 && lo <= 0xdfff)
+                        cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                    else
+                        fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default: fail("bad escape character");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("bad number");
+        errno = 0;
+        if (integral) {
+            if (tok[0] != '-') {
+                char *end = nullptr;
+                std::uint64_t u = std::strtoull(tok.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Json(u);
+            } else {
+                char *end = nullptr;
+                std::int64_t i = std::strtoll(tok.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Json(i);
+            }
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("bad number");
+        return Json(d);
+    }
+
+    Json
+    value()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': {
+            ++pos_;
+            Json obj = Json::object();
+            if (peek() == '}') {
+                ++pos_;
+                return obj;
+            }
+            for (;;) {
+                skipWs();
+                std::string key = string();
+                expect(':');
+                obj[key] = value();
+                char n = peek();
+                ++pos_;
+                if (n == '}')
+                    return obj;
+                if (n != ',')
+                    fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos_;
+            Json arr = Json::array();
+            if (peek() == ']') {
+                ++pos_;
+                return arr;
+            }
+            for (;;) {
+                arr.push(value());
+                char n = peek();
+                ++pos_;
+                if (n == ']')
+                    return arr;
+                if (n != ',')
+                    fail("expected ',' or ']'");
+            }
+          }
+          case '"': return Json(string());
+          case 't':
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Json(nullptr);
+            fail("bad literal");
+          default: return number();
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace obs
+} // namespace dss

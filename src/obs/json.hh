@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dependency-free JSON value type with a writer and a parser.
+ *
+ * The observability layer serializes every run (stats, config, epoch
+ * time-series, Chrome traces) as JSON so downstream tooling — regression
+ * tracking, BENCH_*.json trajectories, plotting — can consume it without
+ * scraping text tables. Objects preserve insertion order so emitted files
+ * are stable and diffable across runs.
+ *
+ * Numbers keep their original flavour (signed / unsigned / double):
+ * cycle counters are uint64 and are written as exact integers, never
+ * routed through a double.
+ */
+
+#ifndef DSS_OBS_JSON_HH
+#define DSS_OBS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dss {
+namespace obs {
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+    Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+    Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+    Json(unsigned v) : value_(static_cast<std::uint64_t>(v)) {}
+    Json(unsigned long v) : value_(static_cast<std::uint64_t>(v)) {}
+    Json(unsigned long long v) : value_(static_cast<std::uint64_t>(v)) {}
+    Json(double v) : value_(v) {}
+    Json(const char *s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+
+    static Json array() { Json j; j.value_ = Array{}; return j; }
+    static Json object() { Json j; j.value_ = Object{}; return j; }
+
+    Type type() const;
+    bool isNull() const { return type() == Type::Null; }
+    bool isObject() const { return type() == Type::Object; }
+    bool isArray() const { return type() == Type::Array; }
+    bool isString() const { return type() == Type::String; }
+    bool isNumber() const;
+
+    bool asBool() const;
+    /** Any numeric flavour, converted. */
+    double asDouble() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+
+    /** Object: insert-or-fetch (insertion order preserved). */
+    Json &operator[](const std::string &key);
+    /** Object: member lookup, nullptr if absent (or not an object). */
+    const Json *find(const std::string &key) const;
+    /** Object/Array element count; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Array: append. Turns a Null into an empty array first. */
+    Json &push(Json v);
+    /** Array: element access. */
+    const Json &at(std::size_t i) const;
+
+    /** Object members, in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /**
+     * Serialize. @p indent < 0 gives compact one-line output; >= 0 pretty
+     * prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+    void dump(std::ostream &os, int indent = -1) const;
+
+    /** Parse @p text; throws std::runtime_error on malformed input. */
+    static Json parse(const std::string &text);
+
+    bool operator==(const Json &o) const { return value_ == o.value_; }
+
+  private:
+    using Array = std::vector<Json>;
+    using Object = std::vector<std::pair<std::string, Json>>;
+    using Value = std::variant<std::nullptr_t, bool, std::int64_t,
+                               std::uint64_t, double, std::string, Array,
+                               Object>;
+
+    void dumpTo(std::ostream &os, int indent, int depth) const;
+
+    Value value_;
+};
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes added). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace obs
+} // namespace dss
+
+#endif // DSS_OBS_JSON_HH

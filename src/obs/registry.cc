@@ -1,0 +1,99 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dss {
+namespace obs {
+
+void
+Registry::addCounter(const std::string &name, CounterFn read)
+{
+    Entry e{true, std::move(read), nullptr};
+    if (!entries_.emplace(name, std::move(e)).second)
+        throw std::invalid_argument("Registry: duplicate metric '" + name +
+                                    "'");
+}
+
+void
+Registry::addGauge(const std::string &name, GaugeFn read)
+{
+    Entry e{false, nullptr, std::move(read)};
+    if (!entries_.emplace(name, std::move(e)).second)
+        throw std::invalid_argument("Registry: duplicate metric '" + name +
+                                    "'");
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    return entries_.count(name) != 0;
+}
+
+const Registry::Entry &
+Registry::entryOf(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        throw std::invalid_argument("Registry: unknown metric '" + name +
+                                    "'");
+    return it->second;
+}
+
+std::uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    const Entry &e = entryOf(name);
+    if (!e.isCounter)
+        throw std::invalid_argument("Registry: '" + name +
+                                    "' is not a counter");
+    return e.counter();
+}
+
+double
+Registry::gaugeValue(const std::string &name) const
+{
+    const Entry &e = entryOf(name);
+    if (e.isCounter)
+        throw std::invalid_argument("Registry: '" + name +
+                                    "' is not a gauge");
+    return e.gauge();
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Json
+Registry::toJson() const
+{
+    Json out = Json::object();
+    for (const std::string &name : names()) {
+        const Entry &e = entries_.at(name);
+        if (e.isCounter)
+            out[name] = e.counter();
+        else
+            out[name] = e.gauge();
+    }
+    return out;
+}
+
+std::string
+metricName(const std::string &prefix, const std::string &leaf)
+{
+    if (prefix.empty())
+        return leaf;
+    if (leaf.empty())
+        return prefix;
+    return prefix + "." + leaf;
+}
+
+} // namespace obs
+} // namespace dss

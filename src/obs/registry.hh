@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Counter/gauge registry with hierarchical dotted names.
+ *
+ * Simulator components (Machine, Cache, Directory, WriteBuffer, LockTable)
+ * register named views over their internal counters, e.g.
+ * "proc0.l1.miss.cold.index" or "dir.home2.queue_cycles". Registration
+ * stores a *reader* — a callback bound to the live component — so one
+ * registry snapshot reflects the component state at the moment it is read,
+ * in the style of kernel monitors like DAMON: cheap to register, paid for
+ * only when sampled.
+ *
+ * Names must be unique; registering a duplicate throws, which catches
+ * wiring mistakes (two components claiming the same metric) early.
+ */
+
+#ifndef DSS_OBS_REGISTRY_HH
+#define DSS_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace dss {
+namespace obs {
+
+class Registry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+
+    /**
+     * Register a monotonically increasing counter under @p name.
+     * @throw std::invalid_argument if @p name is already taken.
+     */
+    void addCounter(const std::string &name, CounterFn read);
+
+    /** Register a point-in-time double-valued gauge under @p name. */
+    void addGauge(const std::string &name, GaugeFn read);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Current value of a registered counter; throws if unknown. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Current value of a registered gauge; throws if unknown. */
+    double gaugeValue(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Snapshot every metric into a flat JSON object keyed by the dotted
+     * names, sorted so output is diffable.
+     */
+    Json toJson() const;
+
+  private:
+    struct Entry
+    {
+        bool isCounter;
+        CounterFn counter;
+        GaugeFn gauge;
+    };
+
+    const Entry &entryOf(const std::string &name) const;
+
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+/** Join name segments with '.', skipping empty ones ("proc0" + "l1"). */
+std::string metricName(const std::string &prefix, const std::string &leaf);
+
+} // namespace obs
+} // namespace dss
+
+#endif // DSS_OBS_REGISTRY_HH

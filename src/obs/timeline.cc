@@ -1,0 +1,183 @@
+#include "obs/timeline.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace dss {
+namespace obs {
+
+std::string_view
+spanKindName(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::Busy: return "busy";
+      case SpanKind::Mem: return "mem";
+      case SpanKind::Sync: return "sync";
+      case SpanKind::LockHold: return "hold";
+      case SpanKind::LockSpin: return "spin";
+    }
+    return "?";
+}
+
+void
+Timeline::beginRun()
+{
+    offset_ = maxEnd_;
+    runStarts_.push_back(offset_);
+}
+
+void
+Timeline::exec(sim::ProcId p, SpanKind k, sim::Cycles start, sim::Cycles end)
+{
+    if (end <= start)
+        return;
+    start += offset_;
+    end += offset_;
+    if (procs_.size() <= p)
+        procs_.resize(p + 1);
+    std::vector<Span> &lane = procs_[p];
+    // Coalesce contiguous same-state spans, but never across a run
+    // boundary: a span that started in an earlier run stays separate.
+    if (!lane.empty() && lane.back().kind == k &&
+        lane.back().end == start && lane.back().start >= offset_) {
+        lane.back().end = end;
+    } else if (!lane.empty() && lane.back().end > start) {
+        return; // overlap would corrupt the lane; drop defensively
+    } else {
+        lane.push_back({p, k, start, end});
+    }
+    if (end > maxEnd_)
+        maxEnd_ = end;
+}
+
+void
+Timeline::lockSpan(sim::Addr w, sim::DataClass cls, SpanKind k,
+                   sim::ProcId p, sim::Cycles start, sim::Cycles end)
+{
+    if (end <= start)
+        return;
+    start += offset_;
+    end += offset_;
+    auto [it, inserted] = locks_.try_emplace(w, LockLane{cls, {}});
+    it->second.spans.push_back({p, k, start, end});
+    if (end > maxEnd_)
+        maxEnd_ = end;
+}
+
+std::size_t
+Timeline::spanCount() const
+{
+    std::size_t n = 0;
+    for (const auto &lane : procs_)
+        n += lane.size();
+    for (const auto &[w, lane] : locks_)
+        n += lane.spans.size();
+    return n;
+}
+
+const std::vector<Span> &
+Timeline::procSpans(sim::ProcId p) const
+{
+    static const std::vector<Span> kEmpty;
+    return p < procs_.size() ? procs_[p] : kEmpty;
+}
+
+namespace {
+
+constexpr int kProcPid = 1;
+constexpr int kLockPid = 2;
+
+Json
+metaEvent(const char *what, int pid, int tid, const std::string &name)
+{
+    Json e = Json::object();
+    e["name"] = what;
+    e["ph"] = "M";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    Json args = Json::object();
+    args["name"] = name;
+    e["args"] = std::move(args);
+    return e;
+}
+
+Json
+completeEvent(const std::string &name, const char *cat, int pid, int tid,
+              const Span &s)
+{
+    Json e = Json::object();
+    e["name"] = name;
+    e["cat"] = cat;
+    e["ph"] = "X";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    e["ts"] = s.start; // 1 simulated cycle == 1 trace microsecond
+    e["dur"] = s.end - s.start;
+    return e;
+}
+
+std::string
+hexAddr(sim::Addr a)
+{
+    std::ostringstream ss;
+    ss << "0x" << std::hex << a;
+    return ss.str();
+}
+
+} // namespace
+
+Json
+Timeline::toChromeJson() const
+{
+    Json events = Json::array();
+    events.push(metaEvent("process_name", kProcPid, 0, "processors"));
+    if (!locks_.empty())
+        events.push(metaEvent("process_name", kLockPid, 0, "metalocks"));
+
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        events.push(metaEvent("thread_name", kProcPid, static_cast<int>(p),
+                              "proc" + std::to_string(p)));
+        for (const Span &s : procs_[p]) {
+            events.push(completeEvent(std::string(spanKindName(s.kind)),
+                                      "exec", kProcPid,
+                                      static_cast<int>(p), s));
+        }
+    }
+
+    int lockTid = 0;
+    for (const auto &[word, lane] : locks_) {
+        events.push(metaEvent(
+            "thread_name", kLockPid, lockTid,
+            std::string(sim::dataClassName(lane.cls)) + " " +
+                hexAddr(word)));
+        for (const Span &s : lane.spans) {
+            Json e = completeEvent(std::string(spanKindName(s.kind)) +
+                                       " p" + std::to_string(s.proc),
+                                   "lock", kLockPid, lockTid, s);
+            Json args = Json::object();
+            args["proc"] = s.proc;
+            args["word"] = hexAddr(word);
+            e["args"] = std::move(args);
+            events.push(std::move(e));
+        }
+        ++lockTid;
+    }
+
+    Json doc = Json::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    Json runs = Json::array();
+    for (sim::Cycles r : runStarts_)
+        runs.push(r);
+    doc["runStartsUs"] = std::move(runs);
+    return doc;
+}
+
+void
+Timeline::writeChromeJson(std::ostream &os) const
+{
+    toChromeJson().dump(os, 1);
+}
+
+} // namespace obs
+} // namespace dss

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Execution timeline recorder and Chrome trace-event exporter.
+ *
+ * The Machine, when given a Timeline, emits one span per contiguous
+ * interval a processor spends in a state (busy / memory stall / sync
+ * stall) and one span per metalock hold and spin. The recorder coalesces
+ * back-to-back spans of the same kind, so a long hit streak is one span,
+ * not one per reference.
+ *
+ * writeChromeJson() renders the spans in the Chrome trace-event format
+ * (the JSON consumed by chrome://tracing and Perfetto): processors appear
+ * as threads of a "processors" process, each metalock word as a thread of
+ * a "metalocks" process, and one simulated cycle maps to one microsecond
+ * of trace time. Consecutive runs observed by the same Timeline (warm
+ * -start chains) are laid out sequentially on the time axis.
+ */
+
+#ifndef DSS_OBS_TIMELINE_HH
+#define DSS_OBS_TIMELINE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "sim/addr.hh"
+
+namespace dss {
+namespace obs {
+
+/** What a span's interval was spent on. */
+enum class SpanKind : std::uint8_t {
+    Busy,     ///< issue + compute
+    Mem,      ///< read-miss or write-buffer-overflow stall
+    Sync,     ///< spinning on a metalock (MSync)
+    LockHold, ///< a metalock was held (critical section)
+    LockSpin  ///< a processor spun on this metalock
+};
+
+std::string_view spanKindName(SpanKind k);
+
+struct Span
+{
+    sim::ProcId proc;
+    SpanKind kind;
+    sim::Cycles start; ///< timeline time (run offset already applied)
+    sim::Cycles end;
+};
+
+class Timeline
+{
+  public:
+    /**
+     * Machine interface: a new run starts; its clock restarts at zero, so
+     * subsequent spans are offset past everything recorded so far.
+     */
+    void beginRun();
+
+    /** Record [start, end) of @p kind on processor @p p (run-local times).
+     * Zero-length spans and out-of-order overlaps are ignored. */
+    void exec(sim::ProcId p, SpanKind k, sim::Cycles start, sim::Cycles end);
+
+    /** Record a hold/spin span on the metalock word @p w. */
+    void lockSpan(sim::Addr w, sim::DataClass cls, SpanKind k,
+                  sim::ProcId p, sim::Cycles start, sim::Cycles end);
+
+    std::size_t spanCount() const;
+
+    /** Spans of processor @p p, in time order (tests, analysis). */
+    const std::vector<Span> &procSpans(sim::ProcId p) const;
+
+    /** Chrome trace-event JSON document. */
+    Json toChromeJson() const;
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    struct LockLane
+    {
+        sim::DataClass cls;
+        std::vector<Span> spans;
+    };
+
+    sim::Cycles offset_ = 0;   ///< run offset added to incoming times
+    sim::Cycles maxEnd_ = 0;   ///< latest timeline time seen
+    std::vector<sim::Cycles> runStarts_;
+    std::vector<std::vector<Span>> procs_;
+    std::map<sim::Addr, LockLane> locks_;
+};
+
+} // namespace obs
+} // namespace dss
+
+#endif // DSS_OBS_TIMELINE_HH

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/registry.hh"
+
 namespace dss {
 namespace sim {
 
@@ -69,9 +71,11 @@ Cache::isDirty(Addr addr) const
 bool
 Cache::access(Addr addr, bool set_dirty)
 {
+    ++ctrs_.lookups;
     Line *l = find(addr);
     if (!l)
         return false;
+    ++ctrs_.hits;
     l->lru = ++stamp_;
     if (set_dirty)
         l->dirty = true;
@@ -102,8 +106,10 @@ Cache::fill(Addr addr, bool dirty)
         if (!set[w].valid || set[w].lru < victim->lru)
             victim = &set[w];
     }
+    ++ctrs_.fills;
     Victim out;
     if (victim->valid) {
+        ++ctrs_.evictions;
         out.valid = true;
         out.dirty = victim->dirty;
         out.lineAddr = victim->tag;
@@ -127,8 +133,11 @@ Cache::invalidate(Addr addr, bool coherence, bool *was_dirty)
         *was_dirty = l->dirty;
     l->valid = false;
     l->dirty = false;
-    if (coherence)
+    ++ctrs_.invalidations;
+    if (coherence) {
+        ++ctrs_.cohInvalidations;
         invalRemoved_.insert(lineAddrOf(addr));
+    }
     return true;
 }
 
@@ -156,6 +165,27 @@ Cache::reset()
     everLoaded_.clear();
     invalRemoved_.clear();
     stamp_ = 0;
+}
+
+void
+Cache::registerStats(obs::Registry &reg, const std::string &prefix) const
+{
+    auto counter = [&](const char *leaf, const std::uint64_t Counters::*f) {
+        reg.addCounter(obs::metricName(prefix, leaf),
+                       [this, f] { return ctrs_.*f; });
+    };
+    counter("lookups", &Counters::lookups);
+    counter("hits", &Counters::hits);
+    counter("fills", &Counters::fills);
+    counter("evictions", &Counters::evictions);
+    counter("invalidations", &Counters::invalidations);
+    counter("coh_invalidations", &Counters::cohInvalidations);
+    reg.addGauge(obs::metricName(prefix, "hit_rate"), [this] {
+        return ctrs_.lookups
+                   ? static_cast<double>(ctrs_.hits) /
+                         static_cast<double>(ctrs_.lookups)
+                   : 0.0;
+    });
 }
 
 std::vector<Addr>

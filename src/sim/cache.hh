@@ -15,12 +15,17 @@
 #define DSS_SIM_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/addr.hh"
 
 namespace dss {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace sim {
 
 /** Read-miss classification (paper Figure 7). */
@@ -116,6 +121,27 @@ class Cache
     const CacheConfig &config() const { return cfg_; }
     std::size_t numSets() const { return numSets_; }
 
+    /**
+     * Lifetime event counters (observability). Unlike the per-run
+     * ProcStats kept by the Machine, these cover every access since the
+     * cache was constructed — reset() cold-starts the *contents* but not
+     * the counters.
+     */
+    struct Counters
+    {
+        std::uint64_t lookups = 0; ///< access() calls
+        std::uint64_t hits = 0;
+        std::uint64_t fills = 0;
+        std::uint64_t evictions = 0;     ///< fills that displaced a line
+        std::uint64_t invalidations = 0; ///< lines removed by invalidate()
+        std::uint64_t cohInvalidations = 0; ///< ... due to coherence
+    };
+
+    const Counters &counters() const { return ctrs_; }
+
+    /** Register this cache's counters under "<prefix>.<leaf>" names. */
+    void registerStats(obs::Registry &reg, const std::string &prefix) const;
+
   private:
     struct Line
     {
@@ -136,6 +162,7 @@ class Cache
     std::vector<Line> lines_; // numSets_ x assoc
     std::unordered_set<Addr> everLoaded_;
     std::unordered_set<Addr> invalRemoved_;
+    Counters ctrs_;
 };
 
 } // namespace sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/registry.hh"
+
 namespace dss {
 namespace sim {
 
@@ -11,7 +13,7 @@ Directory::Directory(unsigned nnodes, std::size_t line_bytes,
                      Addr private_stride, const LatencyConfig &lat)
     : nnodes_(nnodes), lineBytes_(line_bytes), pageBytes_(page_bytes),
       privateBase_(private_base), privateStride_(private_stride), lat_(lat),
-      controllerFree_(nnodes, 0)
+      controllerFree_(nnodes, 0), hctrs_(nnodes)
 {
     assert(nnodes_ > 0 && nnodes_ <= 8);
 }
@@ -85,7 +87,37 @@ Directory::acquireController(ProcId home, Cycles arrival)
     Cycles &free_at = controllerFree_.at(home);
     Cycles delay = free_at > arrival ? free_at - arrival : 0;
     free_at = std::max(free_at, arrival) + static_cast<Cycles>(occ);
+    ++hctrs_[home].requests;
+    hctrs_[home].queueCycles += delay;
     return delay;
+}
+
+void
+Directory::registerStats(obs::Registry &reg, const std::string &prefix) const
+{
+    for (unsigned h = 0; h < nnodes_; ++h) {
+        const std::string base =
+            obs::metricName(prefix, "home" + std::to_string(h));
+        reg.addCounter(base + ".requests",
+                       [this, h] { return hctrs_[h].requests; });
+        reg.addCounter(base + ".queue_cycles",
+                       [this, h] { return hctrs_[h].queueCycles; });
+    }
+    reg.addCounter(obs::metricName(prefix, "requests"), [this] {
+        std::uint64_t n = 0;
+        for (const HomeCounters &c : hctrs_)
+            n += c.requests;
+        return n;
+    });
+    reg.addCounter(obs::metricName(prefix, "queue_cycles"), [this] {
+        std::uint64_t n = 0;
+        for (const HomeCounters &c : hctrs_)
+            n += c.queueCycles;
+        return n;
+    });
+    reg.addGauge(obs::metricName(prefix, "tracked_lines"), [this] {
+        return static_cast<double>(entries_.size());
+    });
 }
 
 void

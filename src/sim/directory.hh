@@ -20,12 +20,17 @@
 #define DSS_SIM_DIRECTORY_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/addr.hh"
 
 namespace dss {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace sim {
 
 /** Latency constants for one machine configuration (paper Section 4.3). */
@@ -108,6 +113,21 @@ class Directory
     /** Number of lines with directory state (for tests). */
     std::size_t trackedLines() const { return entries_.size(); }
 
+    /** Per-home-controller contention counters (observability). */
+    struct HomeCounters
+    {
+        std::uint64_t requests = 0;    ///< transactions serialized here
+        std::uint64_t queueCycles = 0; ///< total queuing delay imposed
+    };
+
+    const std::vector<HomeCounters> &homeCounters() const { return hctrs_; }
+
+    /**
+     * Register contention counters under "<prefix>.home<i>.*" plus
+     * machine-wide totals; lifetime counters, not cleared by reset().
+     */
+    void registerStats(obs::Registry &reg, const std::string &prefix) const;
+
   private:
     unsigned nnodes_;
     std::size_t lineBytes_;
@@ -117,6 +137,7 @@ class Directory
     LatencyConfig lat_;
     std::unordered_map<Addr, Entry> entries_;
     std::vector<Cycles> controllerFree_; // per home node
+    std::vector<HomeCounters> hctrs_;    // per home node
 };
 
 } // namespace sim

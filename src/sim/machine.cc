@@ -1,8 +1,12 @@
 #include "sim/machine.hh"
 
 #include <cassert>
+#include <cctype>
 #include <stdexcept>
 
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "obs/timeline.hh"
 #include "sim/arena.hh"
 
 namespace dss {
@@ -14,6 +18,16 @@ constexpr std::uint8_t
 bit(ProcId p)
 {
     return static_cast<std::uint8_t>(1u << p);
+}
+
+std::string
+lowered(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
 }
 
 } // namespace
@@ -352,6 +366,23 @@ Machine::issuePrefetches(ProcId p, Addr addr)
 }
 
 void
+Machine::span(ProcId p, obs::SpanKind k, Cycles start, Cycles end)
+{
+    if (timeline_)
+        timeline_->exec(p, k, start, end);
+}
+
+std::vector<ProcStats>
+Machine::statsSnapshot(std::size_t n) const
+{
+    std::vector<ProcStats> out;
+    out.reserve(n);
+    for (std::size_t p = 0; p < n && p < runs_.size(); ++p)
+        out.push_back(runs_[p].stats);
+    return out;
+}
+
+void
 Machine::doRead(ProcId p, const TraceEntry &e)
 {
     ProcRun &r = runs_[p];
@@ -362,6 +393,9 @@ Machine::doRead(ProcId p, const TraceEntry &e)
     r.stats.memStall += stall;
     r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
         stall;
+    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
+    span(p, obs::SpanKind::Mem, r.clock + cfg_.issueCyclesPerRef,
+         r.clock + cfg_.issueCyclesPerRef + stall);
     r.clock += cfg_.issueCyclesPerRef + stall;
 }
 
@@ -372,6 +406,7 @@ Machine::doWrite(ProcId p, const TraceEntry &e)
     ProcRun &r = runs_[p];
     ++r.stats.writes;
     r.stats.busy += cfg_.issueCyclesPerRef;
+    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
     r.clock += cfg_.issueCyclesPerRef;
 
     const Cycles drain = writeTransaction(p, e.addr, e.cls);
@@ -382,6 +417,7 @@ Machine::doWrite(ProcId p, const TraceEntry &e)
         r.stats.memStall += stall;
         r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
             stall;
+        span(p, obs::SpanKind::Mem, r.clock, r.clock + stall);
         r.clock += stall;
     }
 }
@@ -412,6 +448,8 @@ Machine::doLockAcq(ProcId p, const TraceEntry &e)
             (void)ok;
         }
         // else: handed off to us by the releaser.
+        if (timeline_)
+            holdStart_[w] = r.clock;
         ++r.pos;
         return;
     }
@@ -433,6 +471,9 @@ Machine::doLockAcq(ProcId p, const TraceEntry &e)
     r.stats.memStall += stall;
     r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
         stall;
+    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
+    span(p, obs::SpanKind::Mem, r.clock + cfg_.issueCyclesPerRef,
+         r.clock + cfg_.issueCyclesPerRef + stall);
     r.clock += cfg_.issueCyclesPerRef + stall;
     r.acqPending = true; // grab happens at the new, later time
 }
@@ -447,6 +488,7 @@ Machine::doLockRel(ProcId p, const TraceEntry &e)
     // and invalidates the spinners' cached copies of the lock word.
     ++r.stats.writes;
     r.stats.busy += cfg_.issueCyclesPerRef;
+    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
     r.clock += cfg_.issueCyclesPerRef;
     const Cycles drain = writeTransaction(p, e.addr, e.cls);
     const Cycles stall =
@@ -456,7 +498,17 @@ Machine::doLockRel(ProcId p, const TraceEntry &e)
         r.stats.memStall += stall;
         r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
             stall;
+        span(p, obs::SpanKind::Mem, r.clock, r.clock + stall);
         r.clock += stall;
+    }
+
+    if (timeline_) {
+        auto hold = holdStart_.find(e.addr);
+        if (hold != holdStart_.end()) {
+            timeline_->lockSpan(e.addr, e.cls, obs::SpanKind::LockHold, p,
+                                hold->second, r.clock);
+            holdStart_.erase(hold);
+        }
     }
 
     const ProcId next = locks_.release(e.addr, p);
@@ -465,6 +517,10 @@ Machine::doLockRel(ProcId p, const TraceEntry &e)
         assert(w.blocked);
         const Cycles wake = std::max(w.clock, r.clock);
         w.stats.syncStall += wake - w.blockStart;
+        span(next, obs::SpanKind::Sync, w.blockStart, wake);
+        if (timeline_)
+            timeline_->lockSpan(e.addr, e.cls, obs::SpanKind::LockSpin,
+                                next, w.blockStart, wake);
         w.clock = wake;
         w.blocked = false;
     }
@@ -492,6 +548,7 @@ Machine::step(ProcId p)
         // reference per four instructions); count them so miss rates
         // share the paper's denominator.
         r.stats.assumedHitReads += e.extra / 4;
+        span(p, obs::SpanKind::Busy, r.clock, r.clock + e.extra);
         r.clock += e.extra;
         ++r.pos;
         break;
@@ -505,7 +562,8 @@ Machine::step(ProcId p)
 }
 
 SimStats
-Machine::run(const std::vector<const TraceStream *> &traces)
+Machine::run(const std::vector<const TraceStream *> &traces,
+             obs::Sampler *sampler, obs::Timeline *timeline)
 {
     if (traces.size() > cfg_.nprocs)
         throw std::invalid_argument("more traces than processors");
@@ -519,6 +577,14 @@ Machine::run(const std::vector<const TraceStream *> &traces)
     dir_.resetControllers();
     for (auto &n : nodes_)
         n->wb.reset();
+
+    sampler_ = sampler;
+    timeline_ = timeline;
+    holdStart_.clear();
+    if (sampler_)
+        sampler_->beginRun(traces.size());
+    if (timeline_)
+        timeline_->beginRun();
 
     for (;;) {
         ProcId best = cfg_.nprocs;
@@ -536,6 +602,11 @@ Machine::run(const std::vector<const TraceStream *> &traces)
 #endif
             break;
         }
+        // The chosen processor holds the minimum runnable clock: once it
+        // crosses an epoch boundary, every processor has.
+        if (sampler_ && sampler_->due(runs_[best].clock))
+            sampler_->sample(runs_[best].clock,
+                             statsSnapshot(traces.size()));
         step(best);
     }
 
@@ -543,7 +614,72 @@ Machine::run(const std::vector<const TraceStream *> &traces)
     out.procs.reserve(traces.size());
     for (std::size_t i = 0; i < traces.size(); ++i)
         out.procs.push_back(runs_[i].stats);
+
+    if (sampler_)
+        sampler_->finishRun(out.executionTime(),
+                            statsSnapshot(traces.size()));
+    sampler_ = nullptr;
+    timeline_ = nullptr;
     return out;
+}
+
+void
+Machine::registerStats(obs::Registry &reg, const std::string &prefix) const
+{
+    for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+        const std::string base =
+            obs::metricName(prefix, "proc" + std::to_string(p));
+        auto proc = [&](const char *leaf, auto getter) {
+            reg.addCounter(obs::metricName(base, leaf), [this, p, getter] {
+                return p < runs_.size() ? getter(runs_[p].stats)
+                                        : std::uint64_t{0};
+            });
+        };
+        // Per-run ProcStats views; flat snake_case leaves so they cannot
+        // collide with the per-component lifetime counters below.
+        proc("busy", [](const ProcStats &s) { return s.busy; });
+        proc("mem_stall", [](const ProcStats &s) { return s.memStall; });
+        proc("sync_stall", [](const ProcStats &s) { return s.syncStall; });
+        proc("reads", [](const ProcStats &s) { return s.reads; });
+        proc("writes", [](const ProcStats &s) { return s.writes; });
+        proc("l1_hits", [](const ProcStats &s) { return s.l1Hits; });
+        proc("l2_accesses",
+             [](const ProcStats &s) { return s.l2Accesses; });
+        proc("l2_hits", [](const ProcStats &s) { return s.l2Hits; });
+        proc("wb_overflows",
+             [](const ProcStats &s) { return s.wbOverflows; });
+        proc("prefetch_issued",
+             [](const ProcStats &s) { return s.prefetchesIssued; });
+        proc("prefetch_useful",
+             [](const ProcStats &s) { return s.prefetchesUseful; });
+
+        // One counter per miss-table cell: proc0.l1.miss.cold.index ...
+        for (int lvl = 0; lvl < 2; ++lvl) {
+            const bool l1 = lvl == 0;
+            for (std::size_t t = 0; t < kNumMissTypes; ++t) {
+                for (std::size_t c = 0; c < kNumDataClasses; ++c) {
+                    auto mt = static_cast<MissType>(t);
+                    auto cls = static_cast<DataClass>(c);
+                    std::string name = obs::metricName(
+                        base, std::string(l1 ? "l1" : "l2") + ".miss." +
+                                  lowered(missTypeName(mt)) + "." +
+                                  lowered(dataClassName(cls)));
+                    reg.addCounter(name, [this, p, l1, cls, mt] {
+                        if (p >= runs_.size())
+                            return std::uint64_t{0};
+                        const ProcStats &s = runs_[p].stats;
+                        return (l1 ? s.l1Misses : s.l2Misses).of(cls, mt);
+                    });
+                }
+            }
+        }
+
+        nodes_[p]->l1.registerStats(reg, base + ".l1");
+        nodes_[p]->l2.registerStats(reg, base + ".l2");
+        nodes_[p]->wb.registerStats(reg, base + ".wb");
+    }
+    dir_.registerStats(reg, obs::metricName(prefix, "dir"));
+    locks_.registerStats(reg, obs::metricName(prefix, "locks"));
 }
 
 } // namespace sim

@@ -24,7 +24,9 @@
 #ifndef DSS_SIM_MACHINE_HH
 #define DSS_SIM_MACHINE_HH
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +39,13 @@
 #include "sim/write_buffer.hh"
 
 namespace dss {
+namespace obs {
+class Registry;
+class Sampler;
+class Timeline;
+enum class SpanKind : std::uint8_t;
+} // namespace obs
+
 namespace sim {
 
 /** Full architecture configuration. */
@@ -80,12 +89,31 @@ class Machine
      * to leave some idle). Clocks restart at zero; caches, directory and
      * miss-classification history persist from previous runs.
      *
+     * An attached @p sampler receives per-epoch counter deltas (the
+     * time-series behind warm-up and contention analysis); an attached
+     * @p timeline receives busy/stall/sync intervals and metalock
+     * hold/spin spans for Chrome-trace export. Both may be null, and one
+     * sampler/timeline may observe several consecutive runs.
+     *
      * @return statistics for this run only.
      */
-    SimStats run(const std::vector<const TraceStream *> &traces);
+    SimStats run(const std::vector<const TraceStream *> &traces,
+                 obs::Sampler *sampler = nullptr,
+                 obs::Timeline *timeline = nullptr);
 
     /** Cold-start: drop caches, directory state and classification. */
     void resetMemoryState();
+
+    /**
+     * Register every counter of this machine — per-processor ProcStats
+     * views ("proc0.busy", "proc0.l1.miss.cold.index"), per-node cache and
+     * write-buffer counters, and the shared directory ("dir.*") and
+     * metalock table ("locks.*") — into @p reg. The readers are live
+     * views: they report whatever the machine's counters hold when the
+     * registry is read, so the machine must outlive @p reg's use.
+     */
+    void registerStats(obs::Registry &reg,
+                       const std::string &prefix = "") const;
 
     const MachineConfig &config() const { return cfg_; }
 
@@ -156,12 +184,21 @@ class Machine
     void doLockAcq(ProcId p, const TraceEntry &e);
     void doLockRel(ProcId p, const TraceEntry &e);
 
+    /** Timeline helper: emit [start, end) of @p k on @p p if attached. */
+    void span(ProcId p, obs::SpanKind k, Cycles start, Cycles end);
+    /** Snapshot of the first @p n processors' cumulative run stats. */
+    std::vector<ProcStats> statsSnapshot(std::size_t n) const;
+
     MachineConfig cfg_;
     Cycles l2HitLat_; ///< L2 round trip adjusted for the L1 line transfer
     std::vector<std::unique_ptr<Node>> nodes_;
     Directory dir_;
     LockTable locks_;
     std::vector<ProcRun> runs_;
+    obs::Sampler *sampler_ = nullptr;   ///< valid during run()
+    obs::Timeline *timeline_ = nullptr; ///< valid during run()
+    /** Metalock word -> cycle its current hold began (timeline only). */
+    std::unordered_map<Addr, Cycles> holdStart_;
 };
 
 } // namespace sim

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/registry.hh"
+
 namespace dss {
 namespace sim {
 
@@ -13,6 +15,7 @@ LockTable::tryAcquire(Addr word, ProcId proc)
         return false;
     s.held = true;
     s.holderProc = proc;
+    ++ctrs_.acquires;
     return true;
 }
 
@@ -22,6 +25,7 @@ LockTable::addWaiter(Addr word, ProcId proc)
     State &s = locks_[word];
     assert(s.held && "waiting on a free lock");
     s.queue.push_back(proc);
+    ++ctrs_.waits;
 }
 
 ProcId
@@ -30,6 +34,7 @@ LockTable::release(Addr word, ProcId proc)
     State &s = locks_[word];
     assert(s.held && s.holderProc == proc && "release by non-holder");
     (void)proc;
+    ++ctrs_.releases;
     if (s.queue.empty()) {
         s.held = false;
         return kNoWaiter;
@@ -37,6 +42,7 @@ LockTable::release(Addr word, ProcId proc)
     ProcId next = s.queue.front();
     s.queue.pop_front();
     s.holderProc = next; // hand-off: still held, new owner
+    ++ctrs_.handoffs;
     return next;
 }
 
@@ -60,6 +66,20 @@ LockTable::waiters(Addr word) const
 {
     auto it = locks_.find(word);
     return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+void
+LockTable::registerStats(obs::Registry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(obs::metricName(prefix, "acquires"),
+                   [this] { return ctrs_.acquires; });
+    reg.addCounter(obs::metricName(prefix, "waits"),
+                   [this] { return ctrs_.waits; });
+    reg.addCounter(obs::metricName(prefix, "releases"),
+                   [this] { return ctrs_.releases; });
+    reg.addCounter(obs::metricName(prefix, "handoffs"),
+                   [this] { return ctrs_.handoffs; });
 }
 
 } // namespace sim

@@ -13,12 +13,18 @@
 #ifndef DSS_SIM_SPINLOCK_MODEL_HH
 #define DSS_SIM_SPINLOCK_MODEL_HH
 
+#include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "sim/addr.hh"
 
 namespace dss {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace sim {
 
 class LockTable
@@ -49,6 +55,20 @@ class LockTable
     /** Drop all lock state (between runs). */
     void reset() { locks_.clear(); }
 
+    /** Lifetime contention counters (observability); survive reset(). */
+    struct Counters
+    {
+        std::uint64_t acquires = 0;  ///< uncontended tryAcquire successes
+        std::uint64_t waits = 0;     ///< addWaiter calls (contended path)
+        std::uint64_t releases = 0;
+        std::uint64_t handoffs = 0;  ///< releases granted to a waiter
+    };
+
+    const Counters &counters() const { return ctrs_; }
+
+    /** Register the counters under "<prefix>.<leaf>" names. */
+    void registerStats(obs::Registry &reg, const std::string &prefix) const;
+
   private:
     struct State
     {
@@ -58,6 +78,7 @@ class LockTable
     };
 
     std::unordered_map<Addr, State> locks_;
+    Counters ctrs_;
 };
 
 } // namespace sim

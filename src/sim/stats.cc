@@ -57,6 +57,15 @@ MissTable::operator+=(const MissTable &o)
     return *this;
 }
 
+MissTable &
+MissTable::operator-=(const MissTable &o)
+{
+    for (std::size_t c = 0; c < kNumDataClasses; ++c)
+        for (std::size_t t = 0; t < kNumMissTypes; ++t)
+            count[c][t] -= o.count[c][t];
+    return *this;
+}
+
 double
 ProcStats::l1MissRate() const
 {
@@ -92,6 +101,28 @@ ProcStats::operator+=(const ProcStats &o)
     prefetchesUseful += o.prefetchesUseful;
     l1Misses += o.l1Misses;
     l2Misses += o.l2Misses;
+    return *this;
+}
+
+ProcStats &
+ProcStats::operator-=(const ProcStats &o)
+{
+    busy -= o.busy;
+    memStall -= o.memStall;
+    syncStall -= o.syncStall;
+    for (std::size_t g = 0; g < kNumClassGroups; ++g)
+        memStallByGroup[g] -= o.memStallByGroup[g];
+    reads -= o.reads;
+    writes -= o.writes;
+    assumedHitReads -= o.assumedHitReads;
+    l1Hits -= o.l1Hits;
+    l2Accesses -= o.l2Accesses;
+    l2Hits -= o.l2Hits;
+    wbOverflows -= o.wbOverflows;
+    prefetchesIssued -= o.prefetchesIssued;
+    prefetchesUseful -= o.prefetchesUseful;
+    l1Misses -= o.l1Misses;
+    l2Misses -= o.l2Misses;
     return *this;
 }
 

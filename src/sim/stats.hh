@@ -43,6 +43,9 @@ struct MissTable
     std::uint64_t total() const;
 
     MissTable &operator+=(const MissTable &o);
+
+    /** Cell-wise subtraction (epoch deltas; @p o must be <= *this). */
+    MissTable &operator-=(const MissTable &o);
 };
 
 /** Per-processor statistics. */
@@ -94,6 +97,13 @@ struct ProcStats
     double l2GlobalMissRate() const;
 
     ProcStats &operator+=(const ProcStats &o);
+
+    /**
+     * Field-wise subtraction. Used by the epoch sampler to turn cumulative
+     * snapshots into per-epoch deltas; @p o must be a component-wise lower
+     * bound of *this (an earlier snapshot of the same counters).
+     */
+    ProcStats &operator-=(const ProcStats &o);
 };
 
 /** Whole-machine statistics for one simulated run. */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
+
 namespace dss {
 namespace sim {
 
@@ -16,18 +18,37 @@ Cycles
 WriteBuffer::push(Cycles now, Cycles drain_latency, Addr line_addr)
 {
     retireUpTo(now);
+    ++ctrs_.stores;
     Cycles stall = 0;
     if (pending_.size() >= capacity_) {
         // Overflow: the processor waits for the oldest store to retire.
         stall = pending_.front().retireAt - now;
         now = pending_.front().retireAt;
         pending_.pop_front();
+        ++ctrs_.overflows;
+        ctrs_.stallCycles += stall;
     }
     Cycles start = std::max(lastRetire_, now);
     Cycles retire = start + drain_latency;
     lastRetire_ = retire;
     pending_.push_back({retire, line_addr});
+    ctrs_.maxOccupancy = std::max<std::uint64_t>(ctrs_.maxOccupancy,
+                                                 pending_.size());
     return stall;
+}
+
+void
+WriteBuffer::registerStats(obs::Registry &reg,
+                           const std::string &prefix) const
+{
+    reg.addCounter(obs::metricName(prefix, "stores"),
+                   [this] { return ctrs_.stores; });
+    reg.addCounter(obs::metricName(prefix, "overflows"),
+                   [this] { return ctrs_.overflows; });
+    reg.addCounter(obs::metricName(prefix, "stall_cycles"),
+                   [this] { return ctrs_.stallCycles; });
+    reg.addCounter(obs::metricName(prefix, "max_occupancy"),
+                   [this] { return ctrs_.maxOccupancy; });
 }
 
 bool

@@ -16,11 +16,17 @@
 #define DSS_SIM_WRITE_BUFFER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <string>
 
 #include "sim/addr.hh"
 
 namespace dss {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace sim {
 
 class WriteBuffer
@@ -50,6 +56,20 @@ class WriteBuffer
 
     std::size_t capacity() const { return capacity_; }
 
+    /** Lifetime counters (observability); not cleared by reset(). */
+    struct Counters
+    {
+        std::uint64_t stores = 0;      ///< push() calls
+        std::uint64_t overflows = 0;   ///< pushes that stalled
+        std::uint64_t stallCycles = 0; ///< total overflow stall imposed
+        std::uint64_t maxOccupancy = 0;
+    };
+
+    const Counters &counters() const { return ctrs_; }
+
+    /** Register the counters under "<prefix>.<leaf>" names. */
+    void registerStats(obs::Registry &reg, const std::string &prefix) const;
+
   private:
     struct Pending
     {
@@ -62,6 +82,7 @@ class WriteBuffer
     std::size_t capacity_;
     std::deque<Pending> pending_;
     Cycles lastRetire_ = 0;
+    Counters ctrs_;
 };
 
 } // namespace sim

@@ -4,6 +4,7 @@
  * report formatting.
  */
 
+#include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
@@ -132,6 +133,18 @@ TEST(Report, FixedAndPctFormat)
     EXPECT_EQ(harness::fixed(2.0, 2), "2.00");
     EXPECT_EQ(harness::pct(1, 4), "25.0");
     EXPECT_EQ(harness::pct(1, 0), "0.0"); // guard against empty whole
+}
+
+TEST(Report, FormattersNeverEmitNanOrInf)
+{
+    // A zero-length run divides by zero everywhere; the tables must not
+    // print "nan"/"inf" for it.
+    EXPECT_EQ(harness::pct(0, 0), "0.0");
+    EXPECT_EQ(harness::pct(5, -1), "0.0");
+    EXPECT_EQ(harness::fixed(std::nan(""), 1), "n/a");
+    EXPECT_EQ(harness::fixed(1.0 / 0.0, 1), "n/a");
+    EXPECT_EQ(harness::fixed(-1.0 / 0.0, 2), "n/a");
+    EXPECT_EQ(harness::fixed(0.0 / 0.0), "n/a");
 }
 
 TEST(Report, TimeBreakdownFractionsSumToOne)
