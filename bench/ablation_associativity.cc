@@ -10,14 +10,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ablation_associativity", harness::BenchOptions::kEngine);
     std::cout << "=== Ablation: cache associativity (baseline sizes) "
                  "===\n\n";
 
@@ -38,7 +41,7 @@ main()
             cfg.l1.assoc = p.l1;
             cfg.l2.assoc = p.l2;
             sim::ProcStats agg =
-                harness::runCold(cfg, traces).aggregate();
+                harness::runCold(cfg, traces, opts.engine).aggregate();
             tab.addRow(
                 {std::to_string(p.l1) + "/" + std::to_string(p.l2),
                  std::to_string(agg.totalCycles()),

@@ -12,14 +12,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ablation_lock_discipline", harness::BenchOptions::kEngine);
     std::cout << "=== Ablation: per-rescan lock-manager discipline ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
@@ -32,7 +35,7 @@ main()
             harness::TraceSet traces =
                 wl.traceWithLockDiscipline(q, 1, relock);
             sim::ProcStats agg =
-                harness::runCold(cfg, traces).aggregate();
+                harness::runCold(cfg, traces, opts.engine).aggregate();
             tab.addRow(
                 {tpcd::queryName(q), relock ? "on (paper)" : "off",
                  std::to_string(agg.totalCycles()),

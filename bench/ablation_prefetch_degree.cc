@@ -8,14 +8,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ablation_prefetch_degree", harness::BenchOptions::kEngine);
     std::cout << "=== Ablation: sequential prefetch degree (exec time, "
                  "Base=100) ===\n\n";
 
@@ -33,7 +36,7 @@ main()
             cfg.prefetchData = degree > 0;
             cfg.prefetchDegree = degree;
             sim::ProcStats agg =
-                harness::runCold(cfg, traces).aggregate();
+                harness::runCold(cfg, traces, opts.engine).aggregate();
             if (degree == 0)
                 base = static_cast<double>(agg.totalCycles());
             row.push_back(harness::fixed(

@@ -12,14 +12,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ablation_scaling", harness::BenchOptions::kEngine);
     std::cout << "=== Ablation: inter-query workload vs. processor count "
                  "===\n\n";
 
@@ -32,7 +35,7 @@ main()
             harness::TraceSet traces = wl.trace(q);
             sim::MachineConfig cfg = sim::MachineConfig::baseline();
             cfg.nprocs = nprocs;
-            sim::SimStats stats = harness::runCold(cfg, traces);
+            sim::SimStats stats = harness::runCold(cfg, traces, opts.engine);
             sim::ProcStats agg = stats.aggregate();
 
             std::uint64_t cohe = 0;

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "tpcd/updates.hh"
@@ -32,8 +33,10 @@ traceUF1(tpcd::TpcdDb &db, unsigned orders)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ablation_write_buffer", harness::BenchOptions::kEngine);
     std::cout << "=== Ablation: write-buffer depth ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
@@ -54,7 +57,7 @@ main()
             cfg.nprocs = procs;
             cfg.writeBufferEntries = entries;
             sim::ProcStats agg =
-                harness::runCold(cfg, *traces).aggregate();
+                harness::runCold(cfg, *traces, opts.engine).aggregate();
             tab.addRow({std::to_string(entries),
                         std::to_string(agg.totalCycles()),
                         std::to_string(agg.wbOverflows),

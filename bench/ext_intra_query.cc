@@ -15,14 +15,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ext_intra_query", harness::BenchOptions::kEngine);
     std::cout << "=== Extension: intra-query parallelism for Q6 ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
@@ -31,15 +34,15 @@ main()
     // (a) One processor runs the whole Q6.
     harness::TraceSet solo;
     solo.push_back(wl.traceOne(tpcd::QueryId::Q6, 0, 7919));
-    sim::SimStats s_solo = harness::runCold(cfg, solo);
+    sim::SimStats s_solo = harness::runCold(cfg, solo, opts.engine);
 
     // (b) Inter-query: four independent Q6 instances (the paper's setup).
     harness::TraceSet inter = wl.trace(tpcd::QueryId::Q6, 1);
-    sim::SimStats s_inter = harness::runCold(cfg, inter);
+    sim::SimStats s_inter = harness::runCold(cfg, inter, opts.engine);
 
     // (c) Intra-query: one Q6 split into four block-range partitions.
     harness::TraceSet intra = wl.traceIntraQueryQ6(1);
-    sim::SimStats s_intra = harness::runCold(cfg, intra);
+    sim::SimStats s_intra = harness::runCold(cfg, intra, opts.engine);
 
     harness::TextTable tab({"setup", "exec cycles", "speedup vs 1-proc",
                             "L2 Data misses", "L2 Cohe misses"});

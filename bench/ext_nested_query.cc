@@ -15,14 +15,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ext_nested_query", harness::BenchOptions::kEngine);
     std::cout << "=== Extension: flat vs. nested Q4 ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
@@ -40,7 +43,7 @@ main()
     for (auto [name, traces] :
          {std::pair<const char *, harness::TraceSet *>{"flat Q4", &flat},
           {"nested Q4 (EXISTS)", &nested}}) {
-        sim::ProcStats agg = harness::runCold(cfg, *traces).aggregate();
+        sim::ProcStats agg = harness::runCold(cfg, *traces, opts.engine).aggregate();
         const double total = static_cast<double>(agg.totalCycles());
         const double misses =
             std::max(1.0, static_cast<double>(agg.l2Misses.total()));

@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "tpcd/updates.hh"
@@ -42,8 +43,10 @@ traceUpdate(tpcd::TpcdDb &db, bool uf1, unsigned orders, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "ext_update_queries", harness::BenchOptions::kEngine);
     std::cout << "=== Extension: TPC-D update functions UF1 / UF2 "
                  "(single processor) ===\n\n";
 
@@ -61,7 +64,7 @@ main()
         sim::TraceStream trace = traceUpdate(db, uf1, batch, 17);
         harness::TraceSet set;
         set.push_back(std::move(trace));
-        sim::SimStats stats = harness::runCold(cfg, set);
+        sim::SimStats stats = harness::runCold(cfg, set, opts.engine);
         sim::ProcStats agg = stats.aggregate();
         auto counts = set[0].counts();
         tab.addRow(

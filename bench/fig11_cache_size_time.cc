@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -42,8 +43,10 @@ sizeName(std::size_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "fig11_cache_size_time", harness::BenchOptions::kEngine);
     std::cout << "=== Figure 11: execution time vs. cache size (baseline "
                  "4K/128K = 100) ===\n\n";
 
@@ -58,7 +61,7 @@ main()
             sim::MachineConfig cfg =
                 sim::MachineConfig::baseline().withCacheSizes(sp.l1,
                                                               sp.l2);
-            results.push_back(harness::runCold(cfg, traces).aggregate());
+            results.push_back(harness::runCold(cfg, traces, opts.engine).aggregate());
         }
 
         const double base =

@@ -105,7 +105,8 @@ main(int argc, char **argv)
                 seq.push_back(c.warm);
             seq.push_back(c.measured);
             std::vector<sim::SimStats> all =
-                harness::runSequence(cfg, seq, session.sampler(),
+                harness::runSequence(cfg, seq, opts.engine,
+                                     session.sampler(),
                                      session.timeline(),
                                      session.registrySlot());
             const sim::SimStats &measured = all.back();

@@ -13,14 +13,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "fig13_prefetch", harness::BenchOptions::kEngine);
     std::cout << "=== Figure 13: sequential data prefetching (Base = 100) "
                  "===\n\n";
 
@@ -37,8 +40,8 @@ main()
                             tpcd::QueryId::Q12}) {
         harness::TraceSet traces = wl.trace(q);
         sim::ProcStats base =
-            harness::runCold(base_cfg, traces).aggregate();
-        sim::ProcStats opt = harness::runCold(opt_cfg, traces).aggregate();
+            harness::runCold(base_cfg, traces, opts.engine).aggregate();
+        sim::ProcStats opt = harness::runCold(opt_cfg, traces, opts.engine).aggregate();
 
         const double denom = static_cast<double>(base.totalCycles());
         auto row = [&](const char *cfg_name, const sim::ProcStats &s) {

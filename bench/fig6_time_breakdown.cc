@@ -41,7 +41,7 @@ main(int argc, char **argv)
     for (tpcd::QueryId q : queries) {
         harness::TraceSet traces = wl.trace(q);
         sim::SimStats stats =
-            harness::runCold(cfg, traces, session.sampler(),
+            harness::runCold(cfg, traces, opts.engine, session.sampler(),
                              session.timeline(), session.registrySlot());
         session.addRun(tpcd::queryName(q), stats);
 

@@ -39,7 +39,7 @@ main(int argc, char **argv)
                             tpcd::QueryId::Q12}) {
         harness::TraceSet traces = wl.trace(q);
         sim::SimStats stats =
-            harness::runCold(cfg, traces, session.sampler(),
+            harness::runCold(cfg, traces, opts.engine, session.sampler(),
                              session.timeline(), session.registrySlot());
         session.addRun(tpcd::queryName(q), stats);
         sim::ProcStats agg = stats.aggregate();

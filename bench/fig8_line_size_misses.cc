@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -26,8 +27,10 @@ constexpr std::size_t kBaselineLine = 64;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "fig8_line_size_misses", harness::BenchOptions::kEngine);
     std::cout << "=== Figure 8: misses vs. cache line size (normalized to "
                  "the 64 B-L2-line baseline = 100) ===\n\n";
 
@@ -49,7 +52,7 @@ main()
         for (std::size_t line : kLineSizes) {
             sim::MachineConfig cfg =
                 sim::MachineConfig::baseline().withLineSize(line);
-            sim::SimStats stats = harness::runCold(cfg, traces);
+            sim::SimStats stats = harness::runCold(cfg, traces, opts.engine);
             sim::ProcStats agg = stats.aggregate();
             Row r{line, {}, {}};
             for (std::size_t g = 0; g < sim::kNumClassGroups; ++g) {

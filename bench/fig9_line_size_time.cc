@@ -11,14 +11,17 @@
 
 #include <iostream>
 
+#include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
 using namespace dss;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "fig9_line_size_time", harness::BenchOptions::kEngine);
     std::cout << "=== Figure 9: execution time vs. cache line size "
                  "(baseline 64 B = 100) ===\n\n";
 
@@ -34,7 +37,7 @@ main()
         for (std::size_t line : kLineSizes) {
             sim::MachineConfig cfg =
                 sim::MachineConfig::baseline().withLineSize(line);
-            results.push_back(harness::runCold(cfg, traces).aggregate());
+            results.push_back(harness::runCold(cfg, traces, opts.engine).aggregate());
         }
 
         // Pass 2: normalize to the 64 B baseline and print.

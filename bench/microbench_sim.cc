@@ -7,6 +7,9 @@
  * time.
  */
 
+#include <cstdint>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "sim/arena.hh"
@@ -97,6 +100,41 @@ BM_MachineReplay(benchmark::State &state)
         static_cast<std::int64_t>(stream.size()));
 }
 BENCHMARK(BM_MachineReplay);
+
+/**
+ * Engine comparison: four processors streaming over disjoint shared-space
+ * regions, replayed by the sequential reference engine and by the
+ * epoch-window parallel engine (one host thread per simulated processor).
+ * Disjoint lines mean both engines produce identical statistics; the
+ * spread between the two fixtures is the host-side speedup.
+ */
+void
+BM_MachineReplay4(benchmark::State &state, EngineConfig engine)
+{
+    MachineConfig cfg = MachineConfig::baseline();
+    std::vector<TraceStream> streams(cfg.nprocs);
+    for (unsigned p = 0; p < cfg.nprocs; ++p) {
+        const Addr base = 0x1000'0000 + static_cast<Addr>(p) * (4u << 20);
+        for (Addr a = 0; a < 1 << 20; a += 8) {
+            streams[p].record(
+                TraceEntry::read(base + a, DataClass::Data, 8));
+            streams[p].record(TraceEntry::busy(3));
+        }
+    }
+    std::vector<const TraceStream *> ptrs;
+    for (const TraceStream &s : streams)
+        ptrs.push_back(&s);
+    std::uint64_t entries = 0;
+    for (auto _ : state) {
+        Machine m(cfg);
+        SimStats s = m.run(ptrs, engine);
+        benchmark::DoNotOptimize(s.procs[0].reads);
+        entries += streams[0].size() * cfg.nprocs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(entries));
+}
+BENCHMARK_CAPTURE(BM_MachineReplay4, seq, EngineConfig::seq());
+BENCHMARK_CAPTURE(BM_MachineReplay4, par, EngineConfig::par());
 
 } // namespace
 

@@ -63,7 +63,7 @@ main(int argc, char **argv)
         auto q = static_cast<tpcd::QueryId>(qi);
         harness::TraceSet traces = wl.trace(q);
         sim::SimStats stats =
-            harness::runCold(cfg, traces, session.sampler(),
+            harness::runCold(cfg, traces, opts.engine, session.sampler(),
                              session.timeline(), session.registrySlot());
         session.addRun(tpcd::queryName(q), stats);
         sim::ProcStats agg = stats.aggregate();

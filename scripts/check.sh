@@ -1,11 +1,49 @@
 #!/usr/bin/env bash
 # Tier-1 check: configure, build, and run the full test suite.
-# Usage: scripts/check.sh [build-dir]   (default: build/)
+#
+# Usage: scripts/check.sh [--sanitize=thread|address] [build-dir]
+#
+# --sanitize builds into a separate build directory (build-tsan/ or
+# build-asan/) with -DSIM_SANITIZE set and runs only the engine and
+# coherence tests there — the interleaving-heavy subset a sanitizer can
+# actually judge — so the instrumented build never pollutes the normal
+# one and stays fast enough for routine use.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build}"
+sanitize=""
+build=""
 
-cmake -B "$build" -S "$repo"
-cmake --build "$build" -j"$(nproc)"
-ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+for arg in "$@"; do
+    case "$arg" in
+        --sanitize=thread|--sanitize=address)
+            sanitize="${arg#--sanitize=}"
+            ;;
+        --sanitize*)
+            echo "check.sh: unknown sanitizer in '$arg' (thread, address)" >&2
+            exit 2
+            ;;
+        -*)
+            echo "check.sh: unknown option '$arg'" >&2
+            exit 2
+            ;;
+        *)
+            build="$arg"
+            ;;
+    esac
+done
+
+if [[ -n "$sanitize" ]]; then
+    short="tsan"
+    [[ "$sanitize" == "address" ]] && short="asan"
+    build="${build:-$repo/build-$short}"
+    cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"
+    cmake --build "$build" -j"$(nproc)" --target dss_tests
+    "$build/tests/dss_tests" \
+        --gtest_filter='EngineStress.*:EngineDifferential.*:Coherence*.*:Spinlock*.*'
+else
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)"
+    ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
+fi

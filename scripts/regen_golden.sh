@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate the golden-stats fixtures under tests/golden/ from the
+# current simulator behaviour, then re-run the golden tests to confirm
+# the fixtures round-trip.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build/)
+#
+# Run this only when a behaviour change is *intended*; review the fixture
+# diff like code before committing it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake --build "$build" -j"$(nproc)" --target dss_tests
+DSS_REGEN_GOLDEN=1 "$build/tests/dss_tests" --gtest_filter='GoldenStats.*'
+"$build/tests/dss_tests" --gtest_filter='GoldenStats.*'
+git -C "$repo" --no-pager diff --stat -- tests/golden || true

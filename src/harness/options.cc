@@ -12,23 +12,40 @@ namespace harness {
 namespace {
 
 void
-usage(std::ostream &os, const std::string &bench)
+usage(std::ostream &os, const std::string &bench, unsigned flags)
 {
-    os << "usage: " << bench << " [options]\n"
-       << "  --json <path>    write a machine-readable JSON report\n"
-       << "  --trace <path>   write a Chrome trace-event timeline\n"
-       << "                   (open in chrome://tracing or Perfetto)\n"
-       << "  --epoch <cycles> sample counters every N simulated cycles\n"
-       << "  --scale <name>   database population: paper (default), tiny\n"
-       << "  --help           show this message\n";
+    os << "usage: " << bench << " [options]\n";
+    if (flags & BenchOptions::kEngine)
+        os << "  --engine <name>  simulation engine: seq (default), par\n"
+           << "  --threads <n>    par engine host threads (0 = one per "
+              "simulated proc)\n"
+           << "  --window <n>     par engine barrier window, in simulated "
+              "cycles\n";
+    if (flags & BenchOptions::kJson)
+        os << "  --json <path>    write a machine-readable JSON report\n";
+    if (flags & BenchOptions::kTrace)
+        os << "  --trace <path>   write a Chrome trace-event timeline\n"
+           << "                   (open in chrome://tracing or Perfetto)\n";
+    if (flags & BenchOptions::kEpoch)
+        os << "  --epoch <cycles> sample counters every N simulated "
+              "cycles\n";
+    if (flags & BenchOptions::kScale)
+        os << "  --scale <name>   database population: paper (default), "
+              "tiny\n";
+    os << "  --help           show this message\n";
 }
 
 } // namespace
 
 BenchOptions
-BenchOptions::parse(int argc, char **argv, const std::string &bench_name)
+BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
+                    unsigned flags)
 {
     BenchOptions opts;
+    auto fail = [&]() -> void {
+        usage(std::cerr, bench_name, flags);
+        std::exit(2);
+    };
     auto needValue = [&](int i) -> std::string {
         if (i + 1 >= argc) {
             std::cerr << bench_name << ": " << argv[i]
@@ -37,26 +54,59 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name)
         }
         return argv[i + 1];
     };
+    auto positive = [&](int i, const char *what) -> std::uint64_t {
+        const std::string v = needValue(i);
+        char *end = nullptr;
+        std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+        if (!end || *end != '\0' || n == 0) {
+            std::cerr << bench_name << ": " << what
+                      << " needs a positive count, got '" << v << "'\n";
+            std::exit(2);
+        }
+        return n;
+    };
+    auto supported = [&](const std::string &arg, unsigned flag) -> bool {
+        if (flags & flag)
+            return true;
+        std::cerr << bench_name << ": option '" << arg
+                  << "' is not supported by this bench\n";
+        fail();
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            usage(std::cout, bench_name);
+            usage(std::cout, bench_name, flags);
             std::exit(0);
-        } else if (arg == "--json") {
-            opts.jsonPath = needValue(i++);
-        } else if (arg == "--trace") {
-            opts.tracePath = needValue(i++);
-        } else if (arg == "--epoch") {
+        } else if (arg == "--engine" && supported(arg, kEngine)) {
             const std::string v = needValue(i++);
-            char *end = nullptr;
-            opts.epochCycles = std::strtoull(v.c_str(), &end, 10);
-            if (!end || *end != '\0' || opts.epochCycles == 0) {
-                std::cerr << bench_name
-                          << ": --epoch needs a positive cycle count, got '"
-                          << v << "'\n";
+            auto kind = sim::parseEngineKind(v);
+            if (!kind) {
+                std::cerr << bench_name << ": unknown --engine '" << v
+                          << "' (seq, par)\n";
                 std::exit(2);
             }
-        } else if (arg == "--scale") {
+            opts.engine.kind = *kind;
+        } else if (arg == "--threads" && supported(arg, kEngine)) {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || n > 1024) {
+                std::cerr << bench_name
+                          << ": --threads needs a small count, got '" << v
+                          << "'\n";
+                std::exit(2);
+            }
+            opts.engine.threads = static_cast<unsigned>(n);
+        } else if (arg == "--window" && supported(arg, kEngine)) {
+            opts.engine.windowCycles = positive(i++, "--window");
+        } else if (arg == "--json" && supported(arg, kJson)) {
+            opts.jsonPath = needValue(i++);
+        } else if (arg == "--trace" && supported(arg, kTrace)) {
+            opts.tracePath = needValue(i++);
+        } else if (arg == "--epoch" && supported(arg, kEpoch)) {
+            opts.epochCycles = positive(i++, "--epoch");
+        } else if (arg == "--scale" && supported(arg, kScale)) {
             opts.scale = needValue(i++);
             if (opts.scale != "paper" && opts.scale != "tiny") {
                 std::cerr << bench_name << ": unknown --scale '"
@@ -66,8 +116,7 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name)
         } else {
             std::cerr << bench_name << ": unknown option '" << arg
                       << "'\n";
-            usage(std::cerr, bench_name);
-            std::exit(2);
+            fail();
         }
     }
     return opts;

@@ -3,8 +3,13 @@
  * Shared command-line flag layer and JSON/trace output session for the
  * bench/ binaries.
  *
- * Every figure binary accepts the same observability flags:
+ * Every figure binary accepts the same flags (each binary declares which
+ * subset it implements; anything else — including misspellings — is a
+ * hard error, never silently ignored):
  *
+ *   --engine <seq|par> simulation engine (see sim/engine.hh)
+ *   --threads <n>     par engine: host worker threads (0 = one per proc)
+ *   --window <cycles> par engine: barrier window length
  *   --json <path>    write a machine-readable report of the run
  *   --trace <path>   write a Chrome trace-event timeline (chrome://tracing)
  *   --epoch <cycles> sample per-processor counters every N simulated
@@ -33,6 +38,17 @@ namespace harness {
 
 struct BenchOptions
 {
+    /** Which shared flags a binary implements (parse() mask). */
+    enum Flags : unsigned {
+        kEngine = 1u << 0, ///< --engine / --threads / --window
+        kJson = 1u << 1,
+        kTrace = 1u << 2,
+        kEpoch = 1u << 3,
+        kScale = 1u << 4,
+        kAll = kEngine | kJson | kTrace | kEpoch | kScale,
+    };
+
+    sim::EngineConfig engine;    ///< --engine / --threads / --window
     std::string jsonPath;        ///< --json; empty = no JSON output
     std::string tracePath;       ///< --trace; empty = no timeline output
     sim::Cycles epochCycles = 0; ///< --epoch; 0 = no time-series sampling
@@ -40,10 +56,12 @@ struct BenchOptions
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints
-     * an error and exits(2) on unknown flags or malformed values.
+     * an error plus usage and exits(2) on unknown flags, flags outside
+     * @p flags, or malformed values. Nothing is ever silently accepted.
      */
     static BenchOptions parse(int argc, char **argv,
-                              const std::string &bench_name);
+                              const std::string &bench_name,
+                              unsigned flags = kAll);
 
     /** The TPC-D population selected by --scale. */
     tpcd::ScaleConfig scaleConfig() const;

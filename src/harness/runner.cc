@@ -24,8 +24,18 @@ runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
         obs::Sampler *sampler, obs::Timeline *timeline,
         obs::Json *registry_snapshot)
 {
+    return runCold(cfg, traces, sim::EngineConfig::seq(), sampler,
+                   timeline, registry_snapshot);
+}
+
+sim::SimStats
+runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
+        const sim::EngineConfig &engine, obs::Sampler *sampler,
+        obs::Timeline *timeline, obs::Json *registry_snapshot)
+{
     sim::Machine machine(cfg);
-    sim::SimStats stats = machine.run(tracePtrs(traces), sampler, timeline);
+    sim::SimStats stats =
+        machine.run(tracePtrs(traces), engine, sampler, timeline);
     snapshotRegistry(machine, registry_snapshot);
     return stats;
 }
@@ -36,11 +46,22 @@ runSequence(const sim::MachineConfig &cfg,
             obs::Sampler *sampler, obs::Timeline *timeline,
             obs::Json *registry_snapshot)
 {
+    return runSequence(cfg, sequence, sim::EngineConfig::seq(), sampler,
+                       timeline, registry_snapshot);
+}
+
+std::vector<sim::SimStats>
+runSequence(const sim::MachineConfig &cfg,
+            const std::vector<const TraceSet *> &sequence,
+            const sim::EngineConfig &engine, obs::Sampler *sampler,
+            obs::Timeline *timeline, obs::Json *registry_snapshot)
+{
     sim::Machine machine(cfg);
     std::vector<sim::SimStats> out;
     out.reserve(sequence.size());
     for (const TraceSet *traces : sequence)
-        out.push_back(machine.run(tracePtrs(*traces), sampler, timeline));
+        out.push_back(
+            machine.run(tracePtrs(*traces), engine, sampler, timeline));
     snapshotRegistry(machine, registry_snapshot);
     return out;
 }

@@ -37,6 +37,13 @@ sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
                       obs::Timeline *timeline = nullptr,
                       obs::Json *registry_snapshot = nullptr);
 
+/** Same, replayed by an explicit engine (BenchOptions' --engine flag). */
+sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
+                      const sim::EngineConfig &engine,
+                      obs::Sampler *sampler = nullptr,
+                      obs::Timeline *timeline = nullptr,
+                      obs::Json *registry_snapshot = nullptr);
+
 /**
  * Simulate a sequence of trace sets on one machine without flushing caches
  * between them (Fig 12: "caches warmed up with another execution"). The
@@ -49,6 +56,15 @@ sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
 std::vector<sim::SimStats>
 runSequence(const sim::MachineConfig &cfg,
             const std::vector<const TraceSet *> &sequence,
+            obs::Sampler *sampler = nullptr,
+            obs::Timeline *timeline = nullptr,
+            obs::Json *registry_snapshot = nullptr);
+
+/** Same, replayed by an explicit engine (BenchOptions' --engine flag). */
+std::vector<sim::SimStats>
+runSequence(const sim::MachineConfig &cfg,
+            const std::vector<const TraceSet *> &sequence,
+            const sim::EngineConfig &engine,
             obs::Sampler *sampler = nullptr,
             obs::Timeline *timeline = nullptr,
             obs::Json *registry_snapshot = nullptr);

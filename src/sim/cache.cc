@@ -30,56 +30,11 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg), lineBytes_(cfg.lineBytes)
     lines_.resize(numSets_ * cfg.assoc);
 }
 
-std::size_t
-Cache::setOf(Addr line_addr) const
-{
-    return (line_addr / lineBytes_) & (numSets_ - 1);
-}
-
-Cache::Line *
-Cache::find(Addr addr)
-{
-    return const_cast<Line *>(
-        static_cast<const Cache *>(this)->find(addr));
-}
-
-const Cache::Line *
-Cache::find(Addr addr) const
-{
-    Addr la = lineAddrOf(addr);
-    const Line *set = &lines_[setOf(la) * cfg_.assoc];
-    for (std::size_t w = 0; w < cfg_.assoc; ++w) {
-        if (set[w].valid && set[w].tag == la)
-            return &set[w];
-    }
-    return nullptr;
-}
-
-bool
-Cache::contains(Addr addr) const
-{
-    return find(addr) != nullptr;
-}
-
 bool
 Cache::isDirty(Addr addr) const
 {
     const Line *l = find(addr);
     return l && l->dirty;
-}
-
-bool
-Cache::access(Addr addr, bool set_dirty)
-{
-    ++ctrs_.lookups;
-    Line *l = find(addr);
-    if (!l)
-        return false;
-    ++ctrs_.hits;
-    l->lru = ++stamp_;
-    if (set_dirty)
-        l->dirty = true;
-    return true;
 }
 
 MissType

@@ -74,7 +74,7 @@ class Cache
     Addr lineAddrOf(Addr addr) const { return addr & ~(lineBytes_ - 1); }
 
     /** True if the line holding @p addr is present. */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const { return find(addr) != nullptr; }
 
     /** True if the line holding @p addr is present and dirty. */
     bool isDirty(Addr addr) const;
@@ -82,8 +82,23 @@ class Cache
     /**
      * Look up @p addr; on hit, refresh LRU and optionally set dirty.
      * @return true on hit.
+     *
+     * Defined inline: this is the simulator's hottest call (every traced
+     * reference goes through the L1, most of them hits).
      */
-    bool access(Addr addr, bool set_dirty = false);
+    bool
+    access(Addr addr, bool set_dirty = false)
+    {
+        ++ctrs_.lookups;
+        Line *l = find(addr);
+        if (!l)
+            return false;
+        ++ctrs_.hits;
+        l->lru = ++stamp_;
+        if (set_dirty)
+            l->dirty = true;
+        return true;
+    }
 
     /**
      * Classify a miss on @p addr. Call after access() returned false and
@@ -151,9 +166,30 @@ class Cache
         std::uint64_t lru = 0;
     };
 
-    std::size_t setOf(Addr line_addr) const;
-    Line *find(Addr addr);
-    const Line *find(Addr addr) const;
+    std::size_t
+    setOf(Addr line_addr) const
+    {
+        return (line_addr / lineBytes_) & (numSets_ - 1);
+    }
+
+    Line *
+    find(Addr addr)
+    {
+        return const_cast<Line *>(
+            static_cast<const Cache *>(this)->find(addr));
+    }
+
+    const Line *
+    find(Addr addr) const
+    {
+        const Addr la = lineAddrOf(addr);
+        const Line *set = &lines_[setOf(la) * cfg_.assoc];
+        for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+            if (set[w].valid && set[w].tag == la)
+                return &set[w];
+        }
+        return nullptr;
+    }
 
     CacheConfig cfg_;
     std::size_t lineBytes_;

@@ -76,7 +76,7 @@ Directory::transactionLatency(ProcId requester, ProcId home,
 }
 
 Cycles
-Directory::acquireController(ProcId home, Cycles arrival)
+Directory::occupancyCycles() const
 {
     std::int64_t occ =
         static_cast<std::int64_t>(lat_.controllerOccupancy) +
@@ -84,12 +84,44 @@ Directory::acquireController(ProcId home, Cycles arrival)
             static_cast<std::int64_t>(lat_.ctrlBytesPerCycle);
     if (occ < static_cast<std::int64_t>(lat_.controllerOccupancy))
         occ = static_cast<std::int64_t>(lat_.controllerOccupancy);
+    return static_cast<Cycles>(occ);
+}
+
+Cycles
+Directory::acquireController(ProcId home, Cycles arrival)
+{
     Cycles &free_at = controllerFree_.at(home);
     Cycles delay = free_at > arrival ? free_at - arrival : 0;
-    free_at = std::max(free_at, arrival) + static_cast<Cycles>(occ);
+    free_at = std::max(free_at, arrival) + occupancyCycles();
     ++hctrs_[home].requests;
     hctrs_[home].queueCycles += delay;
     return delay;
+}
+
+void
+Directory::occupy(ProcId home, Cycles arrival, Cycles charged_delay)
+{
+    Cycles &free_at = controllerFree_.at(home);
+    free_at = std::max(free_at, arrival) + occupancyCycles();
+    ++hctrs_[home].requests;
+    hctrs_[home].queueCycles += charged_delay;
+}
+
+const Directory::Entry *
+Directory::peek(Addr addr) const
+{
+    auto it = entries_.find(lineAddrOf(addr));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<Addr, Directory::Entry>>
+Directory::sortedEntries() const
+{
+    std::vector<std::pair<Addr, Entry>> out(entries_.begin(),
+                                            entries_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
 }
 
 void

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/addr.hh"
@@ -64,6 +65,8 @@ class Directory
         State state = State::Uncached;
         std::uint8_t sharers = 0; ///< bitmask of caching nodes
         ProcId owner = 0;         ///< valid when state == Dirty
+
+        bool operator==(const Entry &o) const = default;
     };
 
     /**
@@ -83,6 +86,13 @@ class Directory
     /** Directory entry for the line containing @p addr (created lazily). */
     Entry &entry(Addr addr);
 
+    /**
+     * Read-only lookup that never creates an entry; nullptr when the line
+     * has no directory state yet. Safe to call concurrently with other
+     * readers (the parallel engine's frozen phase-A view).
+     */
+    const Entry *peek(Addr addr) const;
+
     /** Line-aligned address. */
     Addr lineAddrOf(Addr addr) const { return addr & ~(lineBytes_ - 1); }
 
@@ -101,6 +111,24 @@ class Directory
      */
     Cycles acquireController(ProcId home, Cycles arrival);
 
+    /**
+     * Occupy @p home's controller without computing a queuing delay: the
+     * parallel engine computed @p charged_delay against its phase-A
+     * overlay and replays only the occupancy (and the contention
+     * counters) at the window barrier.
+     */
+    void occupy(ProcId home, Cycles arrival, Cycles charged_delay);
+
+    /** Cycle @p home's controller becomes free (read-only view). */
+    Cycles
+    controllerFreeAt(ProcId home) const
+    {
+        return controllerFree_[home];
+    }
+
+    /** Controller service time per transaction at the current line size. */
+    Cycles occupancyCycles() const;
+
     /** Forget all sharing state and controller occupancy. */
     void reset();
 
@@ -112,6 +140,13 @@ class Directory
 
     /** Number of lines with directory state (for tests). */
     std::size_t trackedLines() const { return entries_.size(); }
+
+    /**
+     * Deterministic dump of all directory state, sorted by line address
+     * (the backing map is unordered). Used by the differential tests to
+     * compare final machine state across engines and thread counts.
+     */
+    std::vector<std::pair<Addr, Entry>> sortedEntries() const;
 
     /** Per-home-controller contention counters (observability). */
     struct HomeCounters

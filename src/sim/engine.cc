@@ -1,0 +1,17 @@
+#include "sim/engine.hh"
+
+namespace dss {
+namespace sim {
+
+std::optional<EngineKind>
+parseEngineKind(std::string_view name)
+{
+    if (name == "seq")
+        return EngineKind::Seq;
+    if (name == "par")
+        return EngineKind::Par;
+    return std::nullopt;
+}
+
+} // namespace sim
+} // namespace dss

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Simulation engine selection.
+ *
+ * The Machine can replay a trace set with two engines that share all of
+ * the memory-system model code (caches, directory, write buffers, locks)
+ * but schedule the per-processor pipelines differently:
+ *
+ *  - Seq: the reference event-driven engine. One host thread repeatedly
+ *    steps the runnable processor with the minimum local clock (ties to
+ *    the lowest processor id). Every coherence, contention and lock
+ *    interaction is resolved in exact simulated-time order. This is the
+ *    engine all paper figures are produced with.
+ *
+ *  - Par: the barrier-synchronized epoch engine. Simulated time is split
+ *    into windows of `windowCycles`; within a window each processor's
+ *    pipeline (CPU + L1 + write buffer + private L2 lookups) advances on
+ *    its own host thread against a frozen view of the shared state, and
+ *    every shared-state transaction (directory updates, home-controller
+ *    occupancy, metalock operations) is funneled through per-processor
+ *    mailboxes that are drained at the window barrier in a deterministic
+ *    order: sorted by simulated cycle, then processor id, then per-
+ *    processor program order. The result is bit-identical for any host
+ *    thread count (including 1) — see DESIGN.md for the determinism
+ *    argument — and approximates the Seq interleaving with an error
+ *    bounded by the window length.
+ */
+
+#ifndef DSS_SIM_ENGINE_HH
+#define DSS_SIM_ENGINE_HH
+
+#include <optional>
+#include <string_view>
+
+#include "sim/addr.hh"
+
+namespace dss {
+namespace sim {
+
+enum class EngineKind : std::uint8_t { Seq, Par };
+
+constexpr std::string_view
+engineKindName(EngineKind k)
+{
+    return k == EngineKind::Seq ? "seq" : "par";
+}
+
+/** Parse "seq" / "par"; nullopt on anything else. */
+std::optional<EngineKind> parseEngineKind(std::string_view name);
+
+/** How Machine::run schedules the per-processor pipelines. */
+struct EngineConfig
+{
+    EngineKind kind = EngineKind::Seq;
+
+    /**
+     * Par only: host worker threads. 0 means one thread per simulated
+     * processor, capped at the host's hardware concurrency. The simulated
+     * results are independent of this value by construction.
+     */
+    unsigned threads = 0;
+
+    /** Par only: barrier window length in simulated cycles. */
+    Cycles windowCycles = 8192;
+
+    static EngineConfig
+    seq()
+    {
+        return EngineConfig{};
+    }
+
+    static EngineConfig
+    par(unsigned threads = 0, Cycles window = 8192)
+    {
+        EngineConfig c;
+        c.kind = EngineKind::Par;
+        c.threads = threads;
+        c.windowCycles = window;
+        return c;
+    }
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_ENGINE_HH

@@ -8,6 +8,8 @@
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
 #include "sim/arena.hh"
+#include "sim/machine_impl.hh"
+#include "sim/par_engine.hh"
 
 namespace dss {
 namespace sim {
@@ -131,6 +133,48 @@ Machine::invalidateOtherCaches(Addr l2_line, ProcId except)
 }
 
 void
+Machine::applyReadFillDir(ProcId p, Addr l2_line)
+{
+    Directory::Entry &e = dir_.entry(l2_line);
+    if (e.state == Directory::State::Dirty && e.owner != p) {
+        // The owner's copy is written back and downgraded to Shared.
+        Node &own = *nodes_[e.owner];
+        if (own.l2.contains(l2_line))
+            own.l2.markClean(l2_line);
+        e.state = Directory::State::Shared;
+        e.sharers = static_cast<std::uint8_t>(bit(e.owner) | bit(p));
+    } else {
+        if (e.state == Directory::State::Uncached)
+            e.state = Directory::State::Shared;
+        e.sharers |= bit(p);
+    }
+}
+
+void
+Machine::applyStoreDir(ProcId p, Addr l2_line)
+{
+    // invalidateOtherCaches is a no-op when the line is already
+    // exclusively owned by p, so the unconditional call covers the
+    // owned-drain, upgrade and write-allocate paths alike.
+    invalidateOtherCaches(l2_line, p);
+    Directory::Entry &e = dir_.entry(l2_line);
+    e.state = Directory::State::Dirty;
+    e.owner = p;
+    e.sharers = bit(p);
+}
+
+void
+Machine::applyPrefetchShareDir(ProcId p, Addr l2_line)
+{
+    Directory::Entry &e = dir_.entry(l2_line);
+    if (e.state == Directory::State::Dirty && e.owner != p)
+        return; // raced with a remote store; the prefetcher backs off
+    if (e.state == Directory::State::Uncached)
+        e.state = Directory::State::Shared;
+    e.sharers |= bit(p);
+}
+
+void
 Machine::fillL1(ProcId p, Addr addr)
 {
     Node &n = *nodes_[p];
@@ -139,230 +183,6 @@ Machine::fillL1(ProcId p, Addr addr)
     Cache::Victim v = n.l1.fill(addr);
     if (v.valid)
         n.prefetched.erase(v.lineAddr); // write-through L1: never dirty
-}
-
-void
-Machine::fillL2(ProcId p, Addr addr, bool dirty)
-{
-    Node &n = *nodes_[p];
-    Cache::Victim v = n.l2.fill(addr, dirty);
-    if (!v.valid)
-        return;
-    // Inclusion: the L1 cannot keep sublines of an evicted L2 line.
-    for (Addr a = v.lineAddr; a < v.lineAddr + cfg_.l2.lineBytes;
-         a += cfg_.l1.lineBytes) {
-        n.l1.invalidate(a, /*coherence=*/false);
-        n.prefetched.erase(a);
-    }
-    dropFromDirectory(p, v.lineAddr);
-    if (v.dirty) {
-        // Background writeback occupies the victim's home controller but
-        // does not stall the processor.
-        dir_.acquireController(dir_.homeOf(v.lineAddr),
-                               runs_.empty() ? 0 : runs_[p].clock);
-    }
-}
-
-Machine::ReadOutcome
-Machine::readAccess(ProcId p, Addr addr, DataClass cls)
-{
-    Node &n = *nodes_[p];
-    ProcRun &r = runs_[p];
-    ProcStats &st = r.stats;
-    const Addr l1_line = n.l1.lineAddrOf(addr);
-    const Addr l2_line = n.l2.lineAddrOf(addr);
-
-    ++st.reads;
-
-    // Loads are satisfied by a matching store still in the write buffer.
-    if (n.wb.containsLine(l1_line, r.clock)) {
-        ++st.l1Hits;
-        return {cfg_.lat.l1Hit};
-    }
-
-    if (n.l1.access(addr)) {
-        ++st.l1Hits;
-        auto pf = n.prefetched.find(l1_line);
-        if (pf != n.prefetched.end()) {
-            ++st.prefetchesUseful;
-            // The prefetch may still be in flight: wait out the remainder.
-            Cycles extra =
-                pf->second > r.clock ? pf->second - r.clock : 0;
-            n.prefetched.erase(pf);
-            return {cfg_.lat.l1Hit + extra};
-        }
-        return {cfg_.lat.l1Hit};
-    }
-
-    st.l1Misses.add(cls, n.l1.classifyMiss(addr));
-    ++st.l2Accesses;
-
-    Cycles latency;
-    if (n.l2.access(addr)) {
-        ++st.l2Hits;
-        latency = l2HitLat_;
-    } else {
-        st.l2Misses.add(cls, n.l2.classifyMiss(addr));
-        Directory::Entry &e = dir_.entry(l2_line);
-        const ProcId home = dir_.homeOf(l2_line);
-        const bool dirty_else =
-            e.state == Directory::State::Dirty && e.owner != p;
-        const Cycles qdelay = dir_.acquireController(home, r.clock);
-        latency = dir_.transactionLatency(p, home, e.owner, dirty_else) +
-                  qdelay;
-        if (dirty_else) {
-            // The owner's copy is written back and downgraded to Shared.
-            Node &own = *nodes_[e.owner];
-            if (own.l2.contains(l2_line))
-                own.l2.markClean(l2_line);
-            e.state = Directory::State::Shared;
-            e.sharers = static_cast<std::uint8_t>(bit(e.owner) | bit(p));
-        } else {
-            if (e.state == Directory::State::Uncached)
-                e.state = Directory::State::Shared;
-            e.sharers |= bit(p);
-        }
-        fillL2(p, addr, /*dirty=*/false);
-    }
-    fillL1(p, addr);
-
-    // Sequential prefetch, triggered by primary-cache read misses on
-    // database data: fetch the next prefetchDegree L1 lines into the L1
-    // (paper Section 6). Miss-triggered issue reproduces the paper's
-    // measured effectiveness — prefetching removes about a third of the
-    // Data stall rather than hiding the whole stream.
-    if (cfg_.prefetchData && cls == DataClass::Data)
-        issuePrefetches(p, addr);
-
-    return {latency};
-}
-
-Cycles
-Machine::writeTransaction(ProcId p, Addr addr, DataClass cls)
-{
-    (void)cls;
-    Node &n = *nodes_[p];
-    ProcRun &r = runs_[p];
-    const Addr l2_line = n.l2.lineAddrOf(addr);
-    Directory::Entry &e = dir_.entry(l2_line);
-    const ProcId home = dir_.homeOf(l2_line);
-
-    Cycles drain;
-    if (n.l2.contains(l2_line)) {
-        if (e.state == Directory::State::Dirty && e.owner == p) {
-            // Already exclusively owned: drain straight into the L2.
-            drain = l2HitLat_;
-        } else {
-            // Upgrade: invalidate the other sharers via the home node.
-            const Cycles qdelay = dir_.acquireController(home, r.clock);
-            drain = dir_.transactionLatency(p, home, p, false) + qdelay;
-            invalidateOtherCaches(l2_line, p);
-        }
-        n.l2.access(addr, /*set_dirty=*/true);
-    } else {
-        // Write-allocate miss: obtain an exclusive copy.
-        const bool dirty_else =
-            e.state == Directory::State::Dirty && e.owner != p;
-        const Cycles qdelay = dir_.acquireController(home, r.clock);
-        drain = dir_.transactionLatency(p, home, e.owner, dirty_else) +
-                qdelay;
-        invalidateOtherCaches(l2_line, p);
-        fillL2(p, addr, /*dirty=*/true);
-    }
-    e.state = Directory::State::Dirty;
-    e.owner = p;
-    e.sharers = bit(p);
-
-    // Write-through L1: a resident line is updated in place (stays valid);
-    // a missing line is not allocated.
-    n.l1.access(addr);
-    return drain;
-}
-
-Cycles
-Machine::rmwAccess(ProcId p, Addr addr, DataClass cls)
-{
-    Node &n = *nodes_[p];
-    ProcRun &r = runs_[p];
-    ProcStats &st = r.stats;
-    const Addr l2_line = n.l2.lineAddrOf(addr);
-
-    ++st.reads;
-    const bool l1hit = n.l1.access(addr);
-    if (l1hit) {
-        ++st.l1Hits;
-    } else {
-        st.l1Misses.add(cls, n.l1.classifyMiss(addr));
-        ++st.l2Accesses;
-    }
-
-    Directory::Entry &e = dir_.entry(l2_line);
-    const ProcId home = dir_.homeOf(l2_line);
-    const bool l2has = n.l2.contains(l2_line);
-
-    Cycles latency;
-    if (l2has && e.state == Directory::State::Dirty && e.owner == p) {
-        // Exclusive in our L2: the atomic completes at the L2.
-        if (!l1hit)
-            ++st.l2Hits;
-        n.l2.access(addr, /*set_dirty=*/true);
-        latency = l2HitLat_;
-    } else {
-        if (!l2has && !l1hit)
-            st.l2Misses.add(cls, n.l2.classifyMiss(addr));
-        const bool dirty_else =
-            e.state == Directory::State::Dirty && e.owner != p;
-        const Cycles qdelay = dir_.acquireController(home, r.clock);
-        latency = dir_.transactionLatency(p, home, e.owner, dirty_else) +
-                  qdelay;
-        invalidateOtherCaches(l2_line, p);
-        if (l2has)
-            n.l2.access(addr, /*set_dirty=*/true);
-        else
-            fillL2(p, addr, /*dirty=*/true);
-        e.state = Directory::State::Dirty;
-        e.owner = p;
-        e.sharers = bit(p);
-    }
-    if (!l1hit)
-        fillL1(p, addr);
-    return latency;
-}
-
-void
-Machine::issuePrefetches(ProcId p, Addr addr)
-{
-    Node &n = *nodes_[p];
-    ProcRun &r = runs_[p];
-    const Addr l1_line = n.l1.lineAddrOf(addr);
-    Cycles issue = r.clock;
-    for (unsigned i = 1; i <= cfg_.prefetchDegree; ++i) {
-        const Addr a = l1_line + i * cfg_.l1.lineBytes;
-        if (n.l1.contains(a))
-            continue;
-        const Addr l2_line = n.l2.lineAddrOf(a);
-        Cycles ready = issue + l2HitLat_;
-        if (!n.l2.contains(l2_line)) {
-            Directory::Entry &e = dir_.entry(l2_line);
-            if (e.state == Directory::State::Dirty && e.owner != p)
-                continue; // keep the prefetcher out of dirty remote lines
-            // The fetch occupies the home controller (contention) but the
-            // processor does not wait for it.
-            const ProcId home = dir_.homeOf(l2_line);
-            const Cycles qdelay = dir_.acquireController(home, issue);
-            ready = issue + qdelay +
-                    dir_.transactionLatency(p, home, e.owner, false);
-            if (e.state == Directory::State::Uncached)
-                e.state = Directory::State::Shared;
-            e.sharers |= bit(p);
-            fillL2(p, a, /*dirty=*/false);
-        }
-        fillL1(p, a);
-        n.prefetched[n.l1.lineAddrOf(a)] = ready;
-        // Prefetches leave the node back to back, one per miss-port slot.
-        issue += cfg_.lat.controllerOccupancy;
-        ++r.stats.prefetchesIssued;
-    }
 }
 
 void
@@ -380,46 +200,6 @@ Machine::statsSnapshot(std::size_t n) const
     for (std::size_t p = 0; p < n && p < runs_.size(); ++p)
         out.push_back(runs_[p].stats);
     return out;
-}
-
-void
-Machine::doRead(ProcId p, const TraceEntry &e)
-{
-    ProcRun &r = runs_[p];
-    ReadOutcome o = readAccess(p, e.addr, e.cls);
-    const Cycles stall =
-        o.latency > cfg_.lat.l1Hit ? o.latency - cfg_.lat.l1Hit : 0;
-    r.stats.busy += cfg_.issueCyclesPerRef;
-    r.stats.memStall += stall;
-    r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
-        stall;
-    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
-    span(p, obs::SpanKind::Mem, r.clock + cfg_.issueCyclesPerRef,
-         r.clock + cfg_.issueCyclesPerRef + stall);
-    r.clock += cfg_.issueCyclesPerRef + stall;
-}
-
-void
-Machine::doWrite(ProcId p, const TraceEntry &e)
-{
-    Node &n = *nodes_[p];
-    ProcRun &r = runs_[p];
-    ++r.stats.writes;
-    r.stats.busy += cfg_.issueCyclesPerRef;
-    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
-    r.clock += cfg_.issueCyclesPerRef;
-
-    const Cycles drain = writeTransaction(p, e.addr, e.cls);
-    const Cycles stall =
-        n.wb.push(r.clock, drain, n.l1.lineAddrOf(e.addr));
-    if (stall) {
-        ++r.stats.wbOverflows;
-        r.stats.memStall += stall;
-        r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
-            stall;
-        span(p, obs::SpanKind::Mem, r.clock, r.clock + stall);
-        r.clock += stall;
-    }
 }
 
 void
@@ -464,7 +244,8 @@ Machine::doLockAcq(ProcId p, const TraceEntry &e)
 
     // Phase 1: the test&set itself — an exclusive access to the lock word.
     // Its stall is memory time on metadata; only spinning is MSync.
-    const Cycles lat = rmwAccess(p, w, e.cls);
+    SeqPort port{*this};
+    const Cycles lat = rmwAccessT(port, p, w, e.cls);
     const Cycles stall =
         lat > cfg_.lat.l1Hit ? lat - cfg_.lat.l1Hit : 0;
     r.stats.busy += cfg_.issueCyclesPerRef;
@@ -481,32 +262,22 @@ Machine::doLockAcq(ProcId p, const TraceEntry &e)
 void
 Machine::doLockRel(ProcId p, const TraceEntry &e)
 {
-    Node &n = *nodes_[p];
-    ProcRun &r = runs_[p];
-
     // The release store goes through the write buffer like any other store
     // and invalidates the spinners' cached copies of the lock word.
-    ++r.stats.writes;
-    r.stats.busy += cfg_.issueCyclesPerRef;
-    span(p, obs::SpanKind::Busy, r.clock, r.clock + cfg_.issueCyclesPerRef);
-    r.clock += cfg_.issueCyclesPerRef;
-    const Cycles drain = writeTransaction(p, e.addr, e.cls);
-    const Cycles stall =
-        n.wb.push(r.clock, drain, n.l1.lineAddrOf(e.addr));
-    if (stall) {
-        ++r.stats.wbOverflows;
-        r.stats.memStall += stall;
-        r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
-            stall;
-        span(p, obs::SpanKind::Mem, r.clock, r.clock + stall);
-        r.clock += stall;
-    }
+    SeqPort port{*this};
+    doWriteT(port, p, e);
+    releaseLock(p, e, runs_[p].clock);
+    ++runs_[p].pos;
+}
 
+ProcId
+Machine::releaseLock(ProcId p, const TraceEntry &e, Cycles rel_clock)
+{
     if (timeline_) {
         auto hold = holdStart_.find(e.addr);
         if (hold != holdStart_.end()) {
             timeline_->lockSpan(e.addr, e.cls, obs::SpanKind::LockHold, p,
-                                hold->second, r.clock);
+                                hold->second, rel_clock);
             holdStart_.erase(hold);
         }
     }
@@ -515,7 +286,7 @@ Machine::doLockRel(ProcId p, const TraceEntry &e)
     if (next != LockTable::kNoWaiter) {
         ProcRun &w = runs_[next];
         assert(w.blocked);
-        const Cycles wake = std::max(w.clock, r.clock);
+        const Cycles wake = std::max(w.clock, rel_clock);
         w.stats.syncStall += wake - w.blockStart;
         span(next, obs::SpanKind::Sync, w.blockStart, wake);
         if (timeline_)
@@ -524,7 +295,7 @@ Machine::doLockRel(ProcId p, const TraceEntry &e)
         w.clock = wake;
         w.blocked = false;
     }
-    ++r.pos;
+    return next;
 }
 
 void
@@ -532,24 +303,18 @@ Machine::step(ProcId p)
 {
     ProcRun &r = runs_[p];
     const TraceEntry &e = (*r.entries)[r.pos];
+    SeqPort port{*this};
     switch (e.op) {
       case Op::Read:
-        doRead(p, e);
+        doReadT(port, p, e);
         ++r.pos;
         break;
       case Op::Write:
-        doWrite(p, e);
+        doWriteT(port, p, e);
         ++r.pos;
         break;
       case Op::Busy:
-        r.stats.busy += e.extra;
-        // Untraced private stack/static references ride along with the
-        // busy instructions and always hit (paper Section 4.2, about one
-        // reference per four instructions); count them so miss rates
-        // share the paper's denominator.
-        r.stats.assumedHitReads += e.extra / 4;
-        span(p, obs::SpanKind::Busy, r.clock, r.clock + e.extra);
-        r.clock += e.extra;
+        doBusyT(port, p, e);
         ++r.pos;
         break;
       case Op::LockAcq:
@@ -564,6 +329,14 @@ Machine::step(ProcId p)
 SimStats
 Machine::run(const std::vector<const TraceStream *> &traces,
              obs::Sampler *sampler, obs::Timeline *timeline)
+{
+    return run(traces, EngineConfig::seq(), sampler, timeline);
+}
+
+SimStats
+Machine::run(const std::vector<const TraceStream *> &traces,
+             const EngineConfig &engine, obs::Sampler *sampler,
+             obs::Timeline *timeline)
 {
     if (traces.size() > cfg_.nprocs)
         throw std::invalid_argument("more traces than processors");
@@ -586,6 +359,29 @@ Machine::run(const std::vector<const TraceStream *> &traces,
     if (timeline_)
         timeline_->beginRun();
 
+    if (engine.kind == EngineKind::Seq) {
+        runSeq(traces.size());
+    } else {
+        ParEngine par(*this, engine);
+        par.run(traces.size());
+    }
+
+    SimStats out;
+    out.procs.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        out.procs.push_back(runs_[i].stats);
+
+    if (sampler_)
+        sampler_->finishRun(out.executionTime(),
+                            statsSnapshot(traces.size()));
+    sampler_ = nullptr;
+    timeline_ = nullptr;
+    return out;
+}
+
+void
+Machine::runSeq(std::size_t nrun)
+{
     for (;;) {
         ProcId best = cfg_.nprocs;
         for (ProcId p = 0; p < cfg_.nprocs; ++p) {
@@ -605,22 +401,9 @@ Machine::run(const std::vector<const TraceStream *> &traces,
         // The chosen processor holds the minimum runnable clock: once it
         // crosses an epoch boundary, every processor has.
         if (sampler_ && sampler_->due(runs_[best].clock))
-            sampler_->sample(runs_[best].clock,
-                             statsSnapshot(traces.size()));
+            sampler_->sample(runs_[best].clock, statsSnapshot(nrun));
         step(best);
     }
-
-    SimStats out;
-    out.procs.reserve(traces.size());
-    for (std::size_t i = 0; i < traces.size(); ++i)
-        out.procs.push_back(runs_[i].stats);
-
-    if (sampler_)
-        sampler_->finishRun(out.executionTime(),
-                            statsSnapshot(traces.size()));
-    sampler_ = nullptr;
-    timeline_ = nullptr;
-    return out;
 }
 
 void

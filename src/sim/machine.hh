@@ -33,6 +33,7 @@
 #include "sim/addr.hh"
 #include "sim/cache.hh"
 #include "sim/directory.hh"
+#include "sim/engine.hh"
 #include "sim/spinlock_model.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -79,6 +80,8 @@ struct MachineConfig
                                  std::size_t l2_bytes) const;
 };
 
+class ParEngine;
+
 class Machine
 {
   public:
@@ -101,6 +104,18 @@ class Machine
                  obs::Sampler *sampler = nullptr,
                  obs::Timeline *timeline = nullptr);
 
+    /**
+     * Same, with an explicit engine: EngineKind::Seq replays in exact
+     * simulated-time order on the calling thread; EngineKind::Par shards
+     * the processor pipelines across host threads in deterministic
+     * barrier-synchronized windows (see sim/engine.hh). The parallel
+     * engine's output is bit-identical for any thread count.
+     */
+    SimStats run(const std::vector<const TraceStream *> &traces,
+                 const EngineConfig &engine,
+                 obs::Sampler *sampler = nullptr,
+                 obs::Timeline *timeline = nullptr);
+
     /** Cold-start: drop caches, directory state and classification. */
     void resetMemoryState();
 
@@ -120,6 +135,12 @@ class Machine
     /** Direct cache access for tests. */
     Cache &l1(ProcId p) { return nodes_.at(p)->l1; }
     Cache &l2(ProcId p) { return nodes_.at(p)->l2; }
+
+    /** Directory access for tests (final-state equivalence checks). */
+    const Directory &directory() const { return dir_; }
+
+    /** Metalock table access for tests. */
+    const LockTable &locks() const { return locks_; }
 
   private:
     struct Node
@@ -157,32 +178,74 @@ class Machine
         Cycles latency = 0; ///< total, including the issue cycle
     };
 
-    ReadOutcome readAccess(ProcId p, Addr addr, DataClass cls);
+    /**
+     * The memory-access pipelines are templates over a Port — the seam
+     * between a processor's own node state (always mutated directly) and
+     * the *shared* state (directory entries, home-controller occupancy,
+     * timeline spans). SeqPort reads and mutates the shared state in
+     * place, which reproduces the reference engine exactly; the parallel
+     * engine's port reads a frozen window snapshot and parks mutations in
+     * a per-processor mailbox for the barrier to apply in deterministic
+     * order. Bodies live in machine_impl.hh (included by machine.cc and
+     * par_engine.cc only).
+     */
+    struct SeqPort;
+
+    template <typename Port>
+    ReadOutcome readAccessT(Port &port, ProcId p, Addr addr, DataClass cls);
 
     /**
      * Apply the coherence state changes of a store and return the drain
      * latency of its write-buffer transaction.
      */
-    Cycles writeTransaction(ProcId p, Addr addr, DataClass cls);
+    template <typename Port>
+    Cycles writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls);
 
     /**
      * Atomic read-modify-write on a lock word (test&set): acquires
      * exclusive ownership, the processor waits for completion.
      * @return total latency including the issue cycle.
      */
-    Cycles rmwAccess(ProcId p, Addr addr, DataClass cls);
+    template <typename Port>
+    Cycles rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls);
 
-    void issuePrefetches(ProcId p, Addr addr);
-    void fillL2(ProcId p, Addr addr, bool dirty);
+    template <typename Port>
+    void issuePrefetchesT(Port &port, ProcId p, Addr addr);
+    template <typename Port>
+    void fillL2T(Port &port, ProcId p, Addr addr, bool dirty);
+
     void fillL1(ProcId p, Addr addr);
     void invalidateOtherCaches(Addr l2_line, ProcId except);
     void dropFromDirectory(ProcId p, Addr l2_line);
 
+    /**
+     * Shared-state mutation operators. Each takes only (processor, line)
+     * and re-derives its decisions from the live directory entry, so the
+     * parallel engine can replay parked mutations at the barrier and land
+     * in exactly the state the sequential engine would have produced.
+     */
+    void applyReadFillDir(ProcId p, Addr l2_line);
+    void applyStoreDir(ProcId p, Addr l2_line);
+    void applyPrefetchShareDir(ProcId p, Addr l2_line);
+
     void step(ProcId p);
-    void doRead(ProcId p, const TraceEntry &e);
-    void doWrite(ProcId p, const TraceEntry &e);
+    template <typename Port>
+    void doReadT(Port &port, ProcId p, const TraceEntry &e);
+    template <typename Port>
+    void doWriteT(Port &port, ProcId p, const TraceEntry &e);
+    template <typename Port>
+    void doBusyT(Port &port, ProcId p, const TraceEntry &e);
     void doLockAcq(ProcId p, const TraceEntry &e);
     void doLockRel(ProcId p, const TraceEntry &e);
+    /**
+     * Release half of doLockRel: hand off the metalock and wake spinners
+     * (the store half already ran).
+     * @return the woken waiter, or LockTable::kNoWaiter.
+     */
+    ProcId releaseLock(ProcId p, const TraceEntry &e, Cycles rel_clock);
+
+    /** The reference engine: global min-(clock, procid) replay. */
+    void runSeq(std::size_t nrun);
 
     /** Timeline helper: emit [start, end) of @p k on @p p if attached. */
     void span(ProcId p, obs::SpanKind k, Cycles start, Cycles end);
@@ -199,6 +262,8 @@ class Machine
     obs::Timeline *timeline_ = nullptr; ///< valid during run()
     /** Metalock word -> cycle its current hold began (timeline only). */
     std::unordered_map<Addr, Cycles> holdStart_;
+
+    friend class ParEngine;
 };
 
 } // namespace sim

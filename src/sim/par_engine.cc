@@ -1,0 +1,468 @@
+#include "sim/par_engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+#include "obs/sampler.hh"
+#include "sim/machine_impl.hh"
+
+namespace dss {
+namespace sim {
+
+namespace {
+
+constexpr std::uint8_t
+bit(ProcId p)
+{
+    return static_cast<std::uint8_t>(1u << p);
+}
+
+} // namespace
+
+/**
+ * Phase-A port: shared-state reads go through the processor's overlay,
+ * shared-state writes are parked in its mailbox. Own-node state is
+ * handled inside the Machine pipelines and never reaches the port.
+ */
+struct ParEngine::ParPort
+{
+    ParEngine &eng;
+    ProcCtx &ctx;
+    ProcId proc;
+
+    Directory::Entry
+    entryView(Addr line)
+    {
+        return eng.portEntryView(ctx, line);
+    }
+
+    Cycles
+    controller(ProcId home, Cycles arrival)
+    {
+        return eng.portController(ctx, proc, home, arrival);
+    }
+
+    void
+    backgroundOccupy(ProcId home, Cycles arrival)
+    {
+        eng.portBackgroundOccupy(ctx, proc, home, arrival);
+    }
+
+    void
+    applyReadFill(ProcId, Addr line)
+    {
+        eng.portApplyReadFill(ctx, proc, line);
+    }
+
+    void
+    applyStore(ProcId, Addr line)
+    {
+        eng.portApplyStore(ctx, proc, line);
+    }
+
+    void
+    applyDrop(ProcId, Addr line)
+    {
+        eng.portApplyDrop(ctx, proc, line);
+    }
+
+    void
+    applyPrefetchShare(ProcId, Addr line)
+    {
+        eng.portApplyPrefetchShare(ctx, proc, line);
+    }
+
+    void
+    span(ProcId, obs::SpanKind k, Cycles start, Cycles end)
+    {
+        ctx.spans.push_back({k, start, end});
+    }
+};
+
+ParEngine::ParEngine(Machine &m, const EngineConfig &cfg)
+    : m_(m), cfg_(cfg)
+{
+    const unsigned np = m_.cfg_.nprocs;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    unsigned t = cfg_.threads ? cfg_.threads : std::min(np, hw);
+    nworkers_ = std::clamp(t, 1u, np);
+    ctxs_.resize(np);
+    for (ProcCtx &c : ctxs_)
+        c.ctrlFree.assign(np, 0);
+    if (nworkers_ > 1)
+        startWorkers(nworkers_);
+}
+
+ParEngine::~ParEngine()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+void
+ParEngine::park(ProcCtx &ctx, ParkedOp op)
+{
+    op.seq = ctx.seq++;
+    ctx.mailbox.push_back(op);
+}
+
+Directory::Entry
+ParEngine::portEntryView(ProcCtx &ctx, Addr line) const
+{
+    const Addr la = m_.dir_.lineAddrOf(line);
+    auto it = ctx.dirDelta.find(la);
+    if (it != ctx.dirDelta.end())
+        return it->second;
+    const Directory::Entry *e = m_.dir_.peek(la);
+    return e ? *e : Directory::Entry{};
+}
+
+Cycles
+ParEngine::portController(ProcCtx &ctx, ProcId p, ProcId home,
+                          Cycles arrival)
+{
+    const Cycles free =
+        std::max(m_.dir_.controllerFreeAt(home), ctx.ctrlFree[home]);
+    const Cycles delay = free > arrival ? free - arrival : 0;
+    ctx.ctrlFree[home] = std::max(free, arrival) + m_.dir_.occupancyCycles();
+    park(ctx, {ParkedOp::Kind::Occupy, p, DataClass::Priv,
+               static_cast<Addr>(home), m_.runs_[p].clock, arrival, delay,
+               0});
+    return delay;
+}
+
+void
+ParEngine::portBackgroundOccupy(ProcCtx &ctx, ProcId p, ProcId home,
+                                Cycles arrival)
+{
+    // The sequential engine charges the (discarded) queuing delay of a
+    // background writeback to the home's contention counters; compute the
+    // same delay against the overlay so phase B can replay the charge.
+    portController(ctx, p, home, arrival);
+}
+
+void
+ParEngine::portApplyReadFill(ProcCtx &ctx, ProcId p, Addr line)
+{
+    const Addr la = m_.dir_.lineAddrOf(line);
+    Directory::Entry e = portEntryView(ctx, la);
+    if (e.state == Directory::State::Dirty && e.owner != p) {
+        e.state = Directory::State::Shared;
+        e.sharers = static_cast<std::uint8_t>(bit(e.owner) | bit(p));
+    } else {
+        if (e.state == Directory::State::Uncached)
+            e.state = Directory::State::Shared;
+        e.sharers |= bit(p);
+    }
+    ctx.dirDelta[la] = e;
+    park(ctx, {ParkedOp::Kind::ReadFill, p, DataClass::Priv, la,
+               m_.runs_[p].clock, 0, 0, 0});
+}
+
+void
+ParEngine::portApplyStore(ProcCtx &ctx, ProcId p, Addr line)
+{
+    const Addr la = m_.dir_.lineAddrOf(line);
+    Directory::Entry e;
+    e.state = Directory::State::Dirty;
+    e.owner = p;
+    e.sharers = bit(p);
+    ctx.dirDelta[la] = e;
+    park(ctx, {ParkedOp::Kind::StoreDir, p, DataClass::Priv, la,
+               m_.runs_[p].clock, 0, 0, 0});
+}
+
+void
+ParEngine::portApplyDrop(ProcCtx &ctx, ProcId p, Addr line)
+{
+    const Addr la = m_.dir_.lineAddrOf(line);
+    Directory::Entry e = portEntryView(ctx, la);
+    if (e.state == Directory::State::Dirty && e.owner == p) {
+        e.state = Directory::State::Uncached;
+        e.sharers = 0;
+    } else {
+        e.sharers &= static_cast<std::uint8_t>(~bit(p));
+        if (e.sharers == 0 && e.state == Directory::State::Shared)
+            e.state = Directory::State::Uncached;
+    }
+    ctx.dirDelta[la] = e;
+    park(ctx, {ParkedOp::Kind::Drop, p, DataClass::Priv, la,
+               m_.runs_[p].clock, 0, 0, 0});
+}
+
+void
+ParEngine::portApplyPrefetchShare(ProcCtx &ctx, ProcId p, Addr line)
+{
+    const Addr la = m_.dir_.lineAddrOf(line);
+    Directory::Entry e = portEntryView(ctx, la);
+    if (!(e.state == Directory::State::Dirty && e.owner != p)) {
+        if (e.state == Directory::State::Uncached)
+            e.state = Directory::State::Shared;
+        e.sharers |= bit(p);
+        ctx.dirDelta[la] = e;
+    }
+    park(ctx, {ParkedOp::Kind::PrefetchShare, p, DataClass::Priv, la,
+               m_.runs_[p].clock, 0, 0, 0});
+}
+
+void
+ParEngine::replayWindow(ProcId p, Cycles window_end)
+{
+    Machine::ProcRun &r = m_.runs_[p];
+    ProcCtx &ctx = ctxs_[p];
+    // The previous barrier applied this processor's parked mutations to
+    // the live state; restart the overlays from the live view.
+    ctx.dirDelta.clear();
+    std::fill(ctx.ctrlFree.begin(), ctx.ctrlFree.end(), 0);
+    ParPort port{*this, ctx, p};
+    while (!r.done() && !r.blocked && r.clock < window_end) {
+        const TraceEntry &e = (*r.entries)[r.pos];
+        switch (e.op) {
+          case Op::Read:
+            m_.doReadT(port, p, e);
+            ++r.pos;
+            break;
+          case Op::Write:
+            m_.doWriteT(port, p, e);
+            ++r.pos;
+            break;
+          case Op::Busy:
+            m_.doBusyT(port, p, e);
+            ++r.pos;
+            break;
+          case Op::LockAcq:
+            // The outcome depends on the other processors: suspend until
+            // the barrier resolves it in deterministic order.
+            park(ctx, {ParkedOp::Kind::LockAcq, p, e.cls, e.addr, r.clock,
+                       0, 0, 0});
+            return;
+          case Op::LockRel:
+            // The release store drains like any store; the hand-off and
+            // wake-ups are ordered at the barrier.
+            m_.doWriteT(port, p, e);
+            park(ctx, {ParkedOp::Kind::LockRel, p, e.cls, e.addr, r.clock,
+                       0, 0, 0});
+            ++r.pos;
+            break;
+        }
+    }
+}
+
+void
+ParEngine::applyBarrier()
+{
+    std::vector<ParkedOp> ops;
+    std::size_t total = 0;
+    for (const ProcCtx &c : ctxs_)
+        total += c.mailbox.size();
+    ops.reserve(total);
+    for (ProcCtx &c : ctxs_) {
+        ops.insert(ops.end(), c.mailbox.begin(), c.mailbox.end());
+        c.mailbox.clear();
+    }
+    std::sort(ops.begin(), ops.end(),
+              [](const ParkedOp &a, const ParkedOp &b) {
+                  return std::tie(a.clock, a.proc, a.seq) <
+                         std::tie(b.clock, b.proc, b.seq);
+              });
+
+    // Lock continuations generated while draining: a completed test&set
+    // (acqPending) or a woken spinner re-executes its LockAcq at its new
+    // clock, interleaved with the remaining parked operations.
+    struct StepEv
+    {
+        Cycles clock;
+        ProcId proc;
+    };
+    auto stepLater = [](const StepEv &a, const StepEv &b) {
+        return std::tie(a.clock, a.proc) > std::tie(b.clock, b.proc);
+    };
+    std::priority_queue<StepEv, std::vector<StepEv>, decltype(stepLater)>
+        steps(stepLater);
+
+    auto stepLock = [&](ProcId p) {
+        Machine::ProcRun &r = m_.runs_[p];
+        assert(!r.done() && (*r.entries)[r.pos].op == Op::LockAcq);
+        m_.doLockAcq(p, (*r.entries)[r.pos]);
+        if (r.acqPending)
+            steps.push({r.clock, p});
+    };
+
+    std::size_t i = 0;
+    while (i < ops.size() || !steps.empty()) {
+        bool take_op;
+        if (steps.empty()) {
+            take_op = true;
+        } else if (i >= ops.size()) {
+            take_op = false;
+        } else {
+            // Parked work wins clock/proc ties: a processor's parked ops
+            // always precede its own continuation, and the rule is the
+            // same for every thread count.
+            take_op = std::tie(ops[i].clock, ops[i].proc) <=
+                      std::tie(steps.top().clock, steps.top().proc);
+        }
+        if (take_op) {
+            const ParkedOp &o = ops[i++];
+            switch (o.kind) {
+              case ParkedOp::Kind::ReadFill:
+                m_.applyReadFillDir(o.proc, o.addr);
+                break;
+              case ParkedOp::Kind::StoreDir:
+                m_.applyStoreDir(o.proc, o.addr);
+                break;
+              case ParkedOp::Kind::Drop:
+                m_.dropFromDirectory(o.proc, o.addr);
+                break;
+              case ParkedOp::Kind::PrefetchShare:
+                m_.applyPrefetchShareDir(o.proc, o.addr);
+                break;
+              case ParkedOp::Kind::Occupy:
+                m_.dir_.occupy(static_cast<ProcId>(o.addr), o.arrival,
+                               o.delay);
+                break;
+              case ParkedOp::Kind::LockAcq:
+                stepLock(o.proc);
+                break;
+              case ParkedOp::Kind::LockRel: {
+                const ProcId woken = m_.releaseLock(
+                    o.proc, TraceEntry::lockRel(o.addr, o.cls), o.clock);
+                if (woken != LockTable::kNoWaiter)
+                    steps.push({m_.runs_[woken].clock, woken});
+                break;
+              }
+            }
+        } else {
+            const StepEv s = steps.top();
+            steps.pop();
+            stepLock(s.proc);
+        }
+    }
+
+    // Timeline spans parked in phase A, flushed in processor order.
+    for (ProcId p = 0; p < ctxs_.size(); ++p) {
+        for (const SpanRec &s : ctxs_[p].spans)
+            m_.span(p, s.kind, s.start, s.end);
+        ctxs_[p].spans.clear();
+    }
+}
+
+void
+ParEngine::startWorkers(unsigned n)
+{
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+ParEngine::workerLoop(unsigned idx)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Cycles window_end;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+            if (stop_)
+                return;
+            seen = gen_;
+            window_end = jobWindowEnd_;
+        }
+        for (std::size_t i = idx; i < jobProcs_.size(); i += nworkers_)
+            replayWindow(jobProcs_[i], window_end);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--running_ == 0)
+                doneCv_.notify_one();
+        }
+    }
+}
+
+void
+ParEngine::phaseA(Cycles window_end)
+{
+    if (workers_.empty() || jobProcs_.size() == 1) {
+        for (ProcId p : jobProcs_)
+            replayWindow(p, window_end);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        jobWindowEnd_ = window_end;
+        running_ = nworkers_;
+        ++gen_;
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [&] { return running_ == 0; });
+}
+
+void
+ParEngine::run(std::size_t nrun)
+{
+    const unsigned np = m_.cfg_.nprocs;
+    const Cycles window = cfg_.windowCycles ? cfg_.windowCycles : 1;
+    Cycles window_end = window;
+    for (;;) {
+        bool any_alive = false;
+        bool any_runnable = false;
+        Cycles min_clock = 0;
+        for (ProcId p = 0; p < np; ++p) {
+            const Machine::ProcRun &r = m_.runs_[p];
+            if (r.done())
+                continue;
+            any_alive = true;
+            if (r.blocked)
+                continue;
+            if (!any_runnable || r.clock < min_clock)
+                min_clock = r.clock;
+            any_runnable = true;
+        }
+        if (!any_alive)
+            break;
+        assert(any_runnable && "deadlock: all runnable blocked");
+        if (!any_runnable)
+            break;
+
+        // Skip empty windows so idle stretches (one long Busy op) don't
+        // spin the barrier.
+        while (window_end <= min_clock)
+            window_end += window;
+
+        // Epoch sampling at window granularity: min_clock is the minimum
+        // runnable clock, which only grows window to window, so samples
+        // are taken in monotonic order exactly like the sequential
+        // engine's (the sampler tolerates several boundaries at once).
+        if (m_.sampler_ && m_.sampler_->due(min_clock))
+            m_.sampler_->sample(min_clock, m_.statsSnapshot(nrun));
+
+        for (;;) {
+            jobProcs_.clear();
+            for (ProcId p = 0; p < np; ++p) {
+                const Machine::ProcRun &r = m_.runs_[p];
+                if (!r.done() && !r.blocked && r.clock < window_end)
+                    jobProcs_.push_back(p);
+            }
+            if (jobProcs_.empty())
+                break;
+            phaseA(window_end);
+            applyBarrier();
+        }
+        window_end += window;
+    }
+}
+
+} // namespace sim
+} // namespace dss

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The barrier-synchronized parallel simulation engine (EngineKind::Par).
+ *
+ * Simulated time is cut into windows of EngineConfig::windowCycles. A
+ * window is simulated as a sequence of sub-rounds, each with two phases:
+ *
+ *  Phase A (parallel). Every runnable processor whose clock is inside the
+ *  window replays its trace on a worker thread. The pipeline mutates only
+ *  its own node (L1, L2, write buffer, prefetch table, clock, stats) and
+ *  *reads* the shared state — directory entries, home-controller
+ *  occupancy — through an overlay: the live value frozen at the last
+ *  barrier, patched with the processor's own not-yet-applied mutations.
+ *  Every shared-state mutation (directory transitions, remote-cache
+ *  invalidations, controller occupancy, timeline spans) is parked in the
+ *  processor's mailbox instead of applied. A processor stops at the
+ *  window end, at the end of its trace, or at a metalock acquire (whose
+ *  outcome depends on the other processors).
+ *
+ *  Phase B (serial barrier). The coordinator merges all mailboxes and
+ *  applies the parked operations against the live shared state in
+ *  sorted order — by simulated cycle, then processor id, then program
+ *  order — using the same mutation operators the sequential engine uses.
+ *  Metalock operations run here too, through the sequential engine's own
+ *  doLockAcq/releaseLock code, with a small event queue so that a
+ *  test&set completion or a lock hand-off re-schedules the processor at
+ *  its new clock within the same barrier.
+ *
+ * Sub-rounds repeat until no processor can advance inside the window
+ * (all are past the window end, finished, or spinning on a lock), then
+ * the window advances.
+ *
+ * Determinism: a processor's phase-A replay depends only on the live
+ * shared state at the previous barrier and on its own trace — never on
+ * the concurrent progress of other workers — and phase B applies parked
+ * work in a totally ordered sequence. Both are independent of the host
+ * thread count and of scheduling, so the simulation output (stats,
+ * caches, directory, time-series, timeline) is bit-identical for any
+ * `threads` value. The differential tests enforce this.
+ *
+ * Accuracy: within a window a processor does not observe the other
+ * processors' same-window transactions (it sees them from the next
+ * barrier on). Cross-processor interactions are therefore resolved with
+ * up to one window of slack against the sequential reference; aggregate
+ * counts that do not depend on interleaving (references, busy cycles)
+ * match the sequential engine exactly. See DESIGN.md.
+ */
+
+#ifndef DSS_SIM_PAR_ENGINE_HH
+#define DSS_SIM_PAR_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/directory.hh"
+#include "sim/machine.hh"
+
+namespace dss {
+namespace sim {
+
+class ParEngine
+{
+  public:
+    ParEngine(Machine &m, const EngineConfig &cfg);
+    ~ParEngine();
+
+    ParEngine(const ParEngine &) = delete;
+    ParEngine &operator=(const ParEngine &) = delete;
+
+    /** Drive machine_.runs_ to completion. */
+    void run(std::size_t nrun);
+
+  private:
+    /** One shared-state mutation parked during phase A. */
+    struct ParkedOp
+    {
+        enum class Kind : std::uint8_t {
+            ReadFill,      ///< applyReadFillDir(proc, addr)
+            StoreDir,      ///< applyStoreDir(proc, addr)
+            Drop,          ///< dropFromDirectory(proc, addr)
+            PrefetchShare, ///< applyPrefetchShareDir(proc, addr)
+            Occupy,        ///< controller at node `addr`: occupy(arrival),
+                           ///< queueCycles += delay
+            LockAcq,       ///< step the processor's pending LockAcq entry
+            LockRel        ///< releaseLock(proc, {addr, cls}, clock)
+        };
+
+        Kind kind;
+        ProcId proc;
+        DataClass cls;       ///< LockRel only
+        Addr addr;           ///< line address / home node for Occupy
+        Cycles clock;        ///< processor clock at park time (sort key)
+        Cycles arrival;      ///< Occupy only
+        Cycles delay;        ///< Occupy only: delay charged in phase A
+        std::uint32_t seq;   ///< per-processor program order (sort key)
+    };
+
+    struct SpanRec
+    {
+        obs::SpanKind kind;
+        Cycles start;
+        Cycles end;
+    };
+
+    /** Per-processor phase-A context (touched only by its worker). */
+    struct ProcCtx
+    {
+        /** Overlay of directory entries this processor has (logically)
+         * mutated since the last barrier. */
+        std::unordered_map<Addr, Directory::Entry> dirDelta;
+        /** Overlay of home-controller free times, ditto. */
+        std::vector<Cycles> ctrlFree;
+        std::vector<ParkedOp> mailbox;
+        std::vector<SpanRec> spans;
+        std::uint32_t seq = 0;
+    };
+
+    struct ParPort; // the Machine-pipeline port backed by ProcCtx
+
+    /** Phase A for one processor. */
+    void replayWindow(ProcId p, Cycles window_end);
+    /** Phase B: drain all mailboxes at the barrier. */
+    void applyBarrier();
+
+    // ParPort backends (ParEngine is a friend of Machine; its nested
+    // port delegates here so all private-state access sits in members).
+    Directory::Entry portEntryView(ProcCtx &ctx, Addr line) const;
+    Cycles portController(ProcCtx &ctx, ProcId p, ProcId home,
+                          Cycles arrival);
+    void portBackgroundOccupy(ProcCtx &ctx, ProcId p, ProcId home,
+                              Cycles arrival);
+    void portApplyReadFill(ProcCtx &ctx, ProcId p, Addr line);
+    void portApplyStore(ProcCtx &ctx, ProcId p, Addr line);
+    void portApplyDrop(ProcCtx &ctx, ProcId p, Addr line);
+    void portApplyPrefetchShare(ProcCtx &ctx, ProcId p, Addr line);
+
+    void park(ProcCtx &ctx, ParkedOp op);
+
+    // Worker pool (started only when more than one worker is useful).
+    void startWorkers(unsigned n);
+    void workerLoop(unsigned idx);
+    void phaseA(Cycles window_end);
+
+    Machine &m_;
+    EngineConfig cfg_;
+    unsigned nworkers_ = 1;
+    std::vector<ProcCtx> ctxs_;
+    /** Processors runnable in the current sub-round (phase-A job). */
+    std::vector<ProcId> jobProcs_;
+    Cycles jobWindowEnd_ = 0;
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    std::uint64_t gen_ = 0;
+    unsigned running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace sim
+} // namespace dss
+
+#endif // DSS_SIM_PAR_ENGINE_HH

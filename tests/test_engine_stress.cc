@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Concurrency stress for the parallel engine, meant to run under
+ * ThreadSanitizer (cmake -DSIM_SANITIZE=thread, or ./check.sh
+ * --sanitize=thread). The workloads maximize cross-thread traffic in the
+ * engine itself: many processors, heavy sharing, tiny windows (many
+ * barriers per run), contended locks, and more host threads than
+ * processors so the worker pool's hand-off paths are exercised.
+ *
+ * The assertions are deliberately light — the point is the interleaving
+ * coverage, with TSan (or ASan) as the oracle. Without a sanitizer these
+ * still verify determinism under the nastiest engine configurations.
+ */
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/stats_json.hh"
+#include "sim/arena.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace dss;
+using namespace dss::sim;
+
+std::vector<TraceStream>
+contendedTraces(unsigned nprocs, std::size_t entries, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> pct(0, 99);
+    // One hot 2 KB shared region: every line is contended by every proc.
+    std::uniform_int_distribution<Addr> off(0, (2 << 10) - 8);
+    std::uniform_int_distribution<std::uint32_t> busy(1, 5);
+    std::vector<TraceStream> traces(nprocs);
+    for (TraceStream &t : traces) {
+        bool in_cs = false;
+        for (std::size_t i = 0; i < entries; ++i) {
+            const int r = pct(rng);
+            if (!in_cs && r < 10) {
+                t.record(TraceEntry::lockAcq(0x2000'0000,
+                                             DataClass::LockSLock));
+                in_cs = true;
+            } else if (in_cs && r < 30) {
+                t.record(TraceEntry::lockRel(0x2000'0000,
+                                             DataClass::LockSLock));
+                in_cs = false;
+            } else if (r < 40) {
+                t.record(TraceEntry::busy(busy(rng)));
+            } else if (r < 70) {
+                t.record(TraceEntry::write(0x1000'0000 + (off(rng) & ~7ull),
+                                           DataClass::Data, 8));
+            } else {
+                t.record(TraceEntry::read(0x1000'0000 + (off(rng) & ~7ull),
+                                          DataClass::Data, 8));
+            }
+        }
+        if (in_cs)
+            t.record(
+                TraceEntry::lockRel(0x2000'0000, DataClass::LockSLock));
+    }
+    return traces;
+}
+
+std::string
+runOnce(const MachineConfig &cfg, const std::vector<TraceStream> &traces,
+        const EngineConfig &eng)
+{
+    std::vector<const TraceStream *> ptrs;
+    for (const TraceStream &t : traces)
+        ptrs.push_back(&t);
+    Machine m(cfg);
+    return obs::toJson(m.run(ptrs, eng)).dump();
+}
+
+TEST(EngineStress, EightProcsTinyWindowsManyThreads)
+{
+    MachineConfig cfg = MachineConfig::baseline();
+    cfg.nprocs = 8;
+    auto traces = contendedTraces(8, 600, 42);
+    // Tiny window => hundreds of barrier crossings; more host threads
+    // than runnable processors => workers racing for strided work.
+    const std::string one =
+        runOnce(cfg, traces, EngineConfig::par(1, 128));
+    for (unsigned threads : {4u, 8u}) {
+        EXPECT_EQ(one, runOnce(cfg, traces, EngineConfig::par(threads, 128)))
+            << threads << " threads";
+    }
+}
+
+TEST(EngineStress, RepeatedRunsOnOneMachineReuseWorkerPool)
+{
+    // Warm runs on one Machine: each run() builds a fresh engine over the
+    // same mutable caches/directory; the pool teardown/startup and the
+    // carried-over memory state must both be clean under TSan.
+    MachineConfig cfg = MachineConfig::baseline();
+    auto traces = contendedTraces(cfg.nprocs, 400, 7);
+    std::vector<const TraceStream *> ptrs;
+    for (const TraceStream &t : traces)
+        ptrs.push_back(&t);
+
+    Machine mseq(cfg);
+    Machine mpar(cfg);
+    for (int run = 0; run < 3; ++run) {
+        SimStats s = mseq.run(ptrs, EngineConfig::seq());
+        SimStats p = mpar.run(ptrs, EngineConfig::par(4, 256));
+        std::uint64_t swrites = 0, pwrites = 0;
+        for (unsigned i = 0; i < cfg.nprocs; ++i) {
+            swrites += s.procs[i].writes;
+            pwrites += p.procs[i].writes;
+        }
+        EXPECT_EQ(swrites, pwrites) << "run " << run;
+    }
+}
+
+TEST(EngineStress, ManyShortWindowsWithIdleGaps)
+{
+    // Long busy stretches force the window fast-forward path while other
+    // processors are mid-window — the scheduling edge cases.
+    MachineConfig cfg = MachineConfig::baseline();
+    std::vector<TraceStream> traces(cfg.nprocs);
+    for (unsigned p = 0; p < cfg.nprocs; ++p) {
+        for (int i = 0; i < 50; ++i) {
+            traces[p].record(TraceEntry::busy(p == 0 ? 10000 : 17));
+            traces[p].record(TraceEntry::read(
+                0x1000'0000 + static_cast<Addr>(i) * 8, DataClass::Data,
+                8));
+        }
+    }
+    const std::string one = runOnce(cfg, traces, EngineConfig::par(1, 64));
+    EXPECT_EQ(one, runOnce(cfg, traces, EngineConfig::par(4, 64)));
+}
+
+} // namespace

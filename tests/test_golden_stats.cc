@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Golden-stats regression tests: the full per-processor statistics of the
+ * paper's three focus queries (Q3 Index, Q6 Sequential, Q12 Mixed) at the
+ * tiny scale, for both simulation engines, pinned against checked-in JSON
+ * fixtures under tests/golden/.
+ *
+ * These exist to catch *unintended* behaviour changes: any edit to the
+ * caches, directory, write buffer, lock model or either engine that moves
+ * a single counter fails loudly here. When a change is intended,
+ * regenerate the fixtures (scripts/regen_golden.sh, or run this binary
+ * with DSS_REGEN_GOLDEN=1) and review the fixture diff like code.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/workload.hh"
+#include "obs/stats_json.hh"
+#include "tpcd/queries.hh"
+
+#ifndef DSS_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define DSS_GOLDEN_DIR"
+#endif
+
+namespace {
+
+using namespace dss;
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(DSS_GOLDEN_DIR) + "/" + name;
+}
+
+void
+checkGolden(tpcd::QueryId q, const sim::EngineConfig &engine,
+            const std::string &fixture)
+{
+    // A fresh workload per check: tracing a query reads through the live
+    // database engine, so traces (and therefore stats) depend on what ran
+    // before in this process. Fresh state keeps every fixture independent
+    // of test ordering and sharding.
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 4);
+    harness::TraceSet traces = wl.trace(q);
+    sim::SimStats stats =
+        harness::runCold(sim::MachineConfig::baseline(), traces, engine);
+    const std::string actual = obs::toJson(stats).dump(2) + "\n";
+
+    const std::string path = goldenPath(fixture);
+    if (std::getenv("DSS_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing fixture " << path
+                    << " (run scripts/regen_golden.sh)";
+    std::ostringstream want;
+    want << is.rdbuf();
+    EXPECT_EQ(want.str(), actual)
+        << "stats for " << tpcd::queryName(q) << " ("
+        << sim::engineKindName(engine.kind) << " engine) diverged from "
+        << path << "; if intended, regenerate with scripts/regen_golden.sh";
+}
+
+TEST(GoldenStats, Q3Seq)
+{
+    checkGolden(tpcd::QueryId::Q3, sim::EngineConfig::seq(), "q3_seq.json");
+}
+
+TEST(GoldenStats, Q6Seq)
+{
+    checkGolden(tpcd::QueryId::Q6, sim::EngineConfig::seq(), "q6_seq.json");
+}
+
+TEST(GoldenStats, Q12Seq)
+{
+    checkGolden(tpcd::QueryId::Q12, sim::EngineConfig::seq(),
+                "q12_seq.json");
+}
+
+TEST(GoldenStats, Q3Par)
+{
+    checkGolden(tpcd::QueryId::Q3, sim::EngineConfig::par(), "q3_par.json");
+}
+
+TEST(GoldenStats, Q6Par)
+{
+    checkGolden(tpcd::QueryId::Q6, sim::EngineConfig::par(), "q6_par.json");
+}
+
+TEST(GoldenStats, Q12Par)
+{
+    checkGolden(tpcd::QueryId::Q12, sim::EngineConfig::par(),
+                "q12_par.json");
+}
+
+} // namespace

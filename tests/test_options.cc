@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regression tests for the bench flag layer: BenchOptions::parse must
+ * never silently accept an argument. Unknown flags, flags outside the
+ * binary's declared subset, and malformed values all exit(2) with a
+ * diagnostic; --help exits(0). (An earlier version of the harness
+ * ignored anything it did not recognize, so `--engine=par` typos ran the
+ * default configuration without a word.)
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/options.hh"
+
+namespace {
+
+using namespace dss;
+using harness::BenchOptions;
+
+/** argv helper: parse() wants mutable char* in the usual main() shape. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        ptrs.push_back(const_cast<char *>("bench"));
+        for (std::string &s : strings)
+            ptrs.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+    std::vector<std::string> strings;
+    std::vector<char *> ptrs;
+};
+
+BenchOptions
+parseArgs(std::vector<std::string> args, unsigned flags = BenchOptions::kAll)
+{
+    Argv a(std::move(args));
+    return BenchOptions::parse(a.argc(), a.argv(), "bench", flags);
+}
+
+TEST(BenchOptionsDeath, UnknownFlagIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--bogus"}), testing::ExitedWithCode(2),
+                "unknown option '--bogus'");
+}
+
+TEST(BenchOptionsDeath, MisspelledFlagIsFatal)
+{
+    // The regression that motivated this file: a typo used to fall
+    // through silently and the bench ran with defaults.
+    EXPECT_EXIT(parseArgs({"--engin", "par"}), testing::ExitedWithCode(2),
+                "unknown option '--engin'");
+}
+
+TEST(BenchOptionsDeath, PositionalArgumentIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"par"}), testing::ExitedWithCode(2),
+                "unknown option 'par'");
+}
+
+TEST(BenchOptionsDeath, FlagOutsideDeclaredSubsetIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--json", "out.json"}, BenchOptions::kEngine),
+                testing::ExitedWithCode(2),
+                "not supported by this bench");
+}
+
+TEST(BenchOptionsDeath, MissingValueIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--engine"}), testing::ExitedWithCode(2),
+                "requires a value");
+}
+
+TEST(BenchOptionsDeath, BadEngineNameIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--engine", "parr"}),
+                testing::ExitedWithCode(2), "unknown --engine 'parr'");
+}
+
+TEST(BenchOptionsDeath, BadWindowValueIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--window", "0"}), testing::ExitedWithCode(2),
+                "positive count");
+    EXPECT_EXIT(parseArgs({"--window", "8k"}), testing::ExitedWithCode(2),
+                "positive count");
+}
+
+TEST(BenchOptionsDeath, BadScaleIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--scale", "huge"}), testing::ExitedWithCode(2),
+                "unknown --scale 'huge'");
+}
+
+TEST(BenchOptionsDeath, HelpExitsZero)
+{
+    // (usage goes to stdout, which EXPECT_EXIT does not capture — the
+    // exit code is the assertion here.)
+    EXPECT_EXIT(parseArgs({"--help"}), testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchOptions, EngineFlagsParse)
+{
+    BenchOptions o =
+        parseArgs({"--engine", "par", "--threads", "3", "--window", "512"});
+    EXPECT_EQ(o.engine.kind, sim::EngineKind::Par);
+    EXPECT_EQ(o.engine.threads, 3u);
+    EXPECT_EQ(o.engine.windowCycles, 512u);
+}
+
+TEST(BenchOptions, DefaultsToSequentialEngine)
+{
+    BenchOptions o = parseArgs({});
+    EXPECT_EQ(o.engine.kind, sim::EngineKind::Seq);
+    EXPECT_EQ(o.scale, "paper");
+}
+
+} // namespace
