@@ -17,7 +17,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_associativity", harness::BenchOptions::kEngine);
@@ -57,4 +57,10 @@ main(int argc, char **argv)
         std::cout << '\n';
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("ablation_associativity", argc, argv, benchMain);
 }

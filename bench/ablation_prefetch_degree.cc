@@ -15,7 +15,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_prefetch_degree", harness::BenchOptions::kEngine);
@@ -46,4 +46,10 @@ main(int argc, char **argv)
     }
     tab.print(std::cout);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("ablation_prefetch_degree", argc, argv, benchMain);
 }

@@ -19,7 +19,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_scaling", harness::BenchOptions::kEngine);
@@ -59,4 +59,10 @@ main(int argc, char **argv)
         std::cout << '\n';
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("ablation_scaling", argc, argv, benchMain);
 }

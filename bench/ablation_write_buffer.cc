@@ -33,7 +33,7 @@ traceUF1(tpcd::TpcdDb &db, unsigned orders)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_write_buffer", harness::BenchOptions::kEngine);
@@ -70,4 +70,10 @@ main(int argc, char **argv)
         std::cout << '\n';
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("ablation_write_buffer", argc, argv, benchMain);
 }

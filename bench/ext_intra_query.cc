@@ -22,7 +22,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ext_intra_query", harness::BenchOptions::kEngine);
@@ -72,4 +72,10 @@ main(int argc, char **argv)
                  "table); the intra-query row is true\nresponse-time "
                  "speedup for one query.\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("ext_intra_query", argc, argv, benchMain);
 }

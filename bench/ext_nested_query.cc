@@ -22,7 +22,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ext_nested_query", harness::BenchOptions::kEngine);
@@ -72,4 +72,10 @@ main(int argc, char **argv)
                  "paper's query taxonomy is determined by access path, "
                  "not by the\nquery's business content.\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("ext_nested_query", argc, argv, benchMain);
 }

@@ -43,7 +43,7 @@ sizeName(std::size_t bytes)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig10_cache_size_misses", harness::BenchOptions::kEngine);
@@ -100,4 +100,10 @@ main(int argc, char **argv)
         print_level("secondary cache", false, base_l2);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig10_cache_size_misses", argc, argv, benchMain);
 }

@@ -43,7 +43,7 @@ sizeName(std::size_t bytes)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig11_cache_size_time", harness::BenchOptions::kEngine);
@@ -84,4 +84,10 @@ main(int argc, char **argv)
         std::cout << '\n';
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig11_cache_size_time", argc, argv, benchMain);
 }

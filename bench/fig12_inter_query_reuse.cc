@@ -67,7 +67,7 @@ normalizedRow(const sim::SimStats &stats, double base)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     harness::BenchOptions opts =
         harness::BenchOptions::parse(argc, argv, "fig12_inter_query_reuse");
@@ -105,10 +105,7 @@ main(int argc, char **argv)
                 seq.push_back(c.warm);
             seq.push_back(c.measured);
             std::vector<sim::SimStats> all =
-                harness::runSequence(cfg, seq, opts.engine,
-                                     session.sampler(),
-                                     session.timeline(),
-                                     session.registrySlot());
+                harness::runSequence(cfg, seq, session.runOptions());
             const sim::SimStats &measured = all.back();
             session.addRun(trimmed(c.label), measured);
             if (!c.warm) {
@@ -142,4 +139,10 @@ main(int argc, char **argv)
     };
     run_group("Figure 12(b): misses of Q12", q12_cases);
     return session.finish(cfg, std::cerr) ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig12_inter_query_reuse", argc, argv, benchMain);
 }

@@ -20,7 +20,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig13_prefetch", harness::BenchOptions::kEngine);
@@ -60,4 +60,10 @@ main(int argc, char **argv)
     }
     tab.print(std::cout);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig13_prefetch", argc, argv, benchMain);
 }

@@ -18,7 +18,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     harness::BenchOptions opts =
         harness::BenchOptions::parse(argc, argv, "fig6_time_breakdown");
@@ -41,8 +41,7 @@ main(int argc, char **argv)
     for (tpcd::QueryId q : queries) {
         harness::TraceSet traces = wl.trace(q);
         sim::SimStats stats =
-            harness::runCold(cfg, traces, opts.engine, session.sampler(),
-                             session.timeline(), session.registrySlot());
+            harness::runCold(cfg, traces, session.runOptions());
         session.addRun(tpcd::queryName(q), stats);
 
         harness::TimeBreakdown tb = harness::timeBreakdown(stats);
@@ -67,4 +66,10 @@ main(int argc, char **argv)
     std::cout << "\nFigure 6(b): memory stall time by structure\n";
     fig6b.print(std::cout);
     return session.finish(cfg, std::cerr) ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig6_time_breakdown", argc, argv, benchMain);
 }

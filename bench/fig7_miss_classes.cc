@@ -20,7 +20,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     harness::BenchOptions opts =
         harness::BenchOptions::parse(argc, argv, "fig7_miss_classes");
@@ -39,8 +39,7 @@ main(int argc, char **argv)
                             tpcd::QueryId::Q12}) {
         harness::TraceSet traces = wl.trace(q);
         sim::SimStats stats =
-            harness::runCold(cfg, traces, opts.engine, session.sampler(),
-                             session.timeline(), session.registrySlot());
+            harness::runCold(cfg, traces, session.runOptions());
         session.addRun(tpcd::queryName(q), stats);
         sim::ProcStats agg = stats.aggregate();
 
@@ -63,4 +62,10 @@ main(int argc, char **argv)
                  "(paper: L1 5.5/3.4/4.8%, L2 0.8/0.6/0.5%)\n";
     rates.print(std::cout);
     return session.finish(cfg, std::cerr) ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig7_miss_classes", argc, argv, benchMain);
 }

@@ -27,7 +27,7 @@ constexpr std::size_t kBaselineLine = 64;
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig8_line_size_misses", harness::BenchOptions::kEngine);
@@ -103,4 +103,10 @@ main(int argc, char **argv)
         print_level("secondary cache", false, base_l2);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig8_line_size_misses", argc, argv, benchMain);
 }

@@ -18,7 +18,7 @@
 using namespace dss;
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig9_line_size_time", harness::BenchOptions::kEngine);
@@ -64,4 +64,10 @@ main(int argc, char **argv)
         std::cout << '\n';
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("fig9_line_size_time", argc, argv, benchMain);
 }

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/guard.hh"
+
 #include "harness/workload.hh"
 #include "tpcd/dbgen.hh"
 #include "tpcd/queries.hh"
@@ -105,4 +107,16 @@ BENCHMARK(BM_DbGenTiny);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return dss::harness::guardedMain(
+        "microbench_db", argc, argv, [](int c, char **v) -> int {
+            benchmark::Initialize(&c, v);
+            if (benchmark::ReportUnrecognizedArguments(c, v))
+                return 1;
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        });
+}

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/guard.hh"
+
 #include "sim/arena.hh"
 #include "sim/cache.hh"
 #include "sim/directory.hh"
@@ -138,4 +140,16 @@ BENCHMARK_CAPTURE(BM_MachineReplay4, par, EngineConfig::par());
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return dss::harness::guardedMain(
+        "microbench_sim", argc, argv, [](int c, char **v) -> int {
+            benchmark::Initialize(&c, v);
+            if (benchmark::ReportUnrecognizedArguments(c, v))
+                return 1;
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        });
+}

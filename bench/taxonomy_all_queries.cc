@@ -33,7 +33,7 @@ className(tpcd::QueryClass c)
 } // namespace
 
 int
-main(int argc, char **argv)
+benchMain(int argc, char **argv)
 {
     harness::BenchOptions opts =
         harness::BenchOptions::parse(argc, argv, "taxonomy_all_queries");
@@ -63,8 +63,7 @@ main(int argc, char **argv)
         auto q = static_cast<tpcd::QueryId>(qi);
         harness::TraceSet traces = wl.trace(q);
         sim::SimStats stats =
-            harness::runCold(cfg, traces, opts.engine, session.sampler(),
-                             session.timeline(), session.registrySlot());
+            harness::runCold(cfg, traces, session.runOptions());
         session.addRun(tpcd::queryName(q), stats);
         sim::ProcStats agg = stats.aggregate();
 
@@ -114,4 +113,10 @@ main(int argc, char **argv)
             static_cast<std::int64_t>(agreements);
     }
     return session.finish(cfg, std::cerr) ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    return harness::guardedMain("taxonomy_all_queries", argc, argv, benchMain);
 }

@@ -1,27 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 check: configure, build, and run the full test suite.
 #
-# Usage: scripts/check.sh [--sanitize=thread|address] [build-dir]
+# Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
+#                         [build-dir]
 #
-# --sanitize builds into a separate build directory (build-tsan/ or
-# build-asan/) with -DSIM_SANITIZE set and runs only the engine and
-# coherence tests there — the interleaving-heavy subset a sanitizer can
-# actually judge — so the instrumented build never pollutes the normal
-# one and stays fast enough for routine use.
+# --sanitize builds into a separate build directory (build-tsan/,
+# build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
+# engine and coherence tests there — the interleaving-heavy subset a
+# sanitizer can actually judge — so the instrumented build never
+# pollutes the normal one and stays fast enough for routine use.
+#
+# --chaos runs the robustness gauntlet: TSan and ASan builds over the
+# fault-injection, invariant-checker and engine-stress suites, plus the
+# chaos_fault_sweep bench at tiny scale (nonzero fault rates, checker
+# on, exit 1 on any violation).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=""
+chaos=0
 build=""
 
 for arg in "$@"; do
     case "$arg" in
-        --sanitize=thread|--sanitize=address)
+        --sanitize=thread|--sanitize=address|--sanitize=undefined)
             sanitize="${arg#--sanitize=}"
             ;;
         --sanitize*)
-            echo "check.sh: unknown sanitizer in '$arg' (thread, address)" >&2
+            echo "check.sh: unknown sanitizer in '$arg'" \
+                 "(thread, address, undefined)" >&2
             exit 2
+            ;;
+        --chaos)
+            chaos=1
             ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
@@ -33,10 +44,32 @@ for arg in "$@"; do
     esac
 done
 
-if [[ -n "$sanitize" ]]; then
-    short="tsan"
-    [[ "$sanitize" == "address" ]] && short="asan"
-    build="${build:-$repo/build-$short}"
+short_of() {
+    case "$1" in
+        thread) echo tsan ;;
+        address) echo asan ;;
+        undefined) echo ubsan ;;
+    esac
+}
+
+if [[ "$chaos" -eq 1 ]]; then
+    # Robustness gauntlet: the fault/checker/guard suites plus the
+    # engine-stress interleavings, under both TSan and ASan, then the
+    # chaos sweep bench end to end (its exit code is the verdict).
+    filter='FaultDeterminism.*:FaultInjection.*:GracefulFailure.*'
+    filter+=':CheckerCorruption.*:CheckerClean.*:Backoff.*:RetryOnAbort.*'
+    filter+=':GuardedMain.*:EngineStress.*:EngineDifferential.*'
+    for san in thread address; do
+        dir="$repo/build-$(short_of "$san")"
+        cmake -B "$dir" -S "$repo" -DSIM_SANITIZE="$san"
+        cmake --build "$dir" -j"$(nproc)" \
+            --target dss_tests chaos_fault_sweep
+        "$dir/tests/dss_tests" --gtest_filter="$filter"
+        "$dir/bench/chaos_fault_sweep" --scale tiny
+    done
+    echo "check.sh: chaos gauntlet passed"
+elif [[ -n "$sanitize" ]]; then
+    build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"
     cmake --build "$build" -j"$(nproc)" --target dss_tests
     "$build/tests/dss_tests" \

@@ -7,6 +7,8 @@
 #define DSS_DB_COMMON_HH
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace dss {
 namespace db {
@@ -33,6 +35,30 @@ struct Tid
     {
         return block == o.block && slot == o.slot;
     }
+};
+
+/**
+ * A query-level abort: the transaction cannot proceed (lock conflict, or
+ * an injected fault) and must release its grants and retry. This is the
+ * *recoverable* failure class — the harness retry path (harness/guard.hh)
+ * catches it, backs off, and re-runs the query; it never crashes a bench.
+ */
+class QueryAbort : public std::runtime_error
+{
+  public:
+    enum class Reason {
+        WriteConflict,     ///< Write lock vs. existing readers/writers
+        ReadWriteConflict, ///< Read lock vs. an existing writer
+        Injected,          ///< scheduled by a sim::FaultPlan
+    };
+
+    QueryAbort(Reason reason, Xid xid, RelId rel, const std::string &what)
+        : std::runtime_error(what), reason(reason), xid(xid), rel(rel)
+    {}
+
+    Reason reason;
+    Xid xid;
+    RelId rel;
 };
 
 } // namespace db

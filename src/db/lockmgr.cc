@@ -12,10 +12,11 @@ constexpr sim::Addr kLockRel = 0;
 constexpr sim::Addr kLockReaders = 4;
 constexpr sim::Addr kLockWriters = 8;
 
-// Xid hash entry (16 bytes): {xid, rel, count, pad}.
+// Xid hash entry (16 bytes): {xid, rel, count, mode}.
 constexpr sim::Addr kXidXid = 0;
 constexpr sim::Addr kXidRel = 4;
 constexpr sim::Addr kXidCount = 8;
+constexpr sim::Addr kXidMode = 12;
 
 std::uint32_t
 nextPow2(std::uint32_t v)
@@ -95,9 +96,13 @@ LockManager::lockRelation(TracedMemory &mem, Xid xid, RelId rel,
     if (mode == LockMode::Read) {
         auto writers = mem.load<std::int32_t>(lockEntry(ls) + kLockWriters);
         if (writers != 0) {
+            // No lock waiting in the simulated DBMS: conflicts abort the
+            // query, and the harness retries it with backoff.
             mem.lockRelease(lock_);
-            throw std::runtime_error("LockManager: read/write conflict "
-                                     "(update queries are out of scope)");
+            throw QueryAbort(QueryAbort::Reason::ReadWriteConflict, xid,
+                             rel,
+                             "LockManager: read/write conflict on rel " +
+                                 std::to_string(rel));
         }
         auto readers = mem.load<std::int32_t>(lockEntry(ls) + kLockReaders);
         mem.store<std::int32_t>(lockEntry(ls) + kLockReaders, readers + 1);
@@ -106,8 +111,9 @@ LockManager::lockRelation(TracedMemory &mem, Xid xid, RelId rel,
         auto writers = mem.load<std::int32_t>(lockEntry(ls) + kLockWriters);
         if (readers != 0 || writers != 0) {
             mem.lockRelease(lock_);
-            throw std::runtime_error("LockManager: write conflict "
-                                     "(update queries are out of scope)");
+            throw QueryAbort(QueryAbort::Reason::WriteConflict, xid, rel,
+                             "LockManager: write conflict on rel " +
+                                 std::to_string(rel));
         }
         mem.store<std::int32_t>(lockEntry(ls) + kLockWriters, writers + 1);
     }
@@ -118,6 +124,8 @@ LockManager::lockRelation(TracedMemory &mem, Xid xid, RelId rel,
         mem.store<std::uint32_t>(xidEntry(xs) + kXidXid, xid);
         mem.store<std::int32_t>(xidEntry(xs) + kXidRel, rel);
         mem.store<std::int32_t>(xidEntry(xs) + kXidCount, 1);
+        mem.store<std::int32_t>(xidEntry(xs) + kXidMode,
+                                static_cast<std::int32_t>(mode));
     } else {
         auto cnt = mem.load<std::int32_t>(xidEntry(xs) + kXidCount);
         mem.store<std::int32_t>(xidEntry(xs) + kXidCount, cnt + 1);
@@ -166,8 +174,10 @@ LockManager::releaseAll(TracedMemory &mem, Xid xid)
         if (e_xid != xid)
             continue;
         auto cnt = mem.load<std::int32_t>(xidEntry(s) + kXidCount);
+        const auto mode = static_cast<LockMode>(
+            mem.load<std::int32_t>(xidEntry(s) + kXidMode));
         while (cnt-- > 0)
-            unlockRelation(mem, xid, e_rel);
+            unlockRelation(mem, xid, e_rel, mode);
     }
 }
 

@@ -43,8 +43,10 @@ class LockManager
      * LockMgrLock, find/insert the relation in the lock hash, bump the
      * holder count, record the grant in the xid hash, release.
      *
-     * @return true (read locks never conflict; a Write/Write conflict
-     *         throws — update queries are out of scope, as in the paper).
+     * @return true (read locks never conflict; a Write/Write or
+     *         Read/Write conflict throws QueryAbort, which the harness
+     *         retry layer catches and re-runs with backoff — see
+     *         harness::retryOnAbort).
      */
     bool lockRelation(TracedMemory &mem, Xid xid, RelId rel, LockMode mode);
 

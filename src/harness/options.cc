@@ -32,6 +32,20 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
     if (flags & BenchOptions::kScale)
         os << "  --scale <name>   database population: paper (default), "
               "tiny\n";
+    if (flags & BenchOptions::kCheck)
+        os << "  --check          validate coherence invariants at every "
+              "state\n"
+           << "                   transition (SWMR, directory/cache "
+              "agreement,\n"
+           << "                   write-buffer FIFO, lock-table "
+              "consistency)\n";
+    if (flags & BenchOptions::kFault)
+        os << "  --fault-rate <p> inject deterministic faults with "
+              "per-opportunity\n"
+           << "                   probability p in [0,1] (0 disables)\n"
+           << "  --fault-seed <n> seed for the fault schedule "
+              "(replayable across\n"
+           << "                   engines and thread counts)\n";
     os << "  --help           show this message\n";
 }
 
@@ -113,6 +127,31 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
                           << opts.scale << "' (paper, tiny)\n";
                 std::exit(2);
             }
+        } else if (arg == "--check" && supported(arg, kCheck)) {
+            opts.check = true;
+        } else if (arg == "--fault-seed" && supported(arg, kFault)) {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || v.empty()) {
+                std::cerr << bench_name
+                          << ": --fault-seed needs an integer, got '" << v
+                          << "'\n";
+                std::exit(2);
+            }
+            opts.faultSeed = n;
+        } else if (arg == "--fault-rate" && supported(arg, kFault)) {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            double r = std::strtod(v.c_str(), &end);
+            if (!end || *end != '\0' || v.empty() || r < 0.0 || r > 1.0) {
+                std::cerr << bench_name
+                          << ": --fault-rate needs a probability in "
+                             "[0,1], got '"
+                          << v << "'\n";
+                std::exit(2);
+            }
+            opts.faultRate = r;
         } else {
             std::cerr << bench_name << ": unknown option '" << arg
                       << "'\n";
@@ -129,6 +168,15 @@ BenchOptions::scaleConfig() const
                            : tpcd::ScaleConfig::paperScale();
 }
 
+sim::FaultConfig
+BenchOptions::faultConfig() const
+{
+    sim::FaultConfig fc;
+    fc.seed = faultSeed;
+    fc.rate = faultRate;
+    return fc;
+}
+
 ObsSession::ObsSession(std::string bench_name, BenchOptions opts)
     : bench_(std::move(bench_name)), opts_(std::move(opts)),
       runs_(obs::Json::array()), extra_(obs::Json::object())
@@ -137,6 +185,24 @@ ObsSession::ObsSession(std::string bench_name, BenchOptions opts)
         sampler_ = std::make_unique<obs::Sampler>(opts_.epochCycles);
     if (!opts_.tracePath.empty())
         timeline_ = std::make_unique<obs::Timeline>();
+    if (opts_.check)
+        checker_ = std::make_unique<sim::InvariantChecker>();
+    if (opts_.faultRate > 0.0)
+        faults_ = std::make_unique<sim::FaultPlan>(opts_.faultConfig());
+}
+
+RunOptions
+ObsSession::runOptions()
+{
+    RunOptions ro;
+    ro.engine = opts_.engine;
+    ro.sampler = sampler();
+    ro.timeline = timeline();
+    ro.registrySnapshot = registrySlot();
+    ro.checker = checker_.get();
+    ro.faults = faults_.get();
+    ro.log = &std::cerr;
+    return ro;
 }
 
 obs::Json *
@@ -178,6 +244,10 @@ ObsSession::finish(const sim::MachineConfig &cfg, std::ostream &err)
                 doc[k] = v;
         if (sampler_)
             doc["epochs"] = sampler_->toJson();
+        if (checker_)
+            doc["check"] = checker_->toJson();
+        if (faults_)
+            doc["fault"] = faults_->toJson();
         std::ofstream os(opts_.jsonPath);
         if (!os) {
             err << bench_ << ": cannot write " << opts_.jsonPath << '\n';
@@ -187,6 +257,23 @@ ObsSession::finish(const sim::MachineConfig &cfg, std::ostream &err)
             os << '\n';
             err << "wrote JSON report to " << opts_.jsonPath << '\n';
         }
+    }
+    if (checker_) {
+        const std::uint64_t n = checker_->totalViolations();
+        err << bench_ << ": invariant checker found " << n
+            << " violation(s)\n";
+        if (n > 0) {
+            for (const sim::CheckViolation &v : checker_->violations())
+                err << "  [" << invariantName(v.inv) << "] " << v.detail
+                    << '\n';
+            ok = false;
+        }
+    }
+    if (faults_) {
+        const sim::FaultPlan::Counters c = faults_->counters();
+        err << bench_ << ": injected " << c.injected << " fault(s), "
+            << c.aborts << " query abort(s), " << c.retries
+            << " retry attempt(s)\n";
     }
     if (timeline_) {
         std::ofstream os(opts_.tracePath);

@@ -15,6 +15,9 @@
  *   --epoch <cycles> sample per-processor counters every N simulated
  *                    cycles into the JSON report's "epochs" series
  *   --scale <name>   database population: "paper" (default) or "tiny"
+ *   --check          run the coherence invariant checker (sim/check.hh)
+ *   --fault-seed <n> / --fault-rate <p>
+ *                    deterministic fault injection (sim/fault.hh)
  *
  * ObsSession owns the wiring: it hands out the sampler/timeline pointers
  * to pass to the runner, collects per-run stats and registry snapshots,
@@ -27,9 +30,12 @@
 #include <memory>
 #include <string>
 
+#include "harness/runner.hh"
 #include "obs/json.hh"
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
+#include "sim/check.hh"
+#include "sim/fault.hh"
 #include "sim/machine.hh"
 #include "tpcd/dbgen.hh"
 
@@ -45,7 +51,9 @@ struct BenchOptions
         kTrace = 1u << 2,
         kEpoch = 1u << 3,
         kScale = 1u << 4,
-        kAll = kEngine | kJson | kTrace | kEpoch | kScale,
+        kCheck = 1u << 5, ///< --check
+        kFault = 1u << 6, ///< --fault-seed / --fault-rate
+        kAll = kEngine | kJson | kTrace | kEpoch | kScale | kCheck | kFault,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -53,6 +61,9 @@ struct BenchOptions
     std::string tracePath;       ///< --trace; empty = no timeline output
     sim::Cycles epochCycles = 0; ///< --epoch; 0 = no time-series sampling
     std::string scale = "paper"; ///< --scale
+    bool check = false;          ///< --check
+    std::uint64_t faultSeed = 0; ///< --fault-seed
+    double faultRate = 0.0;      ///< --fault-rate; 0 = no injection
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints
@@ -65,6 +76,9 @@ struct BenchOptions
 
     /** The TPC-D population selected by --scale. */
     tpcd::ScaleConfig scaleConfig() const;
+
+    /** The fault configuration selected by --fault-seed/--fault-rate. */
+    sim::FaultConfig faultConfig() const;
 };
 
 /** Observability output for one bench invocation. */
@@ -78,6 +92,19 @@ class ObsSession
 
     /** Timeline to pass to the runner; null unless --trace was given. */
     obs::Timeline *timeline() { return timeline_.get(); }
+
+    /** Invariant checker; null unless --check was given. */
+    sim::InvariantChecker *checker() { return checker_.get(); }
+
+    /** Fault plan; null unless --fault-rate was nonzero. */
+    sim::FaultPlan *faults() { return faults_.get(); }
+
+    /**
+     * Everything wired up for one runCold/runSequence call: engine,
+     * sampler, timeline, a fresh registry slot (when --json), the
+     * checker and fault plan, and retry notes on stderr.
+     */
+    RunOptions runOptions();
 
     /**
      * Destination for a runner registry snapshot of the next addRun();
@@ -99,8 +126,10 @@ class ObsSession
 
     /**
      * Write the requested output files (JSON report and/or Chrome trace)
-     * and note them on @p err. No-op for files that were not requested.
-     * @return false if any file could not be written.
+     * and note them on @p err, including a --check/--fault summary when
+     * active. No-op for files that were not requested.
+     * @return false if any file could not be written, or if the
+     *         invariant checker detected violations.
      */
     bool finish(const sim::MachineConfig &cfg, std::ostream &err);
 
@@ -109,6 +138,8 @@ class ObsSession
     BenchOptions opts_;
     std::unique_ptr<obs::Sampler> sampler_;
     std::unique_ptr<obs::Timeline> timeline_;
+    std::unique_ptr<sim::InvariantChecker> checker_;
+    std::unique_ptr<sim::FaultPlan> faults_;
     obs::Json pendingRegistry_;
     obs::Json runs_;
     obs::Json extra_;

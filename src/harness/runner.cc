@@ -1,6 +1,8 @@
 #include "harness/runner.hh"
 
 #include "obs/registry.hh"
+#include "sim/check.hh"
+#include "sim/fault.hh"
 
 namespace dss {
 namespace harness {
@@ -8,16 +10,74 @@ namespace harness {
 namespace {
 
 void
-snapshotRegistry(const sim::Machine &machine, obs::Json *out)
+snapshotRegistry(const sim::Machine &machine, const RunOptions &opts)
 {
-    if (!out)
+    if (!opts.registrySnapshot)
         return;
     obs::Registry reg;
     machine.registerStats(reg);
-    *out = reg.toJson();
+    if (opts.checker)
+        opts.checker->registerStats(reg, "check");
+    if (opts.faults)
+        opts.faults->registerStats(reg, "fault");
+    *opts.registrySnapshot = reg.toJson();
+}
+
+/**
+ * One machine run under the retry guard: a FaultPlan may schedule a
+ * number of query aborts for this run; each one unwinds as a
+ * db::QueryAbort before the simulation starts and is retried with
+ * backoff, so the run always eventually completes (the plan schedules
+ * strictly fewer aborts than RetryPolicy::maxAttempts allows).
+ */
+sim::SimStats
+runGuarded(sim::Machine &machine,
+           const std::vector<const sim::TraceStream *> &ptrs,
+           const RunOptions &opts)
+{
+    if (opts.faults)
+        opts.faults->scheduleQuery();
+    return retryOnAbort(
+        opts.retry,
+        [&]() -> sim::SimStats {
+            if (opts.faults && opts.faults->abortScheduled())
+                throw db::QueryAbort(db::QueryAbort::Reason::Injected, 0,
+                                     -1, "injected fault: query abort");
+            return machine.run(ptrs, opts.engine, opts.sampler,
+                               opts.timeline);
+        },
+        opts.faults, opts.log);
 }
 
 } // namespace
+
+sim::SimStats
+runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
+        const RunOptions &opts)
+{
+    sim::Machine machine(cfg);
+    machine.setChecker(opts.checker);
+    machine.setFaultPlan(opts.faults);
+    sim::SimStats stats = runGuarded(machine, tracePtrs(traces), opts);
+    snapshotRegistry(machine, opts);
+    return stats;
+}
+
+std::vector<sim::SimStats>
+runSequence(const sim::MachineConfig &cfg,
+            const std::vector<const TraceSet *> &sequence,
+            const RunOptions &opts)
+{
+    sim::Machine machine(cfg);
+    machine.setChecker(opts.checker);
+    machine.setFaultPlan(opts.faults);
+    std::vector<sim::SimStats> out;
+    out.reserve(sequence.size());
+    for (const TraceSet *traces : sequence)
+        out.push_back(runGuarded(machine, tracePtrs(*traces), opts));
+    snapshotRegistry(machine, opts);
+    return out;
+}
 
 sim::SimStats
 runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
@@ -33,11 +93,12 @@ runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
         const sim::EngineConfig &engine, obs::Sampler *sampler,
         obs::Timeline *timeline, obs::Json *registry_snapshot)
 {
-    sim::Machine machine(cfg);
-    sim::SimStats stats =
-        machine.run(tracePtrs(traces), engine, sampler, timeline);
-    snapshotRegistry(machine, registry_snapshot);
-    return stats;
+    RunOptions opts;
+    opts.engine = engine;
+    opts.sampler = sampler;
+    opts.timeline = timeline;
+    opts.registrySnapshot = registry_snapshot;
+    return runCold(cfg, traces, opts);
 }
 
 std::vector<sim::SimStats>
@@ -56,14 +117,12 @@ runSequence(const sim::MachineConfig &cfg,
             const sim::EngineConfig &engine, obs::Sampler *sampler,
             obs::Timeline *timeline, obs::Json *registry_snapshot)
 {
-    sim::Machine machine(cfg);
-    std::vector<sim::SimStats> out;
-    out.reserve(sequence.size());
-    for (const TraceSet *traces : sequence)
-        out.push_back(
-            machine.run(tracePtrs(*traces), engine, sampler, timeline));
-    snapshotRegistry(machine, registry_snapshot);
-    return out;
+    RunOptions opts;
+    opts.engine = engine;
+    opts.sampler = sampler;
+    opts.timeline = timeline;
+    opts.registrySnapshot = registry_snapshot;
+    return runSequence(cfg, sequence, opts);
 }
 
 } // namespace harness

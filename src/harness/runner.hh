@@ -9,8 +9,10 @@
 #ifndef DSS_HARNESS_RUNNER_HH
 #define DSS_HARNESS_RUNNER_HH
 
+#include <iosfwd>
 #include <vector>
 
+#include "harness/guard.hh"
 #include "harness/workload.hh"
 #include "sim/machine.hh"
 
@@ -21,7 +23,42 @@ class Sampler;
 class Timeline;
 } // namespace obs
 
+namespace sim {
+class FaultPlan;
+class InvariantChecker;
+} // namespace sim
+
 namespace harness {
+
+/**
+ * Everything a run can be wired up with, in one bundle: engine choice,
+ * observers (sampler / timeline / registry snapshot), robustness hooks
+ * (invariant checker, fault plan, retry policy for injected query
+ * aborts) and a stream for retry notes. All pointers are optional and
+ * borrowed.
+ */
+struct RunOptions
+{
+    sim::EngineConfig engine;
+    obs::Sampler *sampler = nullptr;
+    obs::Timeline *timeline = nullptr;
+    obs::Json *registrySnapshot = nullptr;
+    sim::InvariantChecker *checker = nullptr;
+    sim::FaultPlan *faults = nullptr;
+    RetryPolicy retry;
+    std::ostream *log = nullptr; ///< retry/abort notes; null = quiet
+};
+
+/** Simulate @p traces on a fresh machine, fully wired via @p opts.
+ * FaultPlan-scheduled query aborts are retried with bounded backoff. */
+sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
+                      const RunOptions &opts);
+
+/** Warm-chained sequence (Fig 12), fully wired via @p opts. */
+std::vector<sim::SimStats>
+runSequence(const sim::MachineConfig &cfg,
+            const std::vector<const TraceSet *> &sequence,
+            const RunOptions &opts);
 
 /**
  * Simulate @p traces on a fresh machine with @p cfg (cold caches).

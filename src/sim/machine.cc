@@ -8,6 +8,8 @@
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
 #include "sim/arena.hh"
+#include "sim/check.hh"
+#include "sim/error.hh"
 #include "sim/machine_impl.hh"
 #include "sim/par_engine.hh"
 
@@ -161,6 +163,55 @@ Machine::applyStoreDir(ProcId p, Addr l2_line)
     e.state = Directory::State::Dirty;
     e.owner = p;
     e.sharers = bit(p);
+    // Re-assert the owner's dirty bit. The write path set it in the
+    // same step under the sequential engine (no-op there), but under
+    // the parallel engine this op replays at the barrier, where an
+    // interleaved remote ReadFill may have downgraded the copy to clean
+    // after the eager phase-A cache update.
+    Node &n = *nodes_[p];
+    if (n.l2.contains(l2_line))
+        n.l2.markDirty(l2_line);
+}
+
+void
+Machine::reconcileDirAfterBarrier(Addr l2_line)
+{
+    // Parallel-engine barrier replay applies directory ops in serialized
+    // order while the caches were updated eagerly in phase A, so the two
+    // can cross: a replayed remote store invalidates a copy whose fill
+    // or sharer-bit op replays afterwards, leaving the directory naming
+    // copies that no longer exist. Re-derive the entry from the caches —
+    // the ground truth — once the barrier has fully drained. Sequential
+    // runs never call this: their directory ops are applied in-step.
+    Directory::Entry &e = dir_.entry(l2_line);
+    std::uint8_t holders = 0;
+    for (ProcId p = 0; p < static_cast<ProcId>(nodes_.size()); ++p)
+        if (nodes_[p]->l2.contains(l2_line))
+            holders |= bit(p);
+    switch (e.state) {
+      case Directory::State::Dirty:
+        if (!(holders & bit(e.owner))) {
+            // The owner's copy was invalidated by an earlier-serialized
+            // store after its own fill had already applied. Remaining
+            // clean copies keep the line Shared; otherwise the line
+            // falls back to memory.
+            e.state = holders ? Directory::State::Shared
+                              : Directory::State::Uncached;
+            e.sharers = holders;
+        }
+        break;
+      case Directory::State::Shared:
+        e.sharers &= holders;
+        if (e.sharers == 0)
+            e.state = Directory::State::Uncached;
+        break;
+      case Directory::State::Uncached:
+        if (holders) {
+            e.state = Directory::State::Shared;
+            e.sharers = holders;
+        }
+        break;
+    }
 }
 
 void
@@ -265,6 +316,7 @@ Machine::doLockRel(ProcId p, const TraceEntry &e)
     // The release store goes through the write buffer like any other store
     // and invalidates the spinners' cached copies of the lock word.
     SeqPort port{*this};
+    preemptReleaseT(port, p);
     doWriteT(port, p, e);
     releaseLock(p, e, runs_[p].clock);
     ++runs_[p].pos;
@@ -324,6 +376,8 @@ Machine::step(ProcId p)
         doLockRel(p, e);
         break;
     }
+    if (checker_)
+        checker_->onStep(*this, p, e);
 }
 
 SimStats
@@ -358,13 +412,26 @@ Machine::run(const std::vector<const TraceStream *> &traces,
         sampler_->beginRun(traces.size());
     if (timeline_)
         timeline_->beginRun();
+    if (fault_)
+        fault_->beginRun();
 
-    if (engine.kind == EngineKind::Seq) {
-        runSeq(traces.size());
-    } else {
-        ParEngine par(*this, engine);
-        par.run(traces.size());
+    try {
+        if (engine.kind == EngineKind::Seq) {
+            runSeq(traces.size());
+        } else {
+            ParEngine par(*this, engine);
+            par.run(traces.size());
+        }
+    } catch (...) {
+        // Never leave dangling observer pointers behind an unwinding
+        // run (SimError from a simulated deadlock).
+        sampler_ = nullptr;
+        timeline_ = nullptr;
+        throw;
     }
+
+    if (checker_)
+        checker_->onRunEnd(*this);
 
     SimStats out;
     out.procs.reserve(traces.size());
@@ -392,10 +459,9 @@ Machine::runSeq(std::size_t nrun)
                 best = p;
         }
         if (best == cfg_.nprocs) {
-#ifndef NDEBUG
             for (ProcId p = 0; p < cfg_.nprocs; ++p)
-                assert(runs_[p].done() && "deadlock: all runnable blocked");
-#endif
+                if (!runs_[p].done())
+                    throwDeadlock("seq");
             break;
         }
         // The chosen processor holds the minimum runnable clock: once it
@@ -404,6 +470,64 @@ Machine::runSeq(std::size_t nrun)
             sampler_->sample(runs_[best].clock, statsSnapshot(nrun));
         step(best);
     }
+}
+
+void
+Machine::throwDeadlock(const char *engine) const
+{
+    obs::Json dump = obs::Json::object();
+    dump["error"] = "deadlock";
+    dump["engine"] = engine;
+    obs::Json procs = obs::Json::array();
+    for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+        const ProcRun &r = runs_[p];
+        obs::Json pj = obs::Json::object();
+        pj["proc"] = p;
+        pj["clock"] = r.clock;
+        pj["pos"] = r.pos;
+        pj["entries"] = r.entries ? r.entries->size() : 0;
+        pj["done"] = r.done();
+        pj["blocked"] = r.blocked;
+        if (r.blocked)
+            pj["block_start"] = r.blockStart;
+        pj["acq_pending"] = r.acqPending;
+        if (!r.done()) {
+            const TraceEntry &e = (*r.entries)[r.pos];
+            obs::Json pending = obs::Json::object();
+            const char *op = "?";
+            switch (e.op) {
+              case Op::Read: op = "read"; break;
+              case Op::Write: op = "write"; break;
+              case Op::Busy: op = "busy"; break;
+              case Op::LockAcq: op = "lock_acq"; break;
+              case Op::LockRel: op = "lock_rel"; break;
+            }
+            pending["op"] = op;
+            pending["addr"] = e.addr;
+            pending["class"] = std::string(dataClassName(e.cls));
+            pj["pending"] = std::move(pending);
+        }
+        procs.push(std::move(pj));
+    }
+    dump["procs"] = std::move(procs);
+    obs::Json locks = obs::Json::array();
+    for (const LockTable::Info &info : locks_.snapshot()) {
+        obs::Json lj = obs::Json::object();
+        lj["word"] = info.word;
+        lj["held"] = info.held;
+        if (info.held)
+            lj["holder"] = info.holder;
+        obs::Json waiters = obs::Json::array();
+        for (ProcId w : info.waiters)
+            waiters.push(w);
+        lj["waiters"] = std::move(waiters);
+        locks.push(std::move(lj));
+    }
+    dump["locks"] = std::move(locks);
+    throw SimError(std::string("simulated deadlock (") + engine +
+                       " engine): every live processor is blocked on a "
+                       "metalock",
+                   std::move(dump));
 }
 
 void

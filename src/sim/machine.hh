@@ -81,6 +81,8 @@ struct MachineConfig
 };
 
 class ParEngine;
+class FaultPlan;
+class InvariantChecker;
 
 class Machine
 {
@@ -132,6 +134,21 @@ class Machine
 
     const MachineConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a deterministic fault plan (sim/fault.hh). The plan must
+     * outlive the machine's use of it; pass nullptr to detach. Decisions
+     * are keyed on per-processor trace positions, so the same plan
+     * replays identically under both engines.
+     */
+    void setFaultPlan(FaultPlan *plan) { fault_ = plan; }
+
+    /**
+     * Attach an invariant checker (sim/check.hh, the --check flag). The
+     * checker only reads machine state: attaching it never changes a
+     * timing or statistic. Pass nullptr to detach.
+     */
+    void setChecker(InvariantChecker *checker) { checker_ = checker; }
+
     /** Direct cache access for tests. */
     Cache &l1(ProcId p) { return nodes_.at(p)->l1; }
     Cache &l2(ProcId p) { return nodes_.at(p)->l2; }
@@ -141,6 +158,12 @@ class Machine
 
     /** Metalock table access for tests. */
     const LockTable &locks() const { return locks_; }
+
+    /** Mutable directory/lock/write-buffer access for checker-validation
+     * tests that deliberately corrupt machine state. */
+    Directory &directoryForTest() { return dir_; }
+    LockTable &locksForTest() { return locks_; }
+    WriteBuffer &writeBufferForTest(ProcId p) { return nodes_.at(p)->wb; }
 
   private:
     struct Node
@@ -214,6 +237,11 @@ class Machine
     template <typename Port>
     void fillL2T(Port &port, ProcId p, Addr addr, bool dirty);
 
+    /** Fault hook: force-evict the L2 line of @p addr (plus its L1
+     * sublines) from p's own caches, keeping the directory in sync. */
+    template <typename Port>
+    void faultEvictT(Port &port, ProcId p, Addr addr);
+
     void fillL1(ProcId p, Addr addr);
     void invalidateOtherCaches(Addr l2_line, ProcId except);
     void dropFromDirectory(ProcId p, Addr l2_line);
@@ -228,6 +256,15 @@ class Machine
     void applyStoreDir(ProcId p, Addr l2_line);
     void applyPrefetchShareDir(ProcId p, Addr l2_line);
 
+    /**
+     * Re-derive a directory entry from the caches after a parallel
+     * barrier has replayed every parked op on @p l2_line. Replayed
+     * invalidations can land after the eager phase-A fill they target,
+     * leaving the entry naming copies that no longer exist; the caches
+     * are the ground truth. Sequential runs never need this.
+     */
+    void reconcileDirAfterBarrier(Addr l2_line);
+
     void step(ProcId p);
     template <typename Port>
     void doReadT(Port &port, ProcId p, const TraceEntry &e);
@@ -235,6 +272,11 @@ class Machine
     void doWriteT(Port &port, ProcId p, const TraceEntry &e);
     template <typename Port>
     void doBusyT(Port &port, ProcId p, const TraceEntry &e);
+    /** Fault hook: apply a LockPreempt hold-time stretch (if the plan
+     * schedules one for this release) before the release store. */
+    template <typename Port>
+    void preemptReleaseT(Port &port, ProcId p);
+
     void doLockAcq(ProcId p, const TraceEntry &e);
     void doLockRel(ProcId p, const TraceEntry &e);
     /**
@@ -246,6 +288,10 @@ class Machine
 
     /** The reference engine: global min-(clock, procid) replay. */
     void runSeq(std::size_t nrun);
+
+    /** Unwind with a SimError dumping every processor's state and the
+     * metalock table (simulated deadlock: all live processors blocked). */
+    [[noreturn]] void throwDeadlock(const char *engine) const;
 
     /** Timeline helper: emit [start, end) of @p k on @p p if attached. */
     void span(ProcId p, obs::SpanKind k, Cycles start, Cycles end);
@@ -260,10 +306,13 @@ class Machine
     std::vector<ProcRun> runs_;
     obs::Sampler *sampler_ = nullptr;   ///< valid during run()
     obs::Timeline *timeline_ = nullptr; ///< valid during run()
+    FaultPlan *fault_ = nullptr;        ///< optional, not owned
+    InvariantChecker *checker_ = nullptr; ///< optional, not owned
     /** Metalock word -> cycle its current hold began (timeline only). */
     std::unordered_map<Addr, Cycles> holdStart_;
 
     friend class ParEngine;
+    friend class InvariantChecker;
 };
 
 } // namespace sim

@@ -28,6 +28,7 @@
 #include "sim/machine.hh"
 
 #include "obs/timeline.hh"
+#include "sim/fault.hh"
 
 namespace dss {
 namespace sim {
@@ -107,6 +108,26 @@ Machine::fillL2T(Port &port, ProcId p, Addr addr, bool dirty)
         port.backgroundOccupy(dir_.homeOf(v.lineAddr),
                               runs_.empty() ? 0 : runs_[p].clock);
     }
+}
+
+template <typename Port>
+void
+Machine::faultEvictT(Port &port, ProcId p, Addr addr)
+{
+    Node &n = *nodes_[p];
+    const Addr l2_line = n.l2.lineAddrOf(addr);
+    if (!n.l2.contains(l2_line))
+        return;
+    n.l2.invalidate(l2_line, /*coherence=*/false);
+    for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
+         a += cfg_.l1.lineBytes) {
+        n.l1.invalidate(a, /*coherence=*/false);
+        n.prefetched.erase(a);
+    }
+    // Keep the directory agreeing with the caches — the invariant
+    // checker must see no difference between injected and organic
+    // evictions.
+    port.applyDrop(p, l2_line);
 }
 
 template <typename Port>
@@ -303,9 +324,19 @@ void
 Machine::doReadT(Port &port, ProcId p, const TraceEntry &e)
 {
     ProcRun &r = runs_[p];
+    Cycles injected = 0;
+    if (fault_) {
+        // Decisions are keyed on (proc, trace position): both engines
+        // visit each Read position exactly once, so the schedule is
+        // engine- and thread-count-independent.
+        if (fault_->evictAt(p, r.pos))
+            faultEvictT(port, p, e.addr);
+        injected = fault_->readDelay(p, r.pos);
+    }
     ReadOutcome o = readAccessT(port, p, e.addr, e.cls);
     const Cycles stall =
-        o.latency > cfg_.lat.l1Hit ? o.latency - cfg_.lat.l1Hit : 0;
+        (o.latency > cfg_.lat.l1Hit ? o.latency - cfg_.lat.l1Hit : 0) +
+        injected;
     r.stats.busy += cfg_.issueCyclesPerRef;
     r.stats.memStall += stall;
     r.stats.memStallByGroup[static_cast<std::size_t>(groupOf(e.cls))] +=
@@ -340,6 +371,36 @@ Machine::doWriteT(Port &port, ProcId p, const TraceEntry &e)
         port.span(p, obs::SpanKind::Mem, r.clock, r.clock + stall);
         r.clock += stall;
     }
+    if (fault_) {
+        // WbStall storm: the buffer's drain path is congested and the
+        // processor stalls as if it had overflowed.
+        const Cycles extra = fault_->wbStall(p, r.pos);
+        if (extra) {
+            r.stats.memStall += extra;
+            r.stats.memStallByGroup[static_cast<std::size_t>(
+                groupOf(e.cls))] += extra;
+            port.span(p, obs::SpanKind::Mem, r.clock, r.clock + extra);
+            r.clock += extra;
+        }
+    }
+}
+
+template <typename Port>
+void
+Machine::preemptReleaseT(Port &port, ProcId p)
+{
+    if (!fault_)
+        return;
+    ProcRun &r = runs_[p];
+    const Cycles stretch = fault_->holdStretch(p, r.pos);
+    if (!stretch)
+        return;
+    // The holder is "preempted" just before its release store: the
+    // critical section stretches and every spinner keeps spinning. The
+    // stretch is the holder's own synchronization cost.
+    r.stats.syncStall += stretch;
+    port.span(p, obs::SpanKind::Sync, r.clock, r.clock + stretch);
+    r.clock += stretch;
 }
 
 template <typename Port>

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "obs/sampler.hh"
+#include "sim/check.hh"
 #include "sim/machine_impl.hh"
 
 namespace dss {
@@ -249,7 +250,10 @@ ParEngine::replayWindow(ProcId p, Cycles window_end)
             return;
           case Op::LockRel:
             // The release store drains like any store; the hand-off and
-            // wake-ups are ordered at the barrier.
+            // wake-ups are ordered at the barrier. A LockPreempt fault
+            // stretches the hold first, keyed on this trace position —
+            // identical to the sequential engine's doLockRel.
+            m_.preemptReleaseT(port, p);
             m_.doWriteT(port, p, e);
             park(ctx, {ParkedOp::Kind::LockRel, p, e.cls, e.addr, r.clock,
                        0, 0, 0});
@@ -291,9 +295,18 @@ ParEngine::applyBarrier()
     std::priority_queue<StepEv, std::vector<StepEv>, decltype(stepLater)>
         steps(stepLater);
 
+    // The lines whose shared state this barrier touches. They are
+    // reconciled against the caches once the barrier has fully drained
+    // (replayed invalidations can land after the eager phase-A fills
+    // they target), and with --check attached that is also the first
+    // point the invariants are supposed to hold again.
+    std::vector<Addr> touched;
+    const bool chk = m_.checker_ != nullptr;
+
     auto stepLock = [&](ProcId p) {
         Machine::ProcRun &r = m_.runs_[p];
         assert(!r.done() && (*r.entries)[r.pos].op == Op::LockAcq);
+        touched.push_back(m_.dir_.lineAddrOf((*r.entries)[r.pos].addr));
         m_.doLockAcq(p, (*r.entries)[r.pos]);
         if (r.acqPending)
             steps.push({r.clock, p});
@@ -315,6 +328,8 @@ ParEngine::applyBarrier()
         }
         if (take_op) {
             const ParkedOp &o = ops[i++];
+            if (o.kind != ParkedOp::Kind::Occupy)
+                touched.push_back(m_.dir_.lineAddrOf(o.addr));
             switch (o.kind) {
               case ParkedOp::Kind::ReadFill:
                 m_.applyReadFillDir(o.proc, o.addr);
@@ -356,6 +371,16 @@ ParEngine::applyBarrier()
             m_.span(p, s.kind, s.start, s.end);
         ctxs_[p].spans.clear();
     }
+
+    if (!touched.empty()) {
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        for (Addr line : touched)
+            m_.reconcileDirAfterBarrier(line);
+    }
+    if (chk && (!touched.empty() || !ops.empty()))
+        m_.checker_->onBarrier(m_, touched);
 }
 
 void
@@ -432,9 +457,8 @@ ParEngine::run(std::size_t nrun)
         }
         if (!any_alive)
             break;
-        assert(any_runnable && "deadlock: all runnable blocked");
         if (!any_runnable)
-            break;
+            m_.throwDeadlock("par");
 
         // Skip empty windows so idle stretches (one long Busy op) don't
         // spin the barrier.

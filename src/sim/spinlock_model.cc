@@ -1,5 +1,6 @@
 #include "sim/spinlock_model.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/registry.hh"
@@ -66,6 +67,24 @@ LockTable::waiters(Addr word) const
 {
     auto it = locks_.find(word);
     return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+std::vector<LockTable::Info>
+LockTable::snapshot() const
+{
+    std::vector<Info> out;
+    out.reserve(locks_.size());
+    for (const auto &[word, s] : locks_)
+        out.push_back({word, s.held, s.holderProc, s.queue});
+    std::sort(out.begin(), out.end(),
+              [](const Info &a, const Info &b) { return a.word < b.word; });
+    return out;
+}
+
+void
+LockTable::corruptDropHolderForTest(Addr word)
+{
+    locks_[word].held = false;
 }
 
 void

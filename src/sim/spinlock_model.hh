@@ -17,6 +17,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/addr.hh"
 
@@ -51,6 +52,22 @@ class LockTable
 
     /** Number of queued waiters on @p word. */
     std::size_t waiters(Addr word) const;
+
+    /** One lock's full state, for dumps and the invariant checker. */
+    struct Info
+    {
+        Addr word = 0;
+        bool held = false;
+        ProcId holder = 0;
+        std::deque<ProcId> waiters;
+    };
+
+    /** Snapshot of every tracked lock, sorted by word (deterministic). */
+    std::vector<Info> snapshot() const;
+
+    /** Test hook: mark @p word free without draining its waiter queue —
+     * a lost grant the LockState invariant must flag. */
+    void corruptDropHolderForTest(Addr word);
 
     /** Drop all lock state (between runs). */
     void reset() { locks_.clear(); }

@@ -69,6 +69,23 @@ WriteBuffer::occupancy(Cycles now)
     return pending_.size();
 }
 
+bool
+WriteBuffer::fifoOrdered() const
+{
+    for (std::size_t i = 1; i < pending_.size(); ++i)
+        if (pending_[i].retireAt < pending_[i - 1].retireAt)
+            return false;
+    return true;
+}
+
+void
+WriteBuffer::corruptReorderForTest()
+{
+    if (pending_.size() >= 2 &&
+        pending_[0].retireAt != pending_[1].retireAt)
+        std::swap(pending_[0].retireAt, pending_[1].retireAt);
+}
+
 void
 WriteBuffer::reset()
 {

@@ -51,6 +51,18 @@ class WriteBuffer
     /** Number of stores still in flight at @p now. */
     std::size_t occupancy(Cycles now);
 
+    /**
+     * True if the pending stores would retire in FIFO order (retire
+     * times monotonically non-decreasing) — the WbFifo invariant. The
+     * push() arithmetic maintains this by construction; the invariant
+     * checker verifies it stayed true.
+     */
+    bool fifoOrdered() const;
+
+    /** Test hook: swap the retire times of the two oldest pending
+     * stores, breaking FIFO order for checker-validation tests. */
+    void corruptReorderForTest();
+
     /** Drop all pending stores (cold start). */
     void reset();
 

@@ -186,6 +186,57 @@ TEST(LockManager, TracesLockHashAndXidHash)
     EXPECT_GT(f.countOps(sim::Op::Write, sim::DataClass::XidHash), 0u);
 }
 
+TEST(LockManager, WriteConflictThrowsTypedQueryAbort)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Write);
+    try {
+        f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Write);
+        FAIL() << "conflicting write lock was granted";
+    } catch (const db::QueryAbort &qa) {
+        EXPECT_EQ(qa.reason, db::QueryAbort::Reason::WriteConflict);
+        EXPECT_EQ(qa.xid, 2u);
+        EXPECT_EQ(qa.rel, 7);
+    }
+}
+
+TEST(LockManager, ReadWriteConflictThrowsTypedQueryAbort)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 9, db::LockMode::Write);
+    try {
+        f.lockmgr.lockRelation(f.mem, 2, 9, db::LockMode::Read);
+        FAIL() << "read lock granted under a writer";
+    } catch (const db::QueryAbort &qa) {
+        EXPECT_EQ(qa.reason, db::QueryAbort::Reason::ReadWriteConflict);
+    }
+}
+
+TEST(LockManager, AbortedAcquireLeavesLockStateClean)
+{
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Write);
+    EXPECT_THROW(f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Write),
+                 db::QueryAbort);
+    // The failed acquire must not have recorded a grant: once xid 1
+    // commits, xid 2 can take the lock.
+    f.lockmgr.releaseAll(f.mem, 1);
+    EXPECT_TRUE(
+        f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Write));
+    f.lockmgr.releaseAll(f.mem, 2);
+}
+
+TEST(LockManager, ReleaseAllDropsWriteLocksWithWriteMode)
+{
+    // Regression: releaseAll used to unlock everything in Read mode,
+    // underflowing the writer count of a write-locked relation.
+    LockFixture f;
+    f.lockmgr.lockRelation(f.mem, 1, 7, db::LockMode::Write);
+    f.lockmgr.releaseAll(f.mem, 1);
+    EXPECT_TRUE(f.lockmgr.lockRelation(f.mem, 2, 7, db::LockMode::Write));
+    f.lockmgr.releaseAll(f.mem, 2);
+}
+
 TEST(LockManager, ManyRelationsAndXids)
 {
     LockFixture f;

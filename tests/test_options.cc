@@ -120,4 +120,55 @@ TEST(BenchOptions, DefaultsToSequentialEngine)
     EXPECT_EQ(o.scale, "paper");
 }
 
+TEST(BenchOptions, CheckAndFaultFlagsParse)
+{
+    BenchOptions o = parseArgs(
+        {"--check", "--fault-seed", "42", "--fault-rate", "0.01"});
+    EXPECT_TRUE(o.check);
+    EXPECT_EQ(o.faultSeed, 42u);
+    EXPECT_DOUBLE_EQ(o.faultRate, 0.01);
+
+    sim::FaultConfig fc = o.faultConfig();
+    EXPECT_EQ(fc.seed, 42u);
+    EXPECT_DOUBLE_EQ(fc.rate, 0.01);
+}
+
+TEST(BenchOptions, RobustnessFlagsDefaultOff)
+{
+    BenchOptions o = parseArgs({});
+    EXPECT_FALSE(o.check);
+    EXPECT_EQ(o.faultSeed, 0u);
+    EXPECT_DOUBLE_EQ(o.faultRate, 0.0);
+}
+
+TEST(BenchOptionsDeath, MalformedFaultRateIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--fault-rate", "lots"}),
+                testing::ExitedWithCode(2),
+                "--fault-rate needs a probability");
+    EXPECT_EXIT(parseArgs({"--fault-rate", "1.5"}),
+                testing::ExitedWithCode(2),
+                "--fault-rate needs a probability");
+    EXPECT_EXIT(parseArgs({"--fault-rate", "-0.1"}),
+                testing::ExitedWithCode(2),
+                "--fault-rate needs a probability");
+}
+
+TEST(BenchOptionsDeath, MalformedFaultSeedIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--fault-seed", "12x"}),
+                testing::ExitedWithCode(2),
+                "--fault-seed needs an integer");
+}
+
+TEST(BenchOptionsDeath, RobustnessFlagsOutsideDeclaredSubsetAreFatal)
+{
+    EXPECT_EXIT(parseArgs({"--check"}, BenchOptions::kEngine),
+                testing::ExitedWithCode(2),
+                "option '--check' is not supported");
+    EXPECT_EXIT(parseArgs({"--fault-rate", "0.1"}, BenchOptions::kEngine),
+                testing::ExitedWithCode(2),
+                "option '--fault-rate' is not supported");
+}
+
 } // namespace
