@@ -20,11 +20,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_associativity", harness::BenchOptions::kEngine);
+        argc, argv, "ablation_associativity",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ablation_associativity", opts);
     std::cout << "=== Ablation: cache associativity (baseline sizes) "
                  "===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    session.usePlacement(harness::makePlacement(
+        opts, sim::MachineConfig::baseline(), &wl.db().space()));
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6}) {
         harness::TraceSet traces = wl.trace(q);
@@ -41,7 +45,8 @@ benchMain(int argc, char **argv)
             cfg.l1.assoc = p.l1;
             cfg.l2.assoc = p.l2;
             sim::ProcStats agg =
-                harness::runCold(cfg, traces, opts.engine).aggregate();
+                harness::runCold(cfg, traces, session.runOptions())
+                    .aggregate();
             tab.addRow(
                 {std::to_string(p.l1) + "/" + std::to_string(p.l2),
                  std::to_string(agg.totalCycles()),
@@ -56,7 +61,8 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

@@ -22,11 +22,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_lock_discipline", harness::BenchOptions::kEngine);
+        argc, argv, "ablation_lock_discipline",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ablation_lock_discipline", opts);
     std::cout << "=== Ablation: per-rescan lock-manager discipline ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     harness::TextTable tab({"query", "relock", "exec cycles", "MSync%",
                             "L2 LockSLock", "L2 LockHash", "L2 XidHash"});
@@ -35,7 +39,8 @@ benchMain(int argc, char **argv)
             harness::TraceSet traces =
                 wl.traceWithLockDiscipline(q, 1, relock);
             sim::ProcStats agg =
-                harness::runCold(cfg, traces, opts.engine).aggregate();
+                harness::runCold(cfg, traces, session.runOptions())
+                    .aggregate();
             tab.addRow(
                 {tpcd::queryName(q), relock ? "on (paper)" : "off",
                  std::to_string(agg.totalCycles()),
@@ -58,7 +63,7 @@ benchMain(int argc, char **argv)
                  "activity. The LockSLock class only shrinks partially "
                  "because it\nalso contains BufMgrLock, which every page "
                  "pin still takes.\n";
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }
 
 int

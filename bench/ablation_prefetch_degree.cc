@@ -18,11 +18,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_prefetch_degree", harness::BenchOptions::kEngine);
+        argc, argv, "ablation_prefetch_degree",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ablation_prefetch_degree", opts);
     std::cout << "=== Ablation: sequential prefetch degree (exec time, "
                  "Base=100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    session.usePlacement(harness::makePlacement(
+        opts, sim::MachineConfig::baseline(), &wl.db().space()));
 
     harness::TextTable tab(
         {"query", "degree 0", "1", "2", "4", "8", "16"});
@@ -36,7 +40,8 @@ benchMain(int argc, char **argv)
             cfg.prefetchData = degree > 0;
             cfg.prefetchDegree = degree;
             sim::ProcStats agg =
-                harness::runCold(cfg, traces, opts.engine).aggregate();
+                harness::runCold(cfg, traces, session.runOptions())
+                    .aggregate();
             if (degree == 0)
                 base = static_cast<double>(agg.totalCycles());
             row.push_back(harness::fixed(
@@ -45,7 +50,8 @@ benchMain(int argc, char **argv)
         tab.addRow(std::move(row));
     }
     tab.print(std::cout);
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

@@ -22,7 +22,9 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_scaling", harness::BenchOptions::kEngine);
+        argc, argv, "ablation_scaling",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ablation_scaling", opts);
     std::cout << "=== Ablation: inter-query workload vs. processor count "
                  "===\n\n";
 
@@ -35,7 +37,13 @@ benchMain(int argc, char **argv)
             harness::TraceSet traces = wl.trace(q);
             sim::MachineConfig cfg = sim::MachineConfig::baseline();
             cfg.nprocs = nprocs;
-            sim::SimStats stats = harness::runCold(cfg, traces, opts.engine);
+            // The machine geometry changes per point, so the placement
+            // policy is rebuilt here rather than adopted by the session.
+            auto placement =
+                harness::makePlacement(opts, cfg, &wl.db().space());
+            harness::RunOptions ro = session.runOptions();
+            ro.placement = placement.get();
+            sim::SimStats stats = harness::runCold(cfg, traces, ro);
             sim::ProcStats agg = stats.aggregate();
 
             std::uint64_t cohe = 0;
@@ -58,7 +66,8 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

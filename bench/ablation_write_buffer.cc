@@ -36,7 +36,9 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_write_buffer", harness::BenchOptions::kEngine);
+        argc, argv, "ablation_write_buffer",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ablation_write_buffer", opts);
     std::cout << "=== Ablation: write-buffer depth ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
@@ -46,18 +48,23 @@ benchMain(int argc, char **argv)
     harness::TraceSet uf1;
     uf1.push_back(traceUF1(update_db, update_db.scale().orders() / 20));
 
-    for (auto [name, traces, procs] :
-         {std::tuple<const char *, harness::TraceSet *, unsigned>{
-              "Q6 (read-only)", &q6, 4u},
-          {"UF1 (write-heavy, 1 proc)", &uf1, 1u}}) {
+    for (auto [name, traces, procs, space] :
+         {std::tuple<const char *, harness::TraceSet *, unsigned,
+                     sim::AddressSpace *>{"Q6 (read-only)", &q6, 4u,
+                                          &wl.db().space()},
+          {"UF1 (write-heavy, 1 proc)", &uf1, 1u, &update_db.space()}}) {
         harness::TextTable tab({"entries", "exec cycles", "overflows",
                                 "Mem%"});
         for (std::size_t entries : {1, 4, 16, 64}) {
             sim::MachineConfig cfg = sim::MachineConfig::baseline();
             cfg.nprocs = procs;
             cfg.writeBufferEntries = entries;
+            // Geometry (nprocs) and address space differ per workload.
+            auto placement = harness::makePlacement(opts, cfg, space);
+            harness::RunOptions ro = session.runOptions();
+            ro.placement = placement.get();
             sim::ProcStats agg =
-                harness::runCold(cfg, *traces, opts.engine).aggregate();
+                harness::runCold(cfg, *traces, ro).aggregate();
             tab.addRow({std::to_string(entries),
                         std::to_string(agg.totalCycles()),
                         std::to_string(agg.wbOverflows),
@@ -69,7 +76,8 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

@@ -35,6 +35,8 @@ benchMain(int argc, char **argv)
 
     harness::Workload wl(opts.scaleConfig(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     // Sweep a fixed ladder of rates, plus the user's --fault-rate when it
     // is not already on the ladder. Rate 0 is the control run.

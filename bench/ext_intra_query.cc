@@ -25,24 +25,30 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ext_intra_query", harness::BenchOptions::kEngine);
+        argc, argv, "ext_intra_query",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ext_intra_query", opts);
     std::cout << "=== Extension: intra-query parallelism for Q6 ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     // (a) One processor runs the whole Q6.
     harness::TraceSet solo;
     solo.push_back(wl.traceOne(tpcd::QueryId::Q6, 0, 7919));
-    sim::SimStats s_solo = harness::runCold(cfg, solo, opts.engine);
+    sim::SimStats s_solo = harness::runCold(cfg, solo, session.runOptions());
 
     // (b) Inter-query: four independent Q6 instances (the paper's setup).
     harness::TraceSet inter = wl.trace(tpcd::QueryId::Q6, 1);
-    sim::SimStats s_inter = harness::runCold(cfg, inter, opts.engine);
+    sim::SimStats s_inter =
+        harness::runCold(cfg, inter, session.runOptions());
 
     // (c) Intra-query: one Q6 split into four block-range partitions.
     harness::TraceSet intra = wl.traceIntraQueryQ6(1);
-    sim::SimStats s_intra = harness::runCold(cfg, intra, opts.engine);
+    sim::SimStats s_intra =
+        harness::runCold(cfg, intra, session.runOptions());
 
     harness::TextTable tab({"setup", "exec cycles", "speedup vs 1-proc",
                             "L2 Data misses", "L2 Cohe misses"});
@@ -71,7 +77,7 @@ benchMain(int argc, char **argv)
                  "over four queries\n(each processor still scans the whole "
                  "table); the intra-query row is true\nresponse-time "
                  "speedup for one query.\n";
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }
 
 int

@@ -25,11 +25,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ext_nested_query", harness::BenchOptions::kEngine);
+        argc, argv, "ext_nested_query",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ext_nested_query", opts);
     std::cout << "=== Extension: flat vs. nested Q4 ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     harness::TraceSet flat = wl.trace(tpcd::QueryId::Q4, 1);
     harness::TraceSet nested = wl.traceCustom(
@@ -43,7 +47,9 @@ benchMain(int argc, char **argv)
     for (auto [name, traces] :
          {std::pair<const char *, harness::TraceSet *>{"flat Q4", &flat},
           {"nested Q4 (EXISTS)", &nested}}) {
-        sim::ProcStats agg = harness::runCold(cfg, *traces, opts.engine).aggregate();
+        sim::ProcStats agg =
+            harness::runCold(cfg, *traces, session.runOptions())
+                .aggregate();
         const double total = static_cast<double>(agg.totalCycles());
         const double misses =
             std::max(1.0, static_cast<double>(agg.l2Misses.total()));
@@ -71,7 +77,7 @@ benchMain(int argc, char **argv)
                  "class (index + metadata misses, metalock\ntime) — the "
                  "paper's query taxonomy is determined by access path, "
                  "not by the\nquery's business content.\n";
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }
 
 int

@@ -54,7 +54,9 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ext_update_queries", harness::BenchOptions::kEngine);
+        argc, argv, "ext_update_queries",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("ext_update_queries", opts);
     std::cout << "=== Extension: TPC-D update functions UF1 / UF2 "
                  "(single processor) ===\n\n";
 
@@ -65,6 +67,7 @@ benchMain(int argc, char **argv)
 
     sim::MachineConfig cfg = sim::MachineConfig::baseline();
     cfg.nprocs = 1;
+    session.usePlacement(harness::makePlacement(opts, cfg, &db.space()));
 
     // A rival transaction holds the orders relation write-locked, so the
     // first UF1 attempt hits a Write/Write conflict and aborts. The
@@ -97,7 +100,8 @@ benchMain(int argc, char **argv)
             nullptr, &std::cerr);
         harness::TraceSet set;
         set.push_back(std::move(trace));
-        sim::SimStats stats = harness::runCold(cfg, set, opts.engine);
+        sim::SimStats stats =
+            harness::runCold(cfg, set, session.runOptions());
         sim::ProcStats agg = stats.aggregate();
         auto counts = set[0].counts();
         tab.addRow(
@@ -134,7 +138,7 @@ benchMain(int argc, char **argv)
            "holds an exclusive table lock, which is why the paper calls "
            "update\nqueries 'much more demanding on the locking "
            "algorithm' and excludes them.\n";
-    return 0;
+    return session.finish(cfg, std::cerr) ? 0 : 1;
 }
 
 int

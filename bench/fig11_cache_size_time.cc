@@ -46,11 +46,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig11_cache_size_time", harness::BenchOptions::kEngine);
+        argc, argv, "fig11_cache_size_time",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("fig11_cache_size_time", opts);
     std::cout << "=== Figure 11: execution time vs. cache size (baseline "
                  "4K/128K = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    session.usePlacement(harness::makePlacement(
+        opts, sim::MachineConfig::baseline(), &wl.db().space()));
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
                             tpcd::QueryId::Q12}) {
@@ -61,7 +65,9 @@ benchMain(int argc, char **argv)
             sim::MachineConfig cfg =
                 sim::MachineConfig::baseline().withCacheSizes(sp.l1,
                                                               sp.l2);
-            results.push_back(harness::runCold(cfg, traces, opts.engine).aggregate());
+            results.push_back(
+                harness::runCold(cfg, traces, session.runOptions())
+                    .aggregate());
         }
 
         const double base =
@@ -83,7 +89,8 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

@@ -79,6 +79,8 @@ benchMain(int argc, char **argv)
     harness::Workload wl(opts.scaleConfig(), 4);
     sim::MachineConfig cfg = sim::MachineConfig::baseline().withCacheSizes(
         1 << 20, 32 << 20);
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     // Distinct parameter seeds: the warm-up query is "the same query using
     // different parameters" (paper Section 5.2.2).

@@ -23,12 +23,16 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig13_prefetch", harness::BenchOptions::kEngine);
+        argc, argv, "fig13_prefetch",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("fig13_prefetch", opts);
     std::cout << "=== Figure 13: sequential data prefetching (Base = 100) "
                  "===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     const sim::MachineConfig base_cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, base_cfg, &wl.db().space()));
     sim::MachineConfig opt_cfg = base_cfg;
     opt_cfg.prefetchData = true;
     opt_cfg.prefetchDegree = 4;
@@ -40,8 +44,11 @@ benchMain(int argc, char **argv)
                             tpcd::QueryId::Q12}) {
         harness::TraceSet traces = wl.trace(q);
         sim::ProcStats base =
-            harness::runCold(base_cfg, traces, opts.engine).aggregate();
-        sim::ProcStats opt = harness::runCold(opt_cfg, traces, opts.engine).aggregate();
+            harness::runCold(base_cfg, traces, session.runOptions())
+                .aggregate();
+        sim::ProcStats opt =
+            harness::runCold(opt_cfg, traces, session.runOptions())
+                .aggregate();
 
         const double denom = static_cast<double>(base.totalCycles());
         auto row = [&](const char *cfg_name, const sim::ProcStats &s) {
@@ -59,7 +66,7 @@ benchMain(int argc, char **argv)
         row("Opt", opt);
     }
     tab.print(std::cout);
-    return 0;
+    return session.finish(base_cfg, std::cerr) ? 0 : 1;
 }
 
 int

@@ -31,6 +31,8 @@ benchMain(int argc, char **argv)
 
     harness::Workload wl(opts.scaleConfig(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     harness::TextTable rates(
         {"query", "L1 miss rate %", "L2 global miss rate %"});

@@ -30,11 +30,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig8_line_size_misses", harness::BenchOptions::kEngine);
+        argc, argv, "fig8_line_size_misses",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("fig8_line_size_misses", opts);
     std::cout << "=== Figure 8: misses vs. cache line size (normalized to "
                  "the 64 B-L2-line baseline = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    session.usePlacement(harness::makePlacement(
+        opts, sim::MachineConfig::baseline(), &wl.db().space()));
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
                             tpcd::QueryId::Q12}) {
@@ -52,7 +56,8 @@ benchMain(int argc, char **argv)
         for (std::size_t line : kLineSizes) {
             sim::MachineConfig cfg =
                 sim::MachineConfig::baseline().withLineSize(line);
-            sim::SimStats stats = harness::runCold(cfg, traces, opts.engine);
+            sim::SimStats stats =
+                harness::runCold(cfg, traces, session.runOptions());
             sim::ProcStats agg = stats.aggregate();
             Row r{line, {}, {}};
             for (std::size_t g = 0; g < sim::kNumClassGroups; ++g) {
@@ -102,7 +107,8 @@ benchMain(int argc, char **argv)
         print_level("primary cache", true, base_l1);
         print_level("secondary cache", false, base_l2);
     }
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

@@ -21,11 +21,15 @@ int
 benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig9_line_size_time", harness::BenchOptions::kEngine);
+        argc, argv, "fig9_line_size_time",
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+    harness::ObsSession session("fig9_line_size_time", opts);
     std::cout << "=== Figure 9: execution time vs. cache line size "
                  "(baseline 64 B = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
+    session.usePlacement(harness::makePlacement(
+        opts, sim::MachineConfig::baseline(), &wl.db().space()));
     constexpr std::size_t kLineSizes[] = {16, 32, 64, 128, 256};
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
@@ -37,7 +41,9 @@ benchMain(int argc, char **argv)
         for (std::size_t line : kLineSizes) {
             sim::MachineConfig cfg =
                 sim::MachineConfig::baseline().withLineSize(line);
-            results.push_back(harness::runCold(cfg, traces, opts.engine).aggregate());
+            results.push_back(
+                harness::runCold(cfg, traces, session.runOptions())
+                    .aggregate());
         }
 
         // Pass 2: normalize to the 64 B baseline and print.
@@ -63,7 +69,8 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return 0;
+    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+                                                                     : 1;
 }
 
 int

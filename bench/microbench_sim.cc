@@ -18,6 +18,7 @@
 #include "sim/cache.hh"
 #include "sim/directory.hh"
 #include "sim/machine.hh"
+#include "sim/placement.hh"
 #include "sim/write_buffer.hh"
 
 using namespace dss::sim;
@@ -70,6 +71,43 @@ BM_DirectoryTransaction(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DirectoryTransaction);
+
+/** The historical hardwired home rule: per-access div/mod chain. */
+void
+BM_HomeOfLegacy(benchmark::State &state)
+{
+    LatencyConfig lat;
+    Directory dir(4, 64, 8192, AddressSpace::kPrivateBase,
+                  AddressSpace::kPrivateStride, lat);
+    // No policy attached: Directory::homeOf falls back to the legacy
+    // formula, exactly what every access paid before the placement layer.
+    Addr a = 0x1000'0000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dir.homeOf(a));
+        a = 0x1000'0000 + ((a + 64) & (64 * 1024 * 1024 - 1));
+    }
+}
+BENCHMARK(BM_HomeOfLegacy);
+
+/** The placement layer's flat page->home table (the new hot path). */
+void
+BM_HomeOfTable(benchmark::State &state)
+{
+    LatencyConfig lat;
+    Directory dir(4, 64, 8192, AddressSpace::kPrivateBase,
+                  AddressSpace::kPrivateStride, lat);
+    auto policy = PlacementPolicy::interleave(
+        {4, 8192, AddressSpace::kPrivateBase, AddressSpace::kPrivateStride});
+    // Cover the whole touched range so every lookup hits the table.
+    policy->pinPage(0x1000'0000 + (64 * 1024 * 1024 - 1), 0);
+    dir.setPlacement(policy.get());
+    Addr a = 0x1000'0000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dir.homeOf(a));
+        a = 0x1000'0000 + ((a + 64) & (64 * 1024 * 1024 - 1));
+    }
+}
+BENCHMARK(BM_HomeOfTable);
 
 void
 BM_WriteBufferPush(benchmark::State &state)

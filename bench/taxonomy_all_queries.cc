@@ -10,6 +10,7 @@
  * The measured classes should line up with the Table 1 grouping.
  */
 
+#include <array>
 #include <iostream>
 
 #include "harness/options.hh"
@@ -53,12 +54,19 @@ benchMain(int argc, char **argv)
         scale = tpcd::ScaleConfig::tiny();
     harness::Workload wl(scale, 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.usePlacement(
+        harness::makePlacement(opts, cfg, &wl.db().space()));
 
     harness::TextTable tab({"query", "Data% of shared L2 misses",
                             "Index+Meta%", "measured class",
                             "paper class", "agree"});
     obs::Json taxonomy = obs::Json::array();
     int agreements = 0;
+    // NUMA hop histogram (local / 2-hop / 3-hop demand transactions per
+    // data-structure group), summed over all queries.
+    std::array<std::array<std::uint64_t, sim::ProcStats::kNumHopClasses>,
+               sim::kNumClassGroups>
+        hops{};
     for (int qi = 1; qi <= tpcd::kNumQueries; ++qi) {
         auto q = static_cast<tpcd::QueryId>(qi);
         harness::TraceSet traces = wl.trace(q);
@@ -66,6 +74,10 @@ benchMain(int argc, char **argv)
             harness::runCold(cfg, traces, session.runOptions());
         session.addRun(tpcd::queryName(q), stats);
         sim::ProcStats agg = stats.aggregate();
+        for (std::size_t g = 0; g < sim::kNumClassGroups; ++g)
+            for (std::size_t h = 0; h < sim::ProcStats::kNumHopClasses;
+                 ++h)
+                hops[g][h] += agg.hopsByGroup[g][h];
 
         const double data = static_cast<double>(
             agg.l2Misses.byGroup(sim::ClassGroup::Data));
@@ -111,6 +123,20 @@ benchMain(int argc, char **argv)
         session.extra()["taxonomy"] = std::move(taxonomy);
         session.extra()["agreements"] =
             static_cast<std::int64_t>(agreements);
+        obs::Json placement = obs::Json::object();
+        placement["policy"] = opts.placement.str();
+        obs::Json by_group = obs::Json::object();
+        static const char *const kHopNames[] = {"local", "hop2", "hop3"};
+        for (std::size_t g = 0; g < sim::kNumClassGroups; ++g) {
+            obs::Json row = obs::Json::object();
+            for (std::size_t h = 0; h < sim::ProcStats::kNumHopClasses;
+                 ++h)
+                row[kHopNames[h]] = hops[g][h];
+            by_group[std::string(sim::classGroupName(
+                static_cast<sim::ClassGroup>(g)))] = std::move(row);
+        }
+        placement["hopsByGroup"] = std::move(by_group);
+        session.extra()["placement"] = std::move(placement);
     }
     return session.finish(cfg, std::cerr) ? 0 : 1;
 }

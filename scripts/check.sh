@@ -2,7 +2,7 @@
 # Tier-1 check: configure, build, and run the full test suite.
 #
 # Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
-#                         [build-dir]
+#                         [--placement] [build-dir]
 #
 # --sanitize builds into a separate build directory (build-tsan/,
 # build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
@@ -13,12 +13,20 @@
 # --chaos runs the robustness gauntlet: TSan and ASan builds over the
 # fault-injection, invariant-checker and engine-stress suites, plus the
 # chaos_fault_sweep bench at tiny scale (nonzero fault rates, checker
-# on, exit 1 on any violation).
+# on, exit 1 on any violation) and the placement-policy sweep under the
+# checker.
+#
+# --placement runs the NUMA placement checks: the placement unit tests,
+# the 4-policy x Q3/Q6/Q12 sweep under the invariant checker, and
+# chaos_fault_sweep under interleave vs first-touch with the same fault
+# seed — the injected fault/retry schedule must be byte-identical
+# (FaultPlan keys on trace positions, never on page homes).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=""
 chaos=0
+placement=0
 build=""
 
 for arg in "$@"; do
@@ -33,6 +41,9 @@ for arg in "$@"; do
             ;;
         --chaos)
             chaos=1
+            ;;
+        --placement)
+            placement=1
             ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
@@ -66,8 +77,43 @@ if [[ "$chaos" -eq 1 ]]; then
             --target dss_tests chaos_fault_sweep
         "$dir/tests/dss_tests" --gtest_filter="$filter"
         "$dir/bench/chaos_fault_sweep" --scale tiny
+        "$dir/bench/ablation_placement" --scale tiny --check
     done
     echo "check.sh: chaos gauntlet passed"
+elif [[ "$placement" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)" \
+        --target dss_tests ablation_placement chaos_fault_sweep
+    "$build/tests/dss_tests" --gtest_filter='Placement*.*'
+
+    # The 4-policy x Q3/Q6/Q12 sweep under the coherence invariant
+    # checker: every policy must finish with zero violations.
+    "$build/bench/ablation_placement" --scale tiny --check
+
+    # Fault schedules must be placement-invariant: the FaultPlan keys on
+    # per-processor trace positions, never on page homes, so moving every
+    # shared page (first-touch vs interleave) must leave the injected
+    # fault and retry counts byte-identical at the same seed.
+    sched_of() {
+        "$build/bench/chaos_fault_sweep" --scale tiny --fault-seed 7 \
+            --placement "$1" |
+            awk 'NF >= 7 && $2 ~ /^0\./ { print $1, $2, $3, $4 }'
+    }
+    a="$(sched_of interleave)"
+    b="$(sched_of first-touch)"
+    if [[ -z "$a" ]]; then
+        echo "check.sh: no fault-schedule rows extracted from" \
+             "chaos_fault_sweep output" >&2
+        exit 1
+    fi
+    if [[ "$a" != "$b" ]]; then
+        echo "check.sh: fault schedule moved with the placement policy" >&2
+        diff <(echo "$a") <(echo "$b") >&2 || true
+        exit 1
+    fi
+    echo "check.sh: placement checks passed (fault schedule is" \
+         "placement-invariant)"
 elif [[ -n "$sanitize" ]]; then
     build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"

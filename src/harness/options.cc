@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 
 #include "obs/stats_json.hh"
 
@@ -46,6 +48,13 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
            << "  --fault-seed <n> seed for the fault schedule "
               "(replayable across\n"
            << "                   engines and thread counts)\n";
+    if (flags & BenchOptions::kPlacement)
+        os << "  --placement <p>  NUMA page-placement policy: "
+           << sim::PlacementSpec::help() << '\n'
+           << "  --page-profile <path>\n"
+           << "                   write the per-page access histogram "
+              "consumed by\n"
+           << "                   --placement profile:<path>\n";
     os << "  --help           show this message\n";
 }
 
@@ -152,6 +161,17 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
                 std::exit(2);
             }
             opts.faultRate = r;
+        } else if (arg == "--placement" && supported(arg, kPlacement)) {
+            const std::string v = needValue(i++);
+            auto spec = sim::PlacementSpec::parse(v);
+            if (!spec) {
+                std::cerr << bench_name << ": unknown --placement '" << v
+                          << "' (" << sim::PlacementSpec::help() << ")\n";
+                std::exit(2);
+            }
+            opts.placement = *spec;
+        } else if (arg == "--page-profile" && supported(arg, kPlacement)) {
+            opts.pageProfilePath = needValue(i++);
         } else {
             std::cerr << bench_name << ": unknown option '" << arg
                       << "'\n";
@@ -177,6 +197,27 @@ BenchOptions::faultConfig() const
     return fc;
 }
 
+std::unique_ptr<sim::PlacementPolicy>
+makePlacement(const BenchOptions &opts, const sim::MachineConfig &cfg,
+              const sim::AddressSpace *space)
+{
+    const sim::PlacementPolicy::Geometry g{
+        cfg.nprocs, cfg.pageBytes, sim::AddressSpace::kPrivateBase,
+        sim::AddressSpace::kPrivateStride};
+    std::vector<sim::PageAccessCounts> hist;
+    if (opts.placement.kind == sim::PlacementKind::Profile) {
+        std::ifstream is(opts.placement.arg);
+        if (!is)
+            throw std::runtime_error("--placement profile: cannot read " +
+                                     opts.placement.arg);
+        std::ostringstream text;
+        text << is.rdbuf();
+        hist = obs::PageProfile::parse(obs::Json::parse(text.str()),
+                                       cfg.pageBytes);
+    }
+    return sim::PlacementPolicy::make(opts.placement, g, space, &hist);
+}
+
 ObsSession::ObsSession(std::string bench_name, BenchOptions opts)
     : bench_(std::move(bench_name)), opts_(std::move(opts)),
       runs_(obs::Json::array()), extra_(obs::Json::object())
@@ -189,6 +230,8 @@ ObsSession::ObsSession(std::string bench_name, BenchOptions opts)
         checker_ = std::make_unique<sim::InvariantChecker>();
     if (opts_.faultRate > 0.0)
         faults_ = std::make_unique<sim::FaultPlan>(opts_.faultConfig());
+    if (!opts_.pageProfilePath.empty())
+        pageProfile_ = std::make_unique<obs::PageProfile>();
 }
 
 RunOptions
@@ -201,6 +244,8 @@ ObsSession::runOptions()
     ro.registrySnapshot = registrySlot();
     ro.checker = checker_.get();
     ro.faults = faults_.get();
+    ro.placement = placement_.get();
+    ro.pageProfile = pageProfile_.get();
     ro.log = &std::cerr;
     return ro;
 }
@@ -274,6 +319,20 @@ ObsSession::finish(const sim::MachineConfig &cfg, std::ostream &err)
         err << bench_ << ": injected " << c.injected << " fault(s), "
             << c.aborts << " query abort(s), " << c.retries
             << " retry attempt(s)\n";
+    }
+    if (pageProfile_) {
+        std::ofstream os(opts_.pageProfilePath);
+        if (!os) {
+            err << bench_ << ": cannot write " << opts_.pageProfilePath
+                << '\n';
+            ok = false;
+        } else {
+            pageProfile_->toJson().dump(os, 2);
+            os << '\n';
+            err << "wrote page-access histogram ("
+                << pageProfile_->pageCount() << " pages) to "
+                << opts_.pageProfilePath << '\n';
+        }
     }
     if (timeline_) {
         std::ofstream os(opts_.tracePath);

@@ -18,6 +18,13 @@
  *   --check          run the coherence invariant checker (sim/check.hh)
  *   --fault-seed <n> / --fault-rate <p>
  *                    deterministic fault injection (sim/fault.hh)
+ *   --placement <name>[:arg]
+ *                    NUMA page-placement policy (sim/placement.hh):
+ *                    interleave (default), first-touch,
+ *                    class-affinity[:node], profile:<histogram.json>
+ *   --page-profile <path>
+ *                    write the per-page access histogram consumed by
+ *                    --placement=profile (obs/pageprof.hh)
  *
  * ObsSession owns the wiring: it hands out the sampler/timeline pointers
  * to pass to the runner, collects per-run stats and registry snapshots,
@@ -32,11 +39,13 @@
 
 #include "harness/runner.hh"
 #include "obs/json.hh"
+#include "obs/pageprof.hh"
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
 #include "sim/check.hh"
 #include "sim/fault.hh"
 #include "sim/machine.hh"
+#include "sim/placement.hh"
 #include "tpcd/dbgen.hh"
 
 namespace dss {
@@ -53,7 +62,9 @@ struct BenchOptions
         kScale = 1u << 4,
         kCheck = 1u << 5, ///< --check
         kFault = 1u << 6, ///< --fault-seed / --fault-rate
-        kAll = kEngine | kJson | kTrace | kEpoch | kScale | kCheck | kFault,
+        kPlacement = 1u << 7, ///< --placement / --page-profile
+        kAll = kEngine | kJson | kTrace | kEpoch | kScale | kCheck |
+               kFault | kPlacement,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -64,6 +75,9 @@ struct BenchOptions
     bool check = false;          ///< --check
     std::uint64_t faultSeed = 0; ///< --fault-seed
     double faultRate = 0.0;      ///< --fault-rate; 0 = no injection
+    /** --placement, already validated by parse(). */
+    sim::PlacementSpec placement;
+    std::string pageProfilePath; ///< --page-profile; empty = no histogram
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints
@@ -80,6 +94,16 @@ struct BenchOptions
     /** The fault configuration selected by --fault-seed/--fault-rate. */
     sim::FaultConfig faultConfig() const;
 };
+
+/**
+ * Build the --placement policy for machine @p cfg. class-affinity needs
+ * @p space (the workload's address space); profile loads its histogram
+ * from the spec's path. Throws std::runtime_error on unreadable or
+ * mismatched histograms — guardedMain turns that into a clean exit 3.
+ */
+std::unique_ptr<sim::PlacementPolicy>
+makePlacement(const BenchOptions &opts, const sim::MachineConfig &cfg,
+              const sim::AddressSpace *space);
 
 /** Observability output for one bench invocation. */
 class ObsSession
@@ -98,6 +122,23 @@ class ObsSession
 
     /** Fault plan; null unless --fault-rate was nonzero. */
     sim::FaultPlan *faults() { return faults_.get(); }
+
+    /** Page-access histogram; null unless --page-profile was given. */
+    obs::PageProfile *pageProfile() { return pageProfile_.get(); }
+
+    /**
+     * Adopt the --placement policy (normally makePlacement()'s result)
+     * and wire it into every subsequent runOptions(). Benches whose
+     * machine geometry varies per sweep point instead build a policy per
+     * configuration and set RunOptions::placement themselves.
+     */
+    void usePlacement(std::unique_ptr<sim::PlacementPolicy> p)
+    {
+        placement_ = std::move(p);
+    }
+
+    /** The adopted policy; null until usePlacement(). */
+    sim::PlacementPolicy *placement() { return placement_.get(); }
 
     /**
      * Everything wired up for one runCold/runSequence call: engine,
@@ -140,6 +181,8 @@ class ObsSession
     std::unique_ptr<obs::Timeline> timeline_;
     std::unique_ptr<sim::InvariantChecker> checker_;
     std::unique_ptr<sim::FaultPlan> faults_;
+    std::unique_ptr<obs::PageProfile> pageProfile_;
+    std::unique_ptr<sim::PlacementPolicy> placement_;
     obs::Json pendingRegistry_;
     obs::Json runs_;
     obs::Json extra_;

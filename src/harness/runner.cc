@@ -1,8 +1,10 @@
 #include "harness/runner.hh"
 
+#include "obs/pageprof.hh"
 #include "obs/registry.hh"
 #include "sim/check.hh"
 #include "sim/fault.hh"
+#include "sim/placement.hh"
 
 namespace dss {
 namespace harness {
@@ -35,6 +37,9 @@ runGuarded(sim::Machine &machine,
            const std::vector<const sim::TraceStream *> &ptrs,
            const RunOptions &opts)
 {
+    machine.resetStats(); // per-run home counters (Fig 12 repetitions)
+    if (opts.pageProfile)
+        opts.pageProfile->addTraces(ptrs);
     if (opts.faults)
         opts.faults->scheduleQuery();
     return retryOnAbort(
@@ -58,6 +63,7 @@ runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
     sim::Machine machine(cfg);
     machine.setChecker(opts.checker);
     machine.setFaultPlan(opts.faults);
+    machine.setPlacement(opts.placement);
     sim::SimStats stats = runGuarded(machine, tracePtrs(traces), opts);
     snapshotRegistry(machine, opts);
     return stats;
@@ -71,6 +77,7 @@ runSequence(const sim::MachineConfig &cfg,
     sim::Machine machine(cfg);
     machine.setChecker(opts.checker);
     machine.setFaultPlan(opts.faults);
+    machine.setPlacement(opts.placement);
     std::vector<sim::SimStats> out;
     out.reserve(sequence.size());
     for (const TraceSet *traces : sequence)

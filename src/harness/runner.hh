@@ -19,6 +19,7 @@
 namespace dss {
 namespace obs {
 class Json;
+class PageProfile;
 class Sampler;
 class Timeline;
 } // namespace obs
@@ -26,6 +27,7 @@ class Timeline;
 namespace sim {
 class FaultPlan;
 class InvariantChecker;
+class PlacementPolicy;
 } // namespace sim
 
 namespace harness {
@@ -45,6 +47,11 @@ struct RunOptions
     obs::Json *registrySnapshot = nullptr;
     sim::InvariantChecker *checker = nullptr;
     sim::FaultPlan *faults = nullptr;
+    /** Page-placement policy (sim/placement.hh); null = the machine's
+     * default interleave. Mutable: first-touch resolves per run. */
+    sim::PlacementPolicy *placement = nullptr;
+    /** Per-page access histogram collector (--page-profile). */
+    obs::PageProfile *pageProfile = nullptr;
     RetryPolicy retry;
     std::ostream *log = nullptr; ///< retry/abort notes; null = quiet
 };

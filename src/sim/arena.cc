@@ -1,5 +1,6 @@
 #include "sim/arena.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dss {
@@ -60,6 +61,25 @@ MemArena::classOf(Addr addr) const
     return tags_[(addr - base_) / kGranule];
 }
 
+DataClass
+MemArena::dominantClassIn(Addr addr, std::size_t bytes) const
+{
+    const Addr lo = std::max(addr, base_);
+    const Addr hi = std::min(addr + bytes, base_ + used_);
+    if (lo >= hi)
+        return defaultClass_;
+    std::size_t votes[kNumDataClasses] = {};
+    for (std::size_t g = (lo - base_) / kGranule,
+                     end = (hi - base_ + kGranule - 1) / kGranule;
+         g < end; ++g)
+        ++votes[static_cast<std::size_t>(tags_[g])];
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < kNumDataClasses; ++c)
+        if (votes[c] > votes[best])
+            best = c;
+    return static_cast<DataClass>(best);
+}
+
 AddressSpace::AddressSpace(unsigned nprocs, std::size_t shared_capacity,
                            std::size_t private_capacity)
 {
@@ -105,6 +125,18 @@ AddressSpace::ownerOf(Addr addr) const
     if (isShared(addr))
         return nprocs();
     return static_cast<ProcId>((addr - kPrivateBase) / kPrivateStride);
+}
+
+DataClass
+AddressSpace::pageClassOf(Addr addr, std::size_t page_bytes) const
+{
+    if (!isShared(addr))
+        return DataClass::Priv;
+    const Addr page = addr - addr % page_bytes;
+    if (page + page_bytes <= shared_->base() ||
+        page >= shared_->base() + shared_->used())
+        return DataClass::MetaOther;
+    return shared_->dominantClassIn(page, page_bytes);
 }
 
 } // namespace sim

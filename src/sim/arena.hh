@@ -66,6 +66,14 @@ class MemArena
     /** Class tag of one address. */
     DataClass classOf(Addr addr) const;
 
+    /**
+     * Majority class tag over [addr, addr+bytes), clipped to the
+     * allocated span; ties break toward the lower enum value and an
+     * empty intersection yields the arena default. Placement policies
+     * use this to classify whole pages (sim/placement.hh).
+     */
+    DataClass dominantClassIn(Addr addr, std::size_t bytes) const;
+
     /** True if @p addr lies inside this arena's allocated span. */
     bool
     contains(Addr addr) const
@@ -147,6 +155,13 @@ class AddressSpace
 
     /** Owning process of a private address (nprocs() if shared). */
     ProcId ownerOf(Addr addr) const;
+
+    /**
+     * Majority class of the @p page_bytes page containing @p addr: Priv
+     * for private addresses, the shared arena's dominant tag for mapped
+     * shared pages, MetaOther for unmapped ones.
+     */
+    DataClass pageClassOf(Addr addr, std::size_t page_bytes) const;
 
   private:
     std::unique_ptr<MemArena> shared_;

@@ -18,17 +18,6 @@ Directory::Directory(unsigned nnodes, std::size_t line_bytes,
     assert(nnodes_ > 0 && nnodes_ <= 8);
 }
 
-ProcId
-Directory::homeOf(Addr addr) const
-{
-    if (addr >= privateBase_) {
-        auto node = static_cast<ProcId>((addr - privateBase_) /
-                                        privateStride_);
-        return std::min<ProcId>(node, nnodes_ - 1);
-    }
-    return static_cast<ProcId>((addr / pageBytes_) % nnodes_);
-}
-
 Directory::Entry &
 Directory::entry(Addr addr)
 {
@@ -43,19 +32,9 @@ Directory::transactionLatency(ProcId requester, ProcId home,
     //   requester -> home            (0 if home is local)
     //   home -> owner -> requester   (only if the line is dirty elsewhere)
     //   home -> requester            (otherwise)
-    unsigned crossings = 0;
-    if (home != requester)
-        ++crossings;
-    if (dirty && dirty_owner != requester) {
-        if (dirty_owner != home)
-            ++crossings; // home forwards to the owner
-        ++crossings;     // owner (or home-as-owner) replies to the requester
-    } else {
-        if (home != requester)
-            ++crossings; // home replies with the memory copy
-    }
+    const unsigned n = crossings(requester, home, dirty_owner, dirty);
     Cycles base;
-    switch (crossings) {
+    switch (n) {
       case 0: base = lat_.localMem; break;
       case 1:
         base = lat_.localMem + (lat_.remote2Hop - lat_.localMem) / 2;
@@ -163,6 +142,12 @@ void
 Directory::resetControllers()
 {
     std::fill(controllerFree_.begin(), controllerFree_.end(), 0);
+}
+
+void
+Directory::resetStats()
+{
+    std::fill(hctrs_.begin(), hctrs_.end(), HomeCounters{});
 }
 
 } // namespace sim

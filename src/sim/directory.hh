@@ -19,6 +19,7 @@
 #ifndef DSS_SIM_DIRECTORY_HH
 #define DSS_SIM_DIRECTORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "sim/addr.hh"
+#include "sim/placement.hh"
 
 namespace dss {
 namespace obs {
@@ -80,8 +82,37 @@ class Directory
               std::size_t page_bytes, Addr private_base,
               Addr private_stride, const LatencyConfig &lat);
 
-    /** Home node of the line containing @p addr. */
-    ProcId homeOf(Addr addr) const;
+    /**
+     * Home node of the line containing @p addr: delegated to the
+     * attached PlacementPolicy (sim/placement.hh). Without one — a
+     * standalone Directory in unit tests or microbenches — the
+     * historical hardwired rule applies: shared pages interleave
+     * round-robin, private pages are homed at their owning node.
+     */
+    ProcId
+    homeOf(Addr addr) const
+    {
+        if (placement_)
+            return placement_->homeOf(addr);
+        if (addr >= privateBase_) {
+            auto node = static_cast<ProcId>((addr - privateBase_) /
+                                            privateStride_);
+            return std::min<ProcId>(node, nnodes_ - 1);
+        }
+        return static_cast<ProcId>((addr / pageBytes_) % nnodes_);
+    }
+
+    /**
+     * Attach the page-placement policy consulted by homeOf. Borrowed;
+     * pass nullptr to fall back to the hardwired interleave rule. The
+     * policy's geometry must match this directory's page/private layout.
+     */
+    void setPlacement(const PlacementPolicy *placement)
+    {
+        placement_ = placement;
+    }
+
+    const PlacementPolicy *placement() const { return placement_; }
 
     /** Directory entry for the line containing @p addr (created lazily). */
     Entry &entry(Addr addr);
@@ -103,6 +134,43 @@ class Directory
      */
     Cycles transactionLatency(ProcId requester, ProcId home,
                               ProcId dirty_owner, bool dirty) const;
+
+    /**
+     * Network crossings on a transaction's critical path — the quantity
+     * transactionLatency prices (0 = satisfied locally, 2 = remote home
+     * or local-home-remote-owner, 3 = remote home forwarding to a remote
+     * dirty owner).
+     */
+    static unsigned
+    crossings(ProcId requester, ProcId home, ProcId dirty_owner, bool dirty)
+    {
+        unsigned n = 0;
+        if (home != requester)
+            ++n;
+        if (dirty && dirty_owner != requester) {
+            if (dirty_owner != home)
+                ++n; // home forwards to the owner
+            ++n;     // owner (or home-as-owner) replies to the requester
+        } else {
+            if (home != requester)
+                ++n; // home replies with the memory copy
+        }
+        return n;
+    }
+
+    /** Hop classes of the per-class transaction counters. */
+    static constexpr std::size_t kNumHopClasses = 3;
+
+    /**
+     * Hop-class index of a transaction: 0 = local, 1 = 2-hop,
+     * 2 = 3-hop (the paper's local / 249-cycle / 351-cycle buckets).
+     */
+    static std::size_t
+    hopClass(ProcId requester, ProcId home, ProcId dirty_owner, bool dirty)
+    {
+        const unsigned n = crossings(requester, home, dirty_owner, dirty);
+        return n == 0 ? 0 : (n <= 2 ? 1 : 2);
+    }
 
     /**
      * Serialize a request at @p home's memory controller.
@@ -135,6 +203,15 @@ class Directory
     /** Reset only controller occupancy (clocks restart between runs). */
     void resetControllers();
 
+    /**
+     * Clear the per-home contention counters. They are lifetime
+     * counters otherwise — reset()/resetControllers() leave them alone —
+     * which made repetitions of runSequence accumulate each other's
+     * requests; the harness runner calls this before every repetition so
+     * per-run snapshots and epoch deltas reconcile.
+     */
+    void resetStats();
+
     unsigned nnodes() const { return nnodes_; }
     const LatencyConfig &latency() const { return lat_; }
 
@@ -159,11 +236,12 @@ class Directory
 
     /**
      * Register contention counters under "<prefix>.home<i>.*" plus
-     * machine-wide totals; lifetime counters, not cleared by reset().
+     * machine-wide totals; not cleared by reset(), only by resetStats().
      */
     void registerStats(obs::Registry &reg, const std::string &prefix) const;
 
   private:
+    const PlacementPolicy *placement_ = nullptr; ///< borrowed, optional
     unsigned nnodes_;
     std::size_t lineBytes_;
     std::size_t pageBytes_;

@@ -80,6 +80,24 @@ Machine::Machine(const MachineConfig &cfg)
     nodes_.reserve(cfg_.nprocs);
     for (unsigned p = 0; p < cfg_.nprocs; ++p)
         nodes_.push_back(std::make_unique<Node>(cfg_));
+    defaultPlacement_ = PlacementPolicy::interleave(
+        {cfg_.nprocs, cfg_.pageBytes, AddressSpace::kPrivateBase,
+         AddressSpace::kPrivateStride});
+    placement_ = defaultPlacement_.get();
+    dir_.setPlacement(placement_);
+}
+
+void
+Machine::setPlacement(PlacementPolicy *placement)
+{
+    placement_ = placement ? placement : defaultPlacement_.get();
+    dir_.setPlacement(placement_);
+}
+
+void
+Machine::resetStats()
+{
+    dir_.resetStats();
 }
 
 void
@@ -405,6 +423,12 @@ Machine::run(const std::vector<const TraceStream *> &traces,
     for (auto &n : nodes_)
         n->wb.reset();
 
+    // Resolve page homes before either engine starts: the flat table is
+    // immutable for the whole run, so the parallel engine's phase-A
+    // workers read it without synchronization, and first-touch claims
+    // (a pure function of the traces) are engine-invariant.
+    placement_->beginRun(traces);
+
     sampler_ = sampler;
     timeline_ = timeline;
     holdStart_.clear();
@@ -559,6 +583,27 @@ Machine::registerStats(obs::Registry &reg, const std::string &prefix) const
              [](const ProcStats &s) { return s.prefetchesIssued; });
         proc("prefetch_useful",
              [](const ProcStats &s) { return s.prefetchesUseful; });
+
+        // Demand directory transactions by structure group and hop
+        // class: proc0.hops.data.local / .hop2 / .hop3 ... (the
+        // placement layer's figure of merit; see sim/placement.hh).
+        static const char *const hop_leaf[ProcStats::kNumHopClasses] = {
+            "local", "hop2", "hop3"};
+        for (std::size_t g = 0; g < kNumClassGroups; ++g) {
+            for (std::size_t h = 0; h < ProcStats::kNumHopClasses; ++h) {
+                std::string name = obs::metricName(
+                    base,
+                    "hops." +
+                        lowered(classGroupName(
+                            static_cast<ClassGroup>(g))) +
+                        "." + hop_leaf[h]);
+                reg.addCounter(name, [this, p, g, h] {
+                    return p < runs_.size()
+                               ? runs_[p].stats.hopsByGroup[g][h]
+                               : std::uint64_t{0};
+                });
+            }
+        }
 
         // One counter per miss-table cell: proc0.l1.miss.cold.index ...
         for (int lvl = 0; lvl < 2; ++lvl) {

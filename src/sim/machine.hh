@@ -149,6 +149,27 @@ class Machine
      */
     void setChecker(InvariantChecker *checker) { checker_ = checker; }
 
+    /**
+     * Attach a page-placement policy (sim/placement.hh, the --placement
+     * flag). Borrowed and mutable: run() calls its beginRun() hook so
+     * first-touch claims resolve before either engine starts. Pass
+     * nullptr to return to the machine's own default interleave policy
+     * (bit-identical to the historical hardwired rule).
+     */
+    void setPlacement(PlacementPolicy *placement);
+
+    /** The active placement policy (never null). */
+    const PlacementPolicy &placement() const { return *placement_; }
+
+    /**
+     * Clear the lifetime statistics that survive run() boundaries (the
+     * directory's per-home contention counters). The harness runner
+     * calls this before every repetition so consecutive runs do not
+     * accumulate each other's counts; memory/cache state is untouched
+     * (warm-start chains stay warm).
+     */
+    void resetStats();
+
     /** Direct cache access for tests. */
     Cache &l1(ProcId p) { return nodes_.at(p)->l1; }
     Cache &l2(ProcId p) { return nodes_.at(p)->l2; }
@@ -308,6 +329,11 @@ class Machine
     obs::Timeline *timeline_ = nullptr; ///< valid during run()
     FaultPlan *fault_ = nullptr;        ///< optional, not owned
     InvariantChecker *checker_ = nullptr; ///< optional, not owned
+    /** Fallback interleave policy owned by the machine, so homeOf always
+     * takes the precomputed-table fast path even with no external
+     * policy attached. */
+    std::unique_ptr<PlacementPolicy> defaultPlacement_;
+    PlacementPolicy *placement_ = nullptr; ///< active policy, never null
     /** Metalock word -> cycle its current hold began (timeline only). */
     std::unordered_map<Addr, Cycles> holdStart_;
 

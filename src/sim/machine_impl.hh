@@ -178,6 +178,8 @@ Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
         const ProcId home = dir_.homeOf(l2_line);
         const bool dirty_else =
             v.state == Directory::State::Dirty && v.owner != p;
+        st.hopsByGroup[static_cast<std::size_t>(groupOf(cls))]
+                      [Directory::hopClass(p, home, v.owner, dirty_else)]++;
         const Cycles qdelay = port.controller(home, r.clock);
         latency = dir_.transactionLatency(p, home, v.owner, dirty_else) +
                   qdelay;
@@ -201,12 +203,12 @@ template <typename Port>
 Cycles
 Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls)
 {
-    (void)cls;
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
     const Addr l2_line = n.l2.lineAddrOf(addr);
     const Directory::Entry v = port.entryView(l2_line);
     const ProcId home = dir_.homeOf(l2_line);
+    const auto grp = static_cast<std::size_t>(groupOf(cls));
 
     Cycles drain;
     if (n.l2.contains(l2_line)) {
@@ -215,6 +217,8 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls)
             drain = l2HitLat_;
         } else {
             // Upgrade: invalidate the other sharers via the home node.
+            r.stats.hopsByGroup[grp]
+                [Directory::hopClass(p, home, p, false)]++;
             const Cycles qdelay = port.controller(home, r.clock);
             drain = dir_.transactionLatency(p, home, p, false) + qdelay;
         }
@@ -223,6 +227,8 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls)
         // Write-allocate miss: obtain an exclusive copy.
         const bool dirty_else =
             v.state == Directory::State::Dirty && v.owner != p;
+        r.stats.hopsByGroup[grp]
+            [Directory::hopClass(p, home, v.owner, dirty_else)]++;
         const Cycles qdelay = port.controller(home, r.clock);
         drain = dir_.transactionLatency(p, home, v.owner, dirty_else) +
                 qdelay;
@@ -270,6 +276,8 @@ Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
             st.l2Misses.add(cls, n.l2.classifyMiss(addr));
         const bool dirty_else =
             v.state == Directory::State::Dirty && v.owner != p;
+        st.hopsByGroup[static_cast<std::size_t>(groupOf(cls))]
+                      [Directory::hopClass(p, home, v.owner, dirty_else)]++;
         const Cycles qdelay = port.controller(home, r.clock);
         latency = dir_.transactionLatency(p, home, v.owner, dirty_else) +
                   qdelay;

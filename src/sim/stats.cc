@@ -82,6 +82,24 @@ ProcStats::l2GlobalMissRate() const
     return refs ? static_cast<double>(m) / static_cast<double>(refs) : 0.0;
 }
 
+std::uint64_t
+ProcStats::hopsOfClass(std::size_t hop) const
+{
+    std::uint64_t n = 0;
+    for (std::size_t g = 0; g < kNumClassGroups; ++g)
+        n += hopsByGroup[g][hop];
+    return n;
+}
+
+std::uint64_t
+ProcStats::hopsTotal() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t h = 0; h < kNumHopClasses; ++h)
+        n += hopsOfClass(h);
+    return n;
+}
+
 ProcStats &
 ProcStats::operator+=(const ProcStats &o)
 {
@@ -90,6 +108,9 @@ ProcStats::operator+=(const ProcStats &o)
     syncStall += o.syncStall;
     for (std::size_t g = 0; g < kNumClassGroups; ++g)
         memStallByGroup[g] += o.memStallByGroup[g];
+    for (std::size_t g = 0; g < kNumClassGroups; ++g)
+        for (std::size_t h = 0; h < kNumHopClasses; ++h)
+            hopsByGroup[g][h] += o.hopsByGroup[g][h];
     reads += o.reads;
     writes += o.writes;
     assumedHitReads += o.assumedHitReads;
@@ -112,6 +133,9 @@ ProcStats::operator-=(const ProcStats &o)
     syncStall -= o.syncStall;
     for (std::size_t g = 0; g < kNumClassGroups; ++g)
         memStallByGroup[g] -= o.memStallByGroup[g];
+    for (std::size_t g = 0; g < kNumClassGroups; ++g)
+        for (std::size_t h = 0; h < kNumHopClasses; ++h)
+            hopsByGroup[g][h] -= o.hopsByGroup[g][h];
     reads -= o.reads;
     writes -= o.writes;
     assumedHitReads -= o.assumedHitReads;

@@ -58,6 +58,21 @@ struct ProcStats
     /** Mem stall attributed to the structure group missed on (Fig 6b). */
     std::array<Cycles, kNumClassGroups> memStallByGroup = {};
 
+    /** Hop classes of hopsByGroup: local / 2-hop / 3-hop transactions. */
+    static constexpr std::size_t kNumHopClasses = 3;
+
+    /**
+     * Demand directory transactions (read miss, write upgrade/allocate,
+     * lock RMW) issued by this processor, by structure group x hop class
+     * — the placement layer's figure of merit. Background traffic
+     * (prefetch fills, victim writebacks) is not counted: it occupies
+     * controllers but never stalls the processor. Deliberately absent
+     * from obs::toJson(ProcStats), whose byte-exact output the golden
+     * fixtures pin; exported via the counter registry instead.
+     */
+    std::array<std::array<std::uint64_t, kNumHopClasses>, kNumClassGroups>
+        hopsByGroup = {};
+
     std::uint64_t reads = 0;   ///< traced loads issued
     std::uint64_t writes = 0;  ///< traced stores issued
 
@@ -89,6 +104,12 @@ struct ProcStats
 
     /** SMem of Figs 9/11: stall on shared structures. */
     Cycles smem() const { return memStall - pmem(); }
+
+    /** Demand transactions of one hop class, summed over groups. */
+    std::uint64_t hopsOfClass(std::size_t hop) const;
+
+    /** All demand directory transactions (every group, every hop). */
+    std::uint64_t hopsTotal() const;
 
     /** Primary-cache read miss rate (paper Section 5.1). */
     double l1MissRate() const;

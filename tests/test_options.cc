@@ -161,6 +161,44 @@ TEST(BenchOptionsDeath, MalformedFaultSeedIsFatal)
                 "--fault-seed needs an integer");
 }
 
+TEST(BenchOptions, PlacementFlagsParse)
+{
+    BenchOptions o = parseArgs({"--placement", "class-affinity:2",
+                                "--page-profile", "hist.json"});
+    EXPECT_EQ(o.placement.kind, sim::PlacementKind::ClassAffinity);
+    EXPECT_EQ(o.placement.arg, "2");
+    EXPECT_EQ(o.pageProfilePath, "hist.json");
+}
+
+TEST(BenchOptions, PlacementDefaultsToInterleave)
+{
+    BenchOptions o = parseArgs({});
+    EXPECT_EQ(o.placement.kind, sim::PlacementKind::Interleave);
+    EXPECT_TRUE(o.pageProfilePath.empty());
+}
+
+TEST(BenchOptionsDeath, UnknownPlacementPolicyIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--placement", "round-robin"}),
+                testing::ExitedWithCode(2),
+                "unknown --placement 'round-robin'");
+    // profile without a histogram path is malformed, not a default.
+    EXPECT_EXIT(parseArgs({"--placement", "profile"}),
+                testing::ExitedWithCode(2), "unknown --placement");
+}
+
+TEST(BenchOptionsDeath, PlacementFlagsOutsideDeclaredSubsetAreFatal)
+{
+    EXPECT_EXIT(parseArgs({"--placement", "interleave"},
+                          BenchOptions::kEngine),
+                testing::ExitedWithCode(2),
+                "option '--placement' is not supported");
+    EXPECT_EXIT(parseArgs({"--page-profile", "h.json"},
+                          BenchOptions::kEngine),
+                testing::ExitedWithCode(2),
+                "option '--page-profile' is not supported");
+}
+
 TEST(BenchOptionsDeath, RobustnessFlagsOutsideDeclaredSubsetAreFatal)
 {
     EXPECT_EXIT(parseArgs({"--check"}, BenchOptions::kEngine),
