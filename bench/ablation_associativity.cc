@@ -21,7 +21,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_associativity",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ablation_associativity", opts);
     std::cout << "=== Ablation: cache associativity (baseline sizes) "
                  "===\n\n";
@@ -29,6 +30,8 @@ benchMain(int argc, char **argv)
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
         opts, sim::MachineConfig::baseline(), &wl.db().space()));
+    session.wireMemprof(sim::MachineConfig::baseline(),
+                        &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6}) {
         harness::TraceSet traces = wl.trace(q);

@@ -23,7 +23,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_lock_discipline",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ablation_lock_discipline", opts);
     std::cout << "=== Ablation: per-rescan lock-manager discipline ===\n\n";
 
@@ -31,6 +32,7 @@ benchMain(int argc, char **argv)
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
+    session.wireMemprof(cfg, &wl.db().catalog());
 
     harness::TextTable tab({"query", "relock", "exec cycles", "MSync%",
                             "L2 LockSLock", "L2 LockHash", "L2 XidHash"});

@@ -41,13 +41,15 @@ benchMain(int argc, char **argv)
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_placement",
         harness::BenchOptions::kEngine | harness::BenchOptions::kJson |
-            harness::BenchOptions::kScale | harness::BenchOptions::kCheck);
+            harness::BenchOptions::kScale | harness::BenchOptions::kCheck |
+            harness::BenchOptions::kMemprof);
     harness::ObsSession session("ablation_placement", opts);
 
     std::cout << "=== Ablation: NUMA page-placement policy ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    session.wireMemprof(cfg, &wl.db().catalog());
     const sim::PlacementPolicy::Geometry g{
         cfg.nprocs, cfg.pageBytes, sim::AddressSpace::kPrivateBase,
         sim::AddressSpace::kPrivateStride};

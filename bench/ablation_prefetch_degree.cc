@@ -19,7 +19,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_prefetch_degree",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ablation_prefetch_degree", opts);
     std::cout << "=== Ablation: sequential prefetch degree (exec time, "
                  "Base=100) ===\n\n";
@@ -27,6 +28,8 @@ benchMain(int argc, char **argv)
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
         opts, sim::MachineConfig::baseline(), &wl.db().space()));
+    session.wireMemprof(sim::MachineConfig::baseline(),
+                        &wl.db().catalog());
 
     harness::TextTable tab(
         {"query", "degree 0", "1", "2", "4", "8", "16"});

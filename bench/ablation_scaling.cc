@@ -23,7 +23,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_scaling",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ablation_scaling", opts);
     std::cout << "=== Ablation: inter-query workload vs. processor count "
                  "===\n\n";
@@ -37,6 +38,9 @@ benchMain(int argc, char **argv)
             harness::TraceSet traces = wl.trace(q);
             sim::MachineConfig cfg = sim::MachineConfig::baseline();
             cfg.nprocs = nprocs;
+            // Re-arms per sweep point: the JSON memprof block
+            // reports the last point's profile.
+            session.wireMemprof(cfg, &wl.db().catalog());
             // The machine geometry changes per point, so the placement
             // policy is rebuilt here rather than adopted by the session.
             auto placement =

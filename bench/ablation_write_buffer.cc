@@ -37,7 +37,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ablation_write_buffer",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ablation_write_buffer", opts);
     std::cout << "=== Ablation: write-buffer depth ===\n\n";
 
@@ -45,6 +46,8 @@ benchMain(int argc, char **argv)
     harness::TraceSet q6 = wl.trace(tpcd::QueryId::Q6);
 
     tpcd::TpcdDb update_db(tpcd::ScaleConfig::paperScale(), 1);
+    session.wireMemprof(sim::MachineConfig::baseline(),
+                        &wl.db().catalog());
     harness::TraceSet uf1;
     uf1.push_back(traceUF1(update_db, update_db.scale().orders() / 20));
 

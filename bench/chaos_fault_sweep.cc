@@ -37,6 +37,7 @@ benchMain(int argc, char **argv)
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
+    session.wireMemprof(cfg, &wl.db().catalog());
 
     // Sweep a fixed ladder of rates, plus the user's --fault-rate when it
     // is not already on the ladder. Rate 0 is the control run.

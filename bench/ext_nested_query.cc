@@ -26,7 +26,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ext_nested_query",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ext_nested_query", opts);
     std::cout << "=== Extension: flat vs. nested Q4 ===\n\n";
 
@@ -34,6 +35,7 @@ benchMain(int argc, char **argv)
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
+    session.wireMemprof(cfg, &wl.db().catalog());
 
     harness::TraceSet flat = wl.trace(tpcd::QueryId::Q4, 1);
     harness::TraceSet nested = wl.traceCustom(

@@ -55,7 +55,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "ext_update_queries",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("ext_update_queries", opts);
     std::cout << "=== Extension: TPC-D update functions UF1 / UF2 "
                  "(single processor) ===\n\n";
@@ -68,6 +69,7 @@ benchMain(int argc, char **argv)
     sim::MachineConfig cfg = sim::MachineConfig::baseline();
     cfg.nprocs = 1;
     session.usePlacement(harness::makePlacement(opts, cfg, &db.space()));
+    session.wireMemprof(cfg, &db.catalog());
 
     // A rival transaction holds the orders relation write-locked, so the
     // first UF1 attempt hits a Write/Write conflict and aborts. The

@@ -47,7 +47,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig10_cache_size_misses",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("fig10_cache_size_misses", opts);
     std::cout << "=== Figure 10: misses vs. cache size (baseline "
                  "4K/128K = 100) ===\n\n";
@@ -55,6 +56,8 @@ benchMain(int argc, char **argv)
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
         opts, sim::MachineConfig::baseline(), &wl.db().space()));
+    session.wireMemprof(sim::MachineConfig::baseline(),
+                        &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
                             tpcd::QueryId::Q12}) {

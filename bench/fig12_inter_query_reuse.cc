@@ -81,6 +81,7 @@ benchMain(int argc, char **argv)
         1 << 20, 32 << 20);
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
+    session.wireMemprof(cfg, &wl.db().catalog());
 
     // Distinct parameter seeds: the warm-up query is "the same query using
     // different parameters" (paper Section 5.2.2).

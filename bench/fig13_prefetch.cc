@@ -24,7 +24,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig13_prefetch",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("fig13_prefetch", opts);
     std::cout << "=== Figure 13: sequential data prefetching (Base = 100) "
                  "===\n\n";
@@ -33,6 +34,7 @@ benchMain(int argc, char **argv)
     const sim::MachineConfig base_cfg = sim::MachineConfig::baseline();
     session.usePlacement(
         harness::makePlacement(opts, base_cfg, &wl.db().space()));
+    session.wireMemprof(base_cfg, &wl.db().catalog());
     sim::MachineConfig opt_cfg = base_cfg;
     opt_cfg.prefetchData = true;
     opt_cfg.prefetchDegree = 4;

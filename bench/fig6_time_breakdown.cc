@@ -31,6 +31,7 @@ benchMain(int argc, char **argv)
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
+    session.wireMemprof(cfg, &wl.db().catalog());
 
     const tpcd::QueryId queries[] = {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
                                      tpcd::QueryId::Q12};

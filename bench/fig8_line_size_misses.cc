@@ -31,7 +31,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig8_line_size_misses",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("fig8_line_size_misses", opts);
     std::cout << "=== Figure 8: misses vs. cache line size (normalized to "
                  "the 64 B-L2-line baseline = 100) ===\n\n";
@@ -39,6 +40,8 @@ benchMain(int argc, char **argv)
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
         opts, sim::MachineConfig::baseline(), &wl.db().space()));
+    session.wireMemprof(sim::MachineConfig::baseline(),
+                        &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
                             tpcd::QueryId::Q12}) {

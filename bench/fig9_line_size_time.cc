@@ -22,7 +22,8 @@ benchMain(int argc, char **argv)
 {
     const harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "fig9_line_size_time",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement);
+        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
     harness::ObsSession session("fig9_line_size_time", opts);
     std::cout << "=== Figure 9: execution time vs. cache line size "
                  "(baseline 64 B = 100) ===\n\n";
@@ -30,6 +31,8 @@ benchMain(int argc, char **argv)
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
         opts, sim::MachineConfig::baseline(), &wl.db().space()));
+    session.wireMemprof(sim::MachineConfig::baseline(),
+                        &wl.db().catalog());
     constexpr std::size_t kLineSizes[] = {16, 32, 64, 128, 256};
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,

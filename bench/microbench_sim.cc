@@ -14,6 +14,7 @@
 
 #include "harness/guard.hh"
 
+#include "obs/memprof.hh"
 #include "sim/arena.hh"
 #include "sim/cache.hh"
 #include "sim/directory.hh"
@@ -175,6 +176,57 @@ BM_MachineReplay4(benchmark::State &state, EngineConfig engine)
 }
 BENCHMARK_CAPTURE(BM_MachineReplay4, seq, EngineConfig::seq());
 BENCHMARK_CAPTURE(BM_MachineReplay4, par, EngineConfig::par());
+
+/**
+ * Cost of the --memprof machinery on the machine replay path. Four
+ * processors mix reads and stores over an overlapping shared region, so
+ * the word-granular sharing tracker (when enabled) exercises both its
+ * store-recording and its miss-classification paths. "off" is the
+ * default configuration every non-profiled run uses and must stay within
+ * noise of the pre-memprof replay; "on" prices the tracker itself;
+ * "profile" adds the profiler's own trace replay on top.
+ */
+void
+BM_MemprofOverhead(benchmark::State &state, int mode)
+{
+    MachineConfig cfg = MachineConfig::baseline();
+    std::vector<TraceStream> streams(cfg.nprocs);
+    for (unsigned p = 0; p < cfg.nprocs; ++p) {
+        for (Addr a = 0; a < 1 << 18; a += 8) {
+            // Overlapping lines across processors: every fourth access
+            // is a store, so lines ping-pong and coherence misses (the
+            // tracker's slow path) actually occur.
+            const Addr addr = 0x1000'0000 + a;
+            if (((a >> 3) & 3) == p % 4)
+                streams[p].record(
+                    TraceEntry::write(addr, DataClass::Data, 8));
+            else
+                streams[p].record(
+                    TraceEntry::read(addr, DataClass::Data, 8));
+            streams[p].record(TraceEntry::busy(3));
+        }
+    }
+    std::vector<const TraceStream *> ptrs;
+    for (const TraceStream &s : streams)
+        ptrs.push_back(&s);
+    for (auto _ : state) {
+        Machine m(cfg);
+        m.enableSharing(mode >= 1);
+        SimStats s = m.run(ptrs);
+        benchmark::DoNotOptimize(s.procs[0].l2CoheTrue);
+        if (mode >= 2) {
+            dss::obs::MemProfile prof({cfg.l2, cfg.nprocs, cfg.pageBytes});
+            prof.addTraces(ptrs);
+            benchmark::DoNotOptimize(prof.lines().size());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(streams[0].size() * cfg.nprocs));
+}
+BENCHMARK_CAPTURE(BM_MemprofOverhead, off, 0);
+BENCHMARK_CAPTURE(BM_MemprofOverhead, on, 1);
+BENCHMARK_CAPTURE(BM_MemprofOverhead, profile, 2);
 
 } // namespace
 

@@ -56,6 +56,7 @@ benchMain(int argc, char **argv)
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
+    session.wireMemprof(cfg, &wl.db().catalog());
 
     harness::TextTable tab({"query", "Data% of shared L2 misses",
                             "Index+Meta%", "measured class",

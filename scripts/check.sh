@@ -2,7 +2,7 @@
 # Tier-1 check: configure, build, and run the full test suite.
 #
 # Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
-#                         [--placement] [build-dir]
+#                         [--placement] [--memprof] [build-dir]
 #
 # --sanitize builds into a separate build directory (build-tsan/,
 # build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
@@ -21,12 +21,19 @@
 # chaos_fault_sweep under interleave vs first-touch with the same fault
 # seed — the injected fault/retry schedule must be byte-identical
 # (FaultPlan keys on trace positions, never on page homes).
+#
+# --memprof runs the line-level memory-profiler checks: the memprof unit
+# tests, report_memprof over Q3/Q6/Q12 at tiny scale, JSON schema
+# validation of the profile block, the per-processor
+# cohe == cohe.true + cohe.false counter invariant, and bit-identity of
+# the profile across the sequential and parallel engines.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize=""
 chaos=0
 placement=0
+memprof=0
 build=""
 
 for arg in "$@"; do
@@ -44,6 +51,9 @@ for arg in "$@"; do
             ;;
         --placement)
             placement=1
+            ;;
+        --memprof)
+            memprof=1
             ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
@@ -63,6 +73,80 @@ short_of() {
     esac
 }
 
+# Line-level memory-profiler checks against an existing build dir: unit
+# tests, then report_memprof over Q3/Q6/Q12 with --memprof on both
+# engines, validating the JSON profile schema, the per-processor
+# cohe == cohe.true + cohe.false registry invariant, and engine
+# bit-identity of the profile block.
+memprof_checks() {
+    local dir="$1"
+    "$dir/tests/dss_tests" --gtest_filter='MemProfile.*:RegionMap.*'
+
+    local seq_json="$dir/memprof_check_seq.json"
+    local par_json="$dir/memprof_check_par.json"
+    "$dir/bench/report_memprof" --memprof --scale tiny \
+        --json "$seq_json" > /dev/null
+    "$dir/bench/report_memprof" --memprof --scale tiny --engine par \
+        --json "$par_json" > /dev/null
+
+    python3 - "$seq_json" "$par_json" <<'EOF'
+import json, sys
+
+seq = json.load(open(sys.argv[1]))
+par = json.load(open(sys.argv[2]))
+
+def fail(msg):
+    sys.stderr.write("check.sh: memprof: %s\n" % msg)
+    sys.exit(1)
+
+profiles = seq.get("memprof")
+if not isinstance(profiles, dict) or not profiles:
+    fail("no memprof block in %s" % sys.argv[1])
+for query, prof in profiles.items():
+    for key in ("lineBytes", "nprocs", "linesTracked", "lines",
+                "classes", "sets", "totals"):
+        if key not in prof:
+            fail("%s profile lacks '%s'" % (query, key))
+    fields = ("accesses", "reads", "writes", "cold", "conf",
+              "coheTrue", "coheFalse", "upgrades", "hop3")
+    for rec in prof["lines"]:
+        for key in ("addr", "symbol", "class") + fields:
+            if key not in rec:
+                fail("%s line record lacks '%s'" % (query, key))
+    for rec in prof["sets"]:
+        if "set" not in rec or "conf" not in rec:
+            fail("%s set record malformed" % query)
+    tot = prof["totals"]
+    summed = {f: 0 for f in fields}
+    for cls in prof["classes"].values():
+        for f in fields:
+            summed[f] += cls[f]
+    if any(summed[f] != tot[f] for f in fields):
+        fail("%s class totals do not sum to profile totals" % query)
+    if not prof["lines"]:
+        fail("%s profile tracked no lines" % query)
+
+# Per-proc coherence split invariant from the machine's own counters.
+for run in seq["runs"]:
+    c = run["counters"]
+    procs = {k.split(".")[0] for k in c if k.startswith("proc")}
+    for p in sorted(procs):
+        cohe = c.get(p + ".miss.cohe", 0)
+        true = c.get(p + ".miss.cohe.true", 0)
+        false_ = c.get(p + ".miss.cohe.false", 0)
+        if cohe != true + false_:
+            fail("%s %s: cohe %d != true %d + false %d"
+                 % (run["label"], p, cohe, true, false_))
+
+# The profile replays traces itself: bit-identical across engines.
+if profiles != par.get("memprof"):
+    fail("profile differs between --engine seq and --engine par")
+
+print("check.sh: memprof schema, counter invariant and engine"
+      " bit-identity OK")
+EOF
+}
+
 if [[ "$chaos" -eq 1 ]]; then
     # Robustness gauntlet: the fault/checker/guard suites plus the
     # engine-stress interleavings, under both TSan and ASan, then the
@@ -74,10 +158,14 @@ if [[ "$chaos" -eq 1 ]]; then
         dir="$repo/build-$(short_of "$san")"
         cmake -B "$dir" -S "$repo" -DSIM_SANITIZE="$san"
         cmake --build "$dir" -j"$(nproc)" \
-            --target dss_tests chaos_fault_sweep
+            --target dss_tests chaos_fault_sweep ablation_placement \
+            report_memprof
         "$dir/tests/dss_tests" --gtest_filter="$filter"
         "$dir/bench/chaos_fault_sweep" --scale tiny
         "$dir/bench/ablation_placement" --scale tiny --check
+        # The profiler's replay and the sharing tracker under the
+        # sanitizer, plus the schema/invariant/bit-identity checks.
+        memprof_checks "$dir"
     done
     echo "check.sh: chaos gauntlet passed"
 elif [[ "$placement" -eq 1 ]]; then
@@ -114,6 +202,13 @@ elif [[ "$placement" -eq 1 ]]; then
     fi
     echo "check.sh: placement checks passed (fault schedule is" \
          "placement-invariant)"
+elif [[ "$memprof" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)" \
+        --target dss_tests report_memprof
+    memprof_checks "$build"
+    echo "check.sh: memprof checks passed"
 elif [[ -n "$sanitize" ]]; then
     build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/lineinfo.hh"
+
 namespace dss {
 namespace db {
 
@@ -52,6 +54,7 @@ BTree::build(TracedMemory &setup, const std::vector<Entry> &sorted)
             setup.store<std::int32_t>(a + kEntrySlot, ent.second.slot);
         }
         level.emplace_back(n ? sorted[i].first : 0, blk);
+        pageLevel_.push_back(1);
         i += n;
     } while (i < sorted.size());
     height_ = 1;
@@ -77,6 +80,7 @@ BTree::build(TracedMemory &setup, const std::vector<Entry> &sorted)
                                           level[j + e].second);
             }
             upper.emplace_back(level[j].first, blk);
+            pageLevel_.push_back(height_ + 1);
             j += n;
         }
         level.swap(upper);
@@ -208,7 +212,7 @@ BTree::Cursor::close(TracedMemory &mem)
 }
 
 BlockNo
-BTree::allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib)
+BTree::allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib, int level)
 {
     const BlockNo blk = static_cast<BlockNo>(numPages_++);
     sim::Addr page =
@@ -216,6 +220,7 @@ BTree::allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib)
     mem.store<std::uint16_t>(page + kIsLeafOff, leaf ? 1 : 0);
     mem.store<std::uint16_t>(page + kNumKeysOff, 0);
     mem.store<std::int32_t>(page + kRightSibOff, right_sib);
+    pageLevel_.push_back(level);
     return blk;
 }
 
@@ -238,14 +243,15 @@ BTree::placeEntry(TracedMemory &mem, sim::Addr page, std::uint16_t nkeys,
 }
 
 BTree::Split
-BTree::splitPage(TracedMemory &mem, BlockNo blk, sim::Addr page, bool leaf)
+BTree::splitPage(TracedMemory &mem, BlockNo blk, sim::Addr page, bool leaf,
+                 int level)
 {
     (void)blk; // kept for symmetry with insertInto's pin bookkeeping
     auto nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
     const auto mid = static_cast<std::uint16_t>(nkeys / 2);
 
     auto old_sib = mem.load<std::int32_t>(page + kRightSibOff);
-    BlockNo new_blk = allocPage(mem, leaf, leaf ? old_sib : -1);
+    BlockNo new_blk = allocPage(mem, leaf, leaf ? old_sib : -1, level);
     sim::Addr new_page = bufmgr_.pinPage(mem, rel_, new_blk);
 
     for (std::uint16_t i = mid; i < nkeys; ++i) {
@@ -277,7 +283,7 @@ BTree::insertInto(TracedMemory &mem, BlockNo blk, int level, Key key,
         // Leaf: make room (splitting first if full), then place.
         Split split;
         if (nkeys >= kMaxEntries) {
-            split = splitPage(mem, blk, page, /*leaf=*/true);
+            split = splitPage(mem, blk, page, /*leaf=*/true, level);
             if (key >= split.sepKey) {
                 bufmgr_.unpinPage(mem, rel_, blk);
                 blk = split.newBlock;
@@ -307,7 +313,7 @@ BTree::insertInto(TracedMemory &mem, BlockNo blk, int level, Key key,
     nkeys = mem.load<std::uint16_t>(page + kNumKeysOff);
     Split split;
     if (nkeys >= kMaxEntries) {
-        split = splitPage(mem, blk, page, /*leaf=*/false);
+        split = splitPage(mem, blk, page, /*leaf=*/false, level);
         if (child_split.sepKey >= split.sepKey) {
             bufmgr_.unpinPage(mem, rel_, blk);
             blk = split.newBlock;
@@ -337,13 +343,27 @@ BTree::insert(TracedMemory &mem, Key key, Tid tid)
         mem.load<std::int64_t>(entryAddr(old_root, 0) + kEntryKey);
     bufmgr_.unpinPage(mem, rel_, root_);
 
-    BlockNo new_root = allocPage(mem, /*leaf=*/false, -1);
+    BlockNo new_root = allocPage(mem, /*leaf=*/false, -1, height_ + 1);
     sim::Addr page = bufmgr_.pinPage(mem, rel_, new_root);
     placeEntry(mem, page, 0, 0, first_key, root_, 0);
     placeEntry(mem, page, 1, 1, split.sepKey, split.newBlock, 0);
     bufmgr_.unpinPage(mem, rel_, new_root);
     root_ = new_root;
     ++height_;
+}
+
+void
+BTree::describeRegions(obs::RegionMap &map, const std::string &name) const
+{
+    for (BlockNo b = 0; b < static_cast<BlockNo>(numPages_); ++b) {
+        const sim::Addr page = bufmgr_.blockAddr(rel_, b);
+        const int lvl = pageLevel_[static_cast<std::size_t>(b)];
+        std::string label =
+            lvl == 1 ? name + " leaf blk " + std::to_string(b)
+                     : name + " inner lvl " + std::to_string(lvl) +
+                           " blk " + std::to_string(b);
+        map.add(page, kPageBytes, std::move(label));
+    }
 }
 
 std::vector<Tid>

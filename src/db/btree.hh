@@ -18,6 +18,7 @@
 #define DSS_DB_BTREE_HH
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,10 @@
 #include "db/mem.hh"
 
 namespace dss {
+namespace obs {
+class RegionMap;
+} // namespace obs
+
 namespace db {
 
 class BTree
@@ -93,6 +98,17 @@ class BTree
     BlockNo rootBlock() const { return root_; }
     unsigned numPages() const { return numPages_; }
 
+    /** Tree level of block @p blk: 1 = leaf, height() = root. */
+    int levelOf(BlockNo blk) const { return pageLevel_[blk]; }
+
+    /**
+     * Register every tree page with the memory profiler's symbol map as
+     * "<name> leaf blk N" or "<name> inner lvl L blk N" (@p name is the
+     * index's catalog name). Pages resolve host-side via the buffer
+     * manager; no traced references.
+     */
+    void describeRegions(obs::RegionMap &map, const std::string &name) const;
+
   private:
     // Page header layout.
     static constexpr sim::Addr kIsLeafOff = 0;   // u16
@@ -120,8 +136,9 @@ class BTree
         BlockNo newBlock = -1; ///< the new right sibling
     };
 
-    /** Allocate a fresh (empty) tree page. */
-    BlockNo allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib);
+    /** Allocate a fresh (empty) tree page at tree level @p level. */
+    BlockNo allocPage(TracedMemory &mem, bool leaf, BlockNo right_sib,
+                      int level);
 
     /** Shift entries [pos, nkeys) right by one and write a new entry. */
     void placeEntry(TracedMemory &mem, sim::Addr page, std::uint16_t nkeys,
@@ -130,7 +147,7 @@ class BTree
 
     /** Split @p blk (pinned at @p page) and return the new sibling. */
     Split splitPage(TracedMemory &mem, BlockNo blk, sim::Addr page,
-                    bool leaf);
+                    bool leaf, int level);
 
     /** Recursive insert into the subtree rooted at @p blk. */
     Split insertInto(TracedMemory &mem, BlockNo blk, int level, Key key,
@@ -144,6 +161,7 @@ class BTree
     BlockNo root_ = -1;
     int height_ = 0;
     unsigned numPages_ = 0;
+    std::vector<int> pageLevel_; ///< block -> tree level (symbolization)
 };
 
 } // namespace db

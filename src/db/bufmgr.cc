@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/lineinfo.hh"
+
 namespace dss {
 namespace db {
 
@@ -100,7 +102,34 @@ BufferManager::allocBlock(TracedMemory &setup, RelId rel, BlockNo blk,
     setup.store<std::int32_t>(hashAddr(slot) + kHashDesc,
                               static_cast<std::int32_t>(idx));
     hints_.push_back({page, cls, kNoHomeHint});
+    blocks_.push_back({page, rel, blk, cls});
     return page;
+}
+
+sim::Addr
+BufferManager::blockAddr(RelId rel, BlockNo blk) const
+{
+    for (const BlockInfo &b : blocks_) {
+        if (b.rel == rel && b.blk == blk)
+            return b.page;
+    }
+    throw std::runtime_error("BufferManager: blockAddr of unknown block");
+}
+
+void
+BufferManager::describeRegions(
+    obs::RegionMap &map,
+    const std::function<std::string(RelId)> &rel_name) const
+{
+    map.add(lock_, 64, "BufMgrLock");
+    map.addIndexed(descs_, maxBlocks_, kDescBytes, "buf descriptor");
+    map.addIndexed(hash_, hashSize_, kHashEntryBytes, "buf lookup bucket");
+    for (const BlockInfo &b : blocks_) {
+        if (b.cls != sim::DataClass::Data)
+            continue;
+        map.add(b.page, kPageBytes,
+                rel_name(b.rel) + " heap blk " + std::to_string(b.blk));
+    }
 }
 
 void

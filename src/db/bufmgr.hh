@@ -16,12 +16,18 @@
 #define DSS_DB_BUFMGR_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "db/common.hh"
 #include "db/mem.hh"
 
 namespace dss {
+namespace obs {
+class RegionMap;
+} // namespace obs
+
 namespace db {
 
 class BufferManager
@@ -87,6 +93,23 @@ class BufferManager
     /** Host-side pin count of a descriptor, for tests. */
     std::int32_t pinCountOf(TracedMemory &mem, RelId rel, BlockNo blk);
 
+    /**
+     * Host-side address of an allocated block, for symbolization (no
+     * traced references). Throws if (@p rel, @p blk) was never allocated.
+     */
+    sim::Addr blockAddr(RelId rel, BlockNo blk) const;
+
+    /**
+     * Register this manager's shared structures with the memory
+     * profiler's symbol map: the BufMgrLock, the descriptor array, the
+     * lookup hash, and every Data-class heap block as
+     * "<relation> heap blk N" (via @p rel_name). Index-class blocks are
+     * left for the owning BTree to label (describeRegions there).
+     */
+    void describeRegions(
+        obs::RegionMap &map,
+        const std::function<std::string(RelId)> &rel_name) const;
+
   private:
     static constexpr std::size_t kDescBytes = 32;
     static constexpr std::size_t kHashEntryBytes = 16;
@@ -105,9 +128,19 @@ class BufferManager
         return hash_ + slot * kHashEntryBytes;
     }
 
+    /** Host-side record of every allocated block (symbolization). */
+    struct BlockInfo
+    {
+        sim::Addr page = 0;
+        RelId rel = -1;
+        BlockNo blk = -1;
+        sim::DataClass cls = sim::DataClass::Data;
+    };
+
     unsigned maxBlocks_;
     unsigned numBlocks_ = 0;
     std::vector<PlacementHint> hints_;
+    std::vector<BlockInfo> blocks_; ///< in allocation order
     std::uint32_t hashSize_; ///< power of two
     sim::Addr lock_ = 0;     ///< BufMgrLock
     sim::Addr descs_ = 0;    ///< BufferDesc[maxBlocks]

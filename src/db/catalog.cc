@@ -120,6 +120,28 @@ Catalog::relIdOf(const std::string &name) const
     return it->second;
 }
 
+std::string
+Catalog::nameOf(RelId id) const
+{
+    auto t = tables_.find(id);
+    if (t != tables_.end())
+        return t->second.name;
+    for (const auto &[name, rel] : byName_) {
+        if (rel == id)
+            return name;
+    }
+    return "rel" + std::to_string(id);
+}
+
+void
+Catalog::describeRegions(obs::RegionMap &map) const
+{
+    bufmgr_.describeRegions(map, [this](RelId r) { return nameOf(r); });
+    lockmgr_.describeRegions(map);
+    for (const auto &[rel, tree] : indices_)
+        tree->describeRegions(map, nameOf(rel));
+}
+
 const BTree *
 Catalog::findIndex(RelId table, std::size_t attr_idx) const
 {

@@ -65,6 +65,16 @@ class Catalog
     const Relation &relation(RelId id) const;
     RelId relIdOf(const std::string &name) const;
 
+    /** Name of table or index @p id; "rel<id>" if unregistered. */
+    std::string nameOf(RelId id) const;
+
+    /**
+     * Register every catalog-managed structure with the memory profiler's
+     * symbol map: heap blocks and buffer metadata via the buffer manager,
+     * the lock tables, and every B-tree page with its level.
+     */
+    void describeRegions(obs::RegionMap &map) const;
+
     /** Index on (@p table, @p attr_idx), or nullptr. */
     const BTree *findIndex(RelId table, std::size_t attr_idx) const;
 

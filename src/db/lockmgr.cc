@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/lineinfo.hh"
+
 namespace dss {
 namespace db {
 
@@ -186,6 +188,16 @@ LockManager::holdersOf(TracedMemory &mem, RelId rel)
 {
     std::uint32_t ls = probeLockHash(mem, rel);
     return mem.load<std::int32_t>(lockEntry(ls) + kLockReaders);
+}
+
+void
+LockManager::describeRegions(obs::RegionMap &map) const
+{
+    map.add(lock_, 64, "LockMgrLock");
+    map.addIndexed(lockHash_, lockHashSize_, kLockEntryBytes,
+                   "lock hash bucket");
+    map.addIndexed(xidHash_, xidHashSize_, kXidEntryBytes,
+                   "xid hash bucket");
 }
 
 } // namespace db

@@ -22,6 +22,10 @@
 #include "db/mem.hh"
 
 namespace dss {
+namespace obs {
+class RegionMap;
+} // namespace obs
+
 namespace db {
 
 /** Lock modes (multi-type). Read-only queries use Read. */
@@ -62,6 +66,12 @@ class LockManager
 
     /** Host-side holder count of @p rel's lock entry, for tests. */
     std::int32_t holdersOf(TracedMemory &mem, RelId rel);
+
+    /**
+     * Register the LockMgrLock and both hash tables with the memory
+     * profiler's symbol map ("lock hash bucket N", "xid hash bucket N").
+     */
+    void describeRegions(obs::RegionMap &map) const;
 
   private:
     static constexpr std::size_t kLockEntryBytes = 16;

@@ -55,6 +55,14 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
            << "                   write the per-page access histogram "
               "consumed by\n"
            << "                   --placement profile:<path>\n";
+    if (flags & BenchOptions::kMemprof)
+        os << "  --memprof[=N]    line-level memory profiler: hot lines "
+              "with\n"
+           << "                   true/false-sharing splits, conflict "
+              "sets and\n"
+           << "                   structure symbols in the JSON report's\n"
+           << "                   \"memprof\" block (top N entries, "
+              "default 20)\n";
     os << "  --help           show this message\n";
 }
 
@@ -172,6 +180,21 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
             opts.placement = *spec;
         } else if (arg == "--page-profile" && supported(arg, kPlacement)) {
             opts.pageProfilePath = needValue(i++);
+        } else if (arg == "--memprof" && supported(arg, kMemprof)) {
+            opts.memprof = true;
+        } else if (arg.rfind("--memprof=", 0) == 0 &&
+                   supported(arg, kMemprof)) {
+            const std::string v = arg.substr(10);
+            char *end = nullptr;
+            std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || v.empty() || n == 0 || n > 100000) {
+                std::cerr << bench_name
+                          << ": --memprof=N needs a positive count, got '"
+                          << v << "'\n";
+                std::exit(2);
+            }
+            opts.memprof = true;
+            opts.memprofTopN = static_cast<unsigned>(n);
         } else {
             std::cerr << bench_name << ": unknown option '" << arg
                       << "'\n";
@@ -234,6 +257,22 @@ ObsSession::ObsSession(std::string bench_name, BenchOptions opts)
         pageProfile_ = std::make_unique<obs::PageProfile>();
 }
 
+void
+ObsSession::wireMemprof(const sim::MachineConfig &cfg,
+                        const db::Catalog *catalog)
+{
+    if (!opts_.memprof)
+        return;
+    obs::MemProfileConfig mc;
+    mc.l2 = cfg.l2;
+    mc.nprocs = cfg.nprocs;
+    mc.pageBytes = cfg.pageBytes;
+    memProfile_ = std::make_unique<obs::MemProfile>(mc);
+    symbols_ = obs::RegionMap();
+    if (catalog)
+        catalog->describeRegions(symbols_);
+}
+
 RunOptions
 ObsSession::runOptions()
 {
@@ -246,6 +285,7 @@ ObsSession::runOptions()
     ro.faults = faults_.get();
     ro.placement = placement_.get();
     ro.pageProfile = pageProfile_.get();
+    ro.memProfile = memProfile_.get();
     ro.log = &std::cerr;
     return ro;
 }
@@ -289,6 +329,11 @@ ObsSession::finish(const sim::MachineConfig &cfg, std::ostream &err)
                 doc[k] = v;
         if (sampler_)
             doc["epochs"] = sampler_->toJson();
+        if (memProfile_) {
+            doc["memprof"] = memProfile_->toJson(
+                opts_.memprofTopN,
+                symbols_.empty() ? nullptr : &symbols_);
+        }
         if (checker_)
             doc["check"] = checker_->toJson();
         if (faults_)
@@ -319,6 +364,11 @@ ObsSession::finish(const sim::MachineConfig &cfg, std::ostream &err)
         err << bench_ << ": injected " << c.injected << " fault(s), "
             << c.aborts << " query abort(s), " << c.retries
             << " retry attempt(s)\n";
+    }
+    if (memProfile_) {
+        err << bench_ << ": memory profiler tracked "
+            << memProfile_->lines().size() << " cache line(s), "
+            << symbols_.size() << " symbol region(s)\n";
     }
     if (pageProfile_) {
         std::ofstream os(opts_.pageProfilePath);

@@ -39,6 +39,7 @@
 
 #include "harness/runner.hh"
 #include "obs/json.hh"
+#include "obs/memprof.hh"
 #include "obs/pageprof.hh"
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
@@ -63,8 +64,9 @@ struct BenchOptions
         kCheck = 1u << 5, ///< --check
         kFault = 1u << 6, ///< --fault-seed / --fault-rate
         kPlacement = 1u << 7, ///< --placement / --page-profile
+        kMemprof = 1u << 8, ///< --memprof[=topN]
         kAll = kEngine | kJson | kTrace | kEpoch | kScale | kCheck |
-               kFault | kPlacement,
+               kFault | kPlacement | kMemprof,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -78,6 +80,8 @@ struct BenchOptions
     /** --placement, already validated by parse(). */
     sim::PlacementSpec placement;
     std::string pageProfilePath; ///< --page-profile; empty = no histogram
+    bool memprof = false;        ///< --memprof: line-level memory profiler
+    unsigned memprofTopN = 20;   ///< --memprof=<topN>: hot-line list size
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints
@@ -125,6 +129,23 @@ class ObsSession
 
     /** Page-access histogram; null unless --page-profile was given. */
     obs::PageProfile *pageProfile() { return pageProfile_.get(); }
+
+    /** Line-level memory profiler; null unless wireMemprof() armed it. */
+    obs::MemProfile *memProfile() { return memProfile_.get(); }
+
+    /**
+     * Arm the --memprof profiler for machine geometry @p cfg and,
+     * when @p catalog is given, load the structure symbol map from it.
+     * No-op unless --memprof was passed, so benches can call this
+     * unconditionally once the machine config and database exist (and
+     * before the first runOptions()). The report lands in the JSON
+     * document's "memprof" block on finish().
+     */
+    void wireMemprof(const sim::MachineConfig &cfg,
+                     const db::Catalog *catalog = nullptr);
+
+    /** The profiler's symbol map (filled by wireMemprof). */
+    obs::RegionMap &symbols() { return symbols_; }
 
     /**
      * Adopt the --placement policy (normally makePlacement()'s result)
@@ -182,6 +203,8 @@ class ObsSession
     std::unique_ptr<sim::InvariantChecker> checker_;
     std::unique_ptr<sim::FaultPlan> faults_;
     std::unique_ptr<obs::PageProfile> pageProfile_;
+    std::unique_ptr<obs::MemProfile> memProfile_;
+    obs::RegionMap symbols_;
     std::unique_ptr<sim::PlacementPolicy> placement_;
     obs::Json pendingRegistry_;
     obs::Json runs_;

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include "obs/memprof.hh"
 #include "obs/pageprof.hh"
 #include "obs/registry.hh"
 #include "sim/check.hh"
@@ -40,6 +41,8 @@ runGuarded(sim::Machine &machine,
     machine.resetStats(); // per-run home counters (Fig 12 repetitions)
     if (opts.pageProfile)
         opts.pageProfile->addTraces(ptrs);
+    if (opts.memProfile)
+        opts.memProfile->addTraces(ptrs);
     if (opts.faults)
         opts.faults->scheduleQuery();
     return retryOnAbort(
@@ -64,6 +67,8 @@ runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
     machine.setChecker(opts.checker);
     machine.setFaultPlan(opts.faults);
     machine.setPlacement(opts.placement);
+    if (opts.memProfile)
+        machine.enableSharing(true);
     sim::SimStats stats = runGuarded(machine, tracePtrs(traces), opts);
     snapshotRegistry(machine, opts);
     return stats;
@@ -78,6 +83,8 @@ runSequence(const sim::MachineConfig &cfg,
     machine.setChecker(opts.checker);
     machine.setFaultPlan(opts.faults);
     machine.setPlacement(opts.placement);
+    if (opts.memProfile)
+        machine.enableSharing(true);
     std::vector<sim::SimStats> out;
     out.reserve(sequence.size());
     for (const TraceSet *traces : sequence)

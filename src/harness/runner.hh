@@ -19,6 +19,7 @@
 namespace dss {
 namespace obs {
 class Json;
+class MemProfile;
 class PageProfile;
 class Sampler;
 class Timeline;
@@ -52,6 +53,10 @@ struct RunOptions
     sim::PlacementPolicy *placement = nullptr;
     /** Per-page access histogram collector (--page-profile). */
     obs::PageProfile *pageProfile = nullptr;
+    /** Line-level memory profiler (--memprof). Feeding it also enables
+     * the machine's word-granular sharing tracker, so the registry's
+     * per-proc miss.cohe.{true,false} counters come alive. */
+    obs::MemProfile *memProfile = nullptr;
     RetryPolicy retry;
     std::ostream *log = nullptr; ///< retry/abort notes; null = quiet
 };

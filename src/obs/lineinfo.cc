@@ -1,0 +1,63 @@
+#include "obs/lineinfo.hh"
+
+#include <stdexcept>
+
+namespace dss {
+namespace obs {
+
+void
+RegionMap::insert(sim::Addr base, sim::Addr end, std::size_t stride,
+                  std::string label)
+{
+    if (end <= base)
+        throw std::invalid_argument("RegionMap: empty region '" + label +
+                                    "'");
+    // Reject overlap with the nearest regions on either side.
+    auto next = regions_.lower_bound(base);
+    if (next != regions_.end() && next->first < end)
+        throw std::invalid_argument("RegionMap: '" + label +
+                                    "' overlaps '" + next->second.label +
+                                    "'");
+    if (next != regions_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second.end > base)
+            throw std::invalid_argument("RegionMap: '" + label +
+                                        "' overlaps '" +
+                                        prev->second.label + "'");
+    }
+    regions_.emplace(base, Region{end, stride, std::move(label)});
+}
+
+void
+RegionMap::add(sim::Addr base, std::size_t bytes, std::string label)
+{
+    insert(base, base + bytes, 0, std::move(label));
+}
+
+void
+RegionMap::addIndexed(sim::Addr base, std::size_t count, std::size_t stride,
+                      std::string label)
+{
+    if (stride == 0)
+        throw std::invalid_argument("RegionMap: zero stride for '" + label +
+                                    "'");
+    insert(base, base + count * stride, stride, std::move(label));
+}
+
+std::string
+RegionMap::resolve(sim::Addr addr) const
+{
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin())
+        return {};
+    --it;
+    const Region &r = it->second;
+    if (addr >= r.end)
+        return {};
+    if (r.stride == 0)
+        return r.label;
+    return r.label + " " + std::to_string((addr - it->first) / r.stride);
+}
+
+} // namespace obs
+} // namespace dss

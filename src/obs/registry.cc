@@ -71,6 +71,17 @@ Registry::names() const
     return out;
 }
 
+std::vector<std::string>
+Registry::counterNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, e] : entries_)
+        if (e.isCounter)
+            out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 Json
 Registry::toJson() const
 {

@@ -55,6 +55,9 @@ class Registry
     /** All registered names, sorted. */
     std::vector<std::string> names() const;
 
+    /** Names of the counters only (no gauges), sorted. */
+    std::vector<std::string> counterNames() const;
+
     /**
      * Snapshot every metric into a flat JSON object keyed by the dotted
      * names, sorted so output is diffable.

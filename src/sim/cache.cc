@@ -97,6 +97,12 @@ Cache::invalidate(Addr addr, bool coherence, bool *was_dirty)
 }
 
 void
+Cache::clearCoherenceMark(Addr addr)
+{
+    invalRemoved_.erase(lineAddrOf(addr));
+}
+
+void
 Cache::markDirty(Addr addr)
 {
     Line *l = find(addr);

@@ -121,6 +121,15 @@ class Cache
      */
     bool invalidate(Addr addr, bool coherence, bool *was_dirty = nullptr);
 
+    /**
+     * Forget a pending coherence mark on the line holding @p addr, so a
+     * future miss classifies as Conf rather than Cohe. Used when the
+     * processor re-acquires the line through a path that does not fill
+     * this cache (a write-through L1 never allocates on a store, so the
+     * store that repays the invalidation must clear the mark by hand).
+     */
+    void clearCoherenceMark(Addr addr);
+
     /** Mark the line holding @p addr dirty (must be present). */
     void markDirty(Addr addr);
 

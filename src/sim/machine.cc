@@ -111,6 +111,30 @@ Machine::resetMemoryState()
     }
     dir_.reset();
     locks_.reset();
+    if (sharing_)
+        sharing_->reset();
+}
+
+void
+Machine::enableSharing(bool on)
+{
+    if (on) {
+        if (!sharing_)
+            sharing_ = std::make_unique<SharingTracker>(cfg_.nprocs);
+    } else {
+        sharing_.reset();
+    }
+}
+
+void
+Machine::classifyCoheMiss(ProcStats &st, ProcId p, Addr addr, unsigned size,
+                          Addr l2_line) const
+{
+    const WordMask wm = wordMaskOf(addr, size, l2_line, cfg_.l2.lineBytes);
+    if (sharing_->isTrueSharing(p, l2_line, wm))
+        ++st.l2CoheTrue;
+    else
+        ++st.l2CoheFalse;
 }
 
 void
@@ -168,10 +192,12 @@ Machine::applyReadFillDir(ProcId p, Addr l2_line)
             e.state = Directory::State::Shared;
         e.sharers |= bit(p);
     }
+    if (sharing_)
+        sharing_->recordFill(p, l2_line);
 }
 
 void
-Machine::applyStoreDir(ProcId p, Addr l2_line)
+Machine::applyStoreDir(ProcId p, Addr l2_line, WordMask wmask)
 {
     // invalidateOtherCaches is a no-op when the line is already
     // exclusively owned by p, so the unconditional call covers the
@@ -189,6 +215,8 @@ Machine::applyStoreDir(ProcId p, Addr l2_line)
     Node &n = *nodes_[p];
     if (n.l2.contains(l2_line))
         n.l2.markDirty(l2_line);
+    if (sharing_)
+        sharing_->recordStore(p, l2_line, wmask);
 }
 
 void
@@ -241,6 +269,8 @@ Machine::applyPrefetchShareDir(ProcId p, Addr l2_line)
     if (e.state == Directory::State::Uncached)
         e.state = Directory::State::Shared;
     e.sharers |= bit(p);
+    if (sharing_)
+        sharing_->recordFill(p, l2_line);
 }
 
 void
@@ -314,7 +344,7 @@ Machine::doLockAcq(ProcId p, const TraceEntry &e)
     // Phase 1: the test&set itself — an exclusive access to the lock word.
     // Its stall is memory time on metadata; only spinning is MSync.
     SeqPort port{*this};
-    const Cycles lat = rmwAccessT(port, p, w, e.cls);
+    const Cycles lat = rmwAccessT(port, p, w, e.cls, e.size);
     const Cycles stall =
         lat > cfg_.lat.l1Hit ? lat - cfg_.lat.l1Hit : 0;
     r.stats.busy += cfg_.issueCyclesPerRef;
@@ -583,6 +613,22 @@ Machine::registerStats(obs::Registry &reg, const std::string &prefix) const
              [](const ProcStats &s) { return s.prefetchesIssued; });
         proc("prefetch_useful",
              [](const ProcStats &s) { return s.prefetchesUseful; });
+
+        // True/false-sharing split of the L2 coherence misses. The split
+        // counters stay zero unless enableSharing is on; when it is,
+        // miss.cohe.true + miss.cohe.false == miss.cohe exactly (the
+        // memprof check mode asserts this).
+        proc("miss.cohe", [](const ProcStats &s) {
+            std::uint64_t n = 0;
+            for (std::size_t c = 0; c < kNumDataClasses; ++c)
+                n += s.l2Misses.of(static_cast<DataClass>(c),
+                                   MissType::Cohe);
+            return n;
+        });
+        proc("miss.cohe.true",
+             [](const ProcStats &s) { return s.l2CoheTrue; });
+        proc("miss.cohe.false",
+             [](const ProcStats &s) { return s.l2CoheFalse; });
 
         // Demand directory transactions by structure group and hop
         // class: proc0.hops.data.local / .hop2 / .hop3 ... (the

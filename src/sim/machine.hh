@@ -34,6 +34,7 @@
 #include "sim/cache.hh"
 #include "sim/directory.hh"
 #include "sim/engine.hh"
+#include "sim/sharing.hh"
 #include "sim/spinlock_model.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -162,6 +163,20 @@ class Machine
     const PlacementPolicy &placement() const { return *placement_; }
 
     /**
+     * Enable word-granular sharing tracking (sim/sharing.hh, the
+     * --memprof flag) so L2 coherence misses split into true vs. false
+     * sharing (ProcStats::l2CoheTrue/l2CoheFalse and the
+     * proc*.miss.cohe.{true,false} registry counters). Off by default;
+     * when off the pipelines pay a single null test inside the miss
+     * branches and the split counters stay zero. Enabling mid-experiment
+     * starts from an empty history, exactly like a cold classification.
+     */
+    void enableSharing(bool on);
+
+    /** The sharing tracker, or nullptr when disabled (tests). */
+    const SharingTracker *sharingTracker() const { return sharing_.get(); }
+
+    /**
      * Clear the lifetime statistics that survive run() boundaries (the
      * directory's per-home contention counters). The harness runner
      * calls this before every repetition so consecutive runs do not
@@ -236,14 +251,16 @@ class Machine
     struct SeqPort;
 
     template <typename Port>
-    ReadOutcome readAccessT(Port &port, ProcId p, Addr addr, DataClass cls);
+    ReadOutcome readAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
+                            unsigned size);
 
     /**
      * Apply the coherence state changes of a store and return the drain
      * latency of its write-buffer transaction.
      */
     template <typename Port>
-    Cycles writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls);
+    Cycles writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls,
+                             unsigned size);
 
     /**
      * Atomic read-modify-write on a lock word (test&set): acquires
@@ -251,7 +268,8 @@ class Machine
      * @return total latency including the issue cycle.
      */
     template <typename Port>
-    Cycles rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls);
+    Cycles rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
+                      unsigned size);
 
     template <typename Port>
     void issuePrefetchesT(Port &port, ProcId p, Addr addr);
@@ -274,8 +292,18 @@ class Machine
      * in exactly the state the sequential engine would have produced.
      */
     void applyReadFillDir(ProcId p, Addr l2_line);
-    void applyStoreDir(ProcId p, Addr l2_line);
+    void applyStoreDir(ProcId p, Addr l2_line, WordMask wmask);
     void applyPrefetchShareDir(ProcId p, Addr l2_line);
+
+    /**
+     * Split-classify an L2 coherence miss into true/false sharing. Only
+     * called from the pipelines' (rare) Cohe miss branches, and a no-op
+     * unless enableSharing is on. Reads the tracker without mutating it,
+     * so phase-A workers may call it against the masks frozen at the
+     * last barrier.
+     */
+    void classifyCoheMiss(ProcStats &st, ProcId p, Addr addr, unsigned size,
+                          Addr l2_line) const;
 
     /**
      * Re-derive a directory entry from the caches after a parallel
@@ -329,6 +357,8 @@ class Machine
     obs::Timeline *timeline_ = nullptr; ///< valid during run()
     FaultPlan *fault_ = nullptr;        ///< optional, not owned
     InvariantChecker *checker_ = nullptr; ///< optional, not owned
+    /** Word-granular sharing tracker; null unless enableSharing(true). */
+    std::unique_ptr<SharingTracker> sharing_;
     /** Fallback interleave policy owned by the machine, so homeOf always
      * takes the precomputed-table fast path even with no external
      * policy attached. */

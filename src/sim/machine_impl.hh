@@ -68,7 +68,11 @@ struct Machine::SeqPort
         m.applyReadFillDir(p, l2_line);
     }
 
-    void applyStore(ProcId p, Addr l2_line) { m.applyStoreDir(p, l2_line); }
+    void
+    applyStore(ProcId p, Addr l2_line, WordMask wmask)
+    {
+        m.applyStoreDir(p, l2_line, wmask);
+    }
 
     void applyDrop(ProcId p, Addr l2_line)
     {
@@ -132,7 +136,8 @@ Machine::faultEvictT(Port &port, ProcId p, Addr addr)
 
 template <typename Port>
 Machine::ReadOutcome
-Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
+Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
+                     unsigned size)
 {
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
@@ -173,7 +178,10 @@ Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
         ++st.l2Hits;
         latency = l2HitLat_;
     } else {
-        st.l2Misses.add(cls, n.l2.classifyMiss(addr));
+        const MissType mt = n.l2.classifyMiss(addr);
+        st.l2Misses.add(cls, mt);
+        if (sharing_ && mt == MissType::Cohe)
+            classifyCoheMiss(st, p, addr, size, l2_line);
         const Directory::Entry v = port.entryView(l2_line);
         const ProcId home = dir_.homeOf(l2_line);
         const bool dirty_else =
@@ -201,7 +209,8 @@ Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
 
 template <typename Port>
 Cycles
-Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls)
+Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls,
+                           unsigned size)
 {
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
@@ -234,7 +243,20 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls)
                 qdelay;
         fillL2T(port, p, addr, /*dirty=*/true);
     }
-    port.applyStore(p, l2_line);
+    port.applyStore(p, l2_line,
+                    sharing_
+                        ? wordMaskOf(addr, size, l2_line, cfg_.l2.lineBytes)
+                        : WordMask{0});
+
+    // The store (re)established exclusive ownership: any pending L1
+    // coherence marks on this line's sublines are repaid by this very
+    // transaction. The write-through L1 never allocates on a store, so
+    // without this the next read of an invalidated subline — an L2 hit on
+    // our own fresh exclusive copy — would classify Cohe a second time,
+    // double-counting the upgrade.
+    for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
+         a += cfg_.l1.lineBytes)
+        n.l1.clearCoherenceMark(a);
 
     // Write-through L1: a resident line is updated in place (stays valid);
     // a missing line is not allocated.
@@ -244,7 +266,8 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls)
 
 template <typename Port>
 Cycles
-Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
+Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
+                    unsigned size)
 {
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
@@ -272,8 +295,12 @@ Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
         n.l2.access(addr, /*set_dirty=*/true);
         latency = l2HitLat_;
     } else {
-        if (!l2has && !l1hit)
-            st.l2Misses.add(cls, n.l2.classifyMiss(addr));
+        if (!l2has && !l1hit) {
+            const MissType mt = n.l2.classifyMiss(addr);
+            st.l2Misses.add(cls, mt);
+            if (sharing_ && mt == MissType::Cohe)
+                classifyCoheMiss(st, p, addr, size, l2_line);
+        }
         const bool dirty_else =
             v.state == Directory::State::Dirty && v.owner != p;
         st.hopsByGroup[static_cast<std::size_t>(groupOf(cls))]
@@ -285,7 +312,16 @@ Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls)
             n.l2.access(addr, /*set_dirty=*/true);
         else
             fillL2T(port, p, addr, /*dirty=*/true);
-        port.applyStore(p, l2_line);
+        port.applyStore(p, l2_line,
+                        sharing_ ? wordMaskOf(addr, size, l2_line,
+                                              cfg_.l2.lineBytes)
+                                 : WordMask{0});
+        // Same repayment rule as writeTransactionT: the RMW acquired
+        // exclusive ownership, so pending L1 coherence marks on the
+        // line's sublines are settled by this transaction.
+        for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
+             a += cfg_.l1.lineBytes)
+            n.l1.clearCoherenceMark(a);
     }
     if (!l1hit)
         fillL1(p, addr);
@@ -341,7 +377,7 @@ Machine::doReadT(Port &port, ProcId p, const TraceEntry &e)
             faultEvictT(port, p, e.addr);
         injected = fault_->readDelay(p, r.pos);
     }
-    ReadOutcome o = readAccessT(port, p, e.addr, e.cls);
+    ReadOutcome o = readAccessT(port, p, e.addr, e.cls, e.size);
     const Cycles stall =
         (o.latency > cfg_.lat.l1Hit ? o.latency - cfg_.lat.l1Hit : 0) +
         injected;
@@ -368,7 +404,7 @@ Machine::doWriteT(Port &port, ProcId p, const TraceEntry &e)
               r.clock + cfg_.issueCyclesPerRef);
     r.clock += cfg_.issueCyclesPerRef;
 
-    const Cycles drain = writeTransactionT(port, p, e.addr, e.cls);
+    const Cycles drain = writeTransactionT(port, p, e.addr, e.cls, e.size);
     const Cycles stall =
         n.wb.push(r.clock, drain, n.l1.lineAddrOf(e.addr));
     if (stall) {

@@ -58,9 +58,9 @@ struct ParEngine::ParPort
     }
 
     void
-    applyStore(ProcId, Addr line)
+    applyStore(ProcId, Addr line, WordMask wmask)
     {
-        eng.portApplyStore(ctx, proc, line);
+        eng.portApplyStore(ctx, proc, line, wmask);
     }
 
     void
@@ -172,7 +172,7 @@ ParEngine::portApplyReadFill(ProcCtx &ctx, ProcId p, Addr line)
 }
 
 void
-ParEngine::portApplyStore(ProcCtx &ctx, ProcId p, Addr line)
+ParEngine::portApplyStore(ProcCtx &ctx, ProcId p, Addr line, WordMask wmask)
 {
     const Addr la = m_.dir_.lineAddrOf(line);
     Directory::Entry e;
@@ -181,7 +181,7 @@ ParEngine::portApplyStore(ProcCtx &ctx, ProcId p, Addr line)
     e.sharers = bit(p);
     ctx.dirDelta[la] = e;
     park(ctx, {ParkedOp::Kind::StoreDir, p, DataClass::Priv, la,
-               m_.runs_[p].clock, 0, 0, 0});
+               m_.runs_[p].clock, 0, 0, 0, wmask});
 }
 
 void
@@ -335,7 +335,7 @@ ParEngine::applyBarrier()
                 m_.applyReadFillDir(o.proc, o.addr);
                 break;
               case ParkedOp::Kind::StoreDir:
-                m_.applyStoreDir(o.proc, o.addr);
+                m_.applyStoreDir(o.proc, o.addr, o.wmask);
                 break;
               case ParkedOp::Kind::Drop:
                 m_.dropFromDirectory(o.proc, o.addr);

@@ -97,6 +97,8 @@ class ParEngine
         Cycles arrival;      ///< Occupy only
         Cycles delay;        ///< Occupy only: delay charged in phase A
         std::uint32_t seq;   ///< per-processor program order (sort key)
+        /** StoreDir only: words the store dirtied (sharing tracker). */
+        WordMask wmask = 0;
     };
 
     struct SpanRec
@@ -134,7 +136,7 @@ class ParEngine
     void portBackgroundOccupy(ProcCtx &ctx, ProcId p, ProcId home,
                               Cycles arrival);
     void portApplyReadFill(ProcCtx &ctx, ProcId p, Addr line);
-    void portApplyStore(ProcCtx &ctx, ProcId p, Addr line);
+    void portApplyStore(ProcCtx &ctx, ProcId p, Addr line, WordMask wmask);
     void portApplyDrop(ProcCtx &ctx, ProcId p, Addr line);
     void portApplyPrefetchShare(ProcCtx &ctx, ProcId p, Addr line);
 

@@ -122,6 +122,8 @@ ProcStats::operator+=(const ProcStats &o)
     prefetchesUseful += o.prefetchesUseful;
     l1Misses += o.l1Misses;
     l2Misses += o.l2Misses;
+    l2CoheTrue += o.l2CoheTrue;
+    l2CoheFalse += o.l2CoheFalse;
     return *this;
 }
 
@@ -147,6 +149,8 @@ ProcStats::operator-=(const ProcStats &o)
     prefetchesUseful -= o.prefetchesUseful;
     l1Misses -= o.l1Misses;
     l2Misses -= o.l2Misses;
+    l2CoheTrue -= o.l2CoheTrue;
+    l2CoheFalse -= o.l2CoheFalse;
     return *this;
 }
 

@@ -94,6 +94,18 @@ struct ProcStats
     MissTable l1Misses; ///< read misses in the primary cache
     MissTable l2Misses; ///< read misses in the secondary cache
 
+    /**
+     * True/false-sharing split of the L2 coherence misses, populated only
+     * when word-granular sharing tracking is enabled
+     * (Machine::enableSharing); both stay zero otherwise. When enabled,
+     * l2CoheTrue + l2CoheFalse equals the Cohe column of l2Misses summed
+     * over classes, by construction. Like hopsByGroup, deliberately absent
+     * from obs::toJson(ProcStats) — exported via the counter registry as
+     * proc*.miss.cohe.{true,false}.
+     */
+    std::uint64_t l2CoheTrue = 0;
+    std::uint64_t l2CoheFalse = 0;
+
     Cycles totalCycles() const { return busy + memStall + syncStall; }
 
     /** PMem of Figs 9/11: stall on private structures. */

@@ -199,6 +199,38 @@ TEST(BenchOptionsDeath, PlacementFlagsOutsideDeclaredSubsetAreFatal)
                 "option '--page-profile' is not supported");
 }
 
+TEST(BenchOptions, MemprofFlagParses)
+{
+    BenchOptions off = parseArgs({});
+    EXPECT_FALSE(off.memprof);
+    EXPECT_EQ(off.memprofTopN, 20u);
+
+    BenchOptions on = parseArgs({"--memprof"});
+    EXPECT_TRUE(on.memprof);
+    EXPECT_EQ(on.memprofTopN, 20u);
+
+    BenchOptions topn = parseArgs({"--memprof=7"});
+    EXPECT_TRUE(topn.memprof);
+    EXPECT_EQ(topn.memprofTopN, 7u);
+}
+
+TEST(BenchOptionsDeath, MalformedMemprofCountIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--memprof=0"}), testing::ExitedWithCode(2),
+                "--memprof=N needs a positive count");
+    EXPECT_EXIT(parseArgs({"--memprof=lots"}), testing::ExitedWithCode(2),
+                "--memprof=N needs a positive count");
+    EXPECT_EXIT(parseArgs({"--memprof="}), testing::ExitedWithCode(2),
+                "--memprof=N needs a positive count");
+}
+
+TEST(BenchOptionsDeath, MemprofOutsideDeclaredSubsetIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--memprof"}, BenchOptions::kEngine),
+                testing::ExitedWithCode(2),
+                "option '--memprof' is not supported");
+}
+
 TEST(BenchOptionsDeath, RobustnessFlagsOutsideDeclaredSubsetAreFatal)
 {
     EXPECT_EXIT(parseArgs({"--check"}, BenchOptions::kEngine),
