@@ -2,7 +2,7 @@
 # Tier-1 check: configure, build, and run the full test suite.
 #
 # Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
-#                         [--placement] [--memprof] [build-dir]
+#                         [--placement] [--memprof] [--stream] [build-dir]
 #
 # --sanitize builds into a separate build directory (build-tsan/,
 # build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
@@ -27,6 +27,13 @@
 # validation of the profile block, the per-processor
 # cohe == cohe.true + cohe.false counter invariant, and bit-identity of
 # the profile across the sequential and parallel engines.
+#
+# --stream runs the query-stream scheduler checks: the sched unit,
+# property, fuzz and golden tests, then throughput_stream at tiny scale
+# under both engines with JSON output, validating the stream report
+# schema and asserting the whole sweep (points, summaries, registry
+# snapshots) is bit-identical between --engine seq and --engine par.
+# The chaos gauntlet also runs these under each sanitizer.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,6 +41,7 @@ sanitize=""
 chaos=0
 placement=0
 memprof=0
+stream=0
 build=""
 
 for arg in "$@"; do
@@ -55,6 +63,9 @@ for arg in "$@"; do
         --memprof)
             memprof=1
             ;;
+        --stream)
+            stream=1
+            ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
             exit 2
@@ -71,6 +82,82 @@ short_of() {
         address) echo asan ;;
         undefined) echo ubsan ;;
     esac
+}
+
+# Query-stream scheduler checks against an existing build dir: the sched
+# unit/property/fuzz/golden tests, then the throughput_stream bench on
+# both engines, validating the JSON schema, the latency algebra of every
+# record, and engine bit-identity of the full sweep.
+stream_checks() {
+    local dir="$1"
+    local filter='Percentile.*:LatencySummary.*:StreamModel.*'
+    filter+=':TraceCacheUnit.*:SchedSim.*:StreamFuzz.*:GoldenStats.Stream*'
+    "$dir/tests/dss_tests" --gtest_filter="$filter"
+
+    local seq_json="$dir/stream_check_seq.json"
+    local par_json="$dir/stream_check_par.json"
+    "$dir/bench/throughput_stream" --scale tiny --stream 8 \
+        --json "$seq_json" > /dev/null
+    "$dir/bench/throughput_stream" --scale tiny --stream 8 --engine par \
+        --json "$par_json" > /dev/null
+
+    python3 - "$seq_json" "$par_json" <<'PYSTREAM'
+import json, sys
+
+seq = json.load(open(sys.argv[1]))
+par = json.load(open(sys.argv[2]))
+
+def fail(msg):
+    sys.stderr.write("check.sh: stream: %s\n" % msg)
+    sys.exit(1)
+
+points = seq.get("points")
+if not isinstance(points, list) or not points:
+    fail("no stream points in %s" % sys.argv[1])
+for pt in points:
+    for key in ("label", "nprocs", "config", "summary", "cache",
+                "records", "registry"):
+        if key not in pt:
+            fail("point %r lacks '%s'" % (pt.get("label"), key))
+    summ = pt["summary"]
+    for key in ("instances", "makespan", "throughput_per_mcycle",
+                "latency", "wait", "service", "by_query"):
+        if key not in summ:
+            fail("%s summary lacks '%s'" % (pt["label"], key))
+    for dist in ("latency", "wait", "service"):
+        for key in ("count", "mean", "p50", "p95", "p99", "max"):
+            if key not in summ[dist]:
+                fail("%s %s lacks '%s'" % (pt["label"], dist, key))
+    if summ["instances"] != len(pt["records"]):
+        fail("%s record count != summary instances" % pt["label"])
+    for rec in pt["records"]:
+        for key in ("id", "query", "param_seed", "proc", "arrival",
+                    "start", "complete", "service", "wait", "latency",
+                    "trace_hash"):
+            if key not in rec:
+                fail("%s record lacks '%s'" % (pt["label"], key))
+        if rec["complete"] != rec["start"] + rec["service"]:
+            fail("%s: complete != start + service" % pt["label"])
+        if rec["latency"] != rec["complete"] - rec["arrival"]:
+            fail("%s: latency != complete - arrival" % pt["label"])
+    reg = pt["registry"]
+    if reg.get("sched.completed") != summ["instances"]:
+        fail("%s: sched.completed counter mismatch" % pt["label"])
+    cache = pt["cache"]
+    if cache["enabled"] and cache["hits"] + cache["misses"] == 0:
+        fail("%s: enabled cache never consulted" % pt["label"])
+
+cv = seq.get("cache_validation")
+if not cv or not cv.get("bit_identical"):
+    fail("cache validation block missing or not bit-identical")
+
+# The whole sweep must be engine-invariant, bit for bit.
+if seq["points"] != par["points"]:
+    fail("stream sweep differs between --engine seq and --engine par")
+
+print("check.sh: stream schema, latency algebra and engine"
+      " bit-identity OK")
+PYSTREAM
 }
 
 # Line-level memory-profiler checks against an existing build dir: unit
@@ -154,18 +241,21 @@ if [[ "$chaos" -eq 1 ]]; then
     filter='FaultDeterminism.*:FaultInjection.*:GracefulFailure.*'
     filter+=':CheckerCorruption.*:CheckerClean.*:Backoff.*:RetryOnAbort.*'
     filter+=':GuardedMain.*:EngineStress.*:EngineDifferential.*'
+    filter+=':SchedSim.*:StreamFuzz.*'
     for san in thread address; do
         dir="$repo/build-$(short_of "$san")"
         cmake -B "$dir" -S "$repo" -DSIM_SANITIZE="$san"
         cmake --build "$dir" -j"$(nproc)" \
             --target dss_tests chaos_fault_sweep ablation_placement \
-            report_memprof
+            report_memprof throughput_stream
         "$dir/tests/dss_tests" --gtest_filter="$filter"
         "$dir/bench/chaos_fault_sweep" --scale tiny
         "$dir/bench/ablation_placement" --scale tiny --check
         # The profiler's replay and the sharing tracker under the
         # sanitizer, plus the schema/invariant/bit-identity checks.
         memprof_checks "$dir"
+        # Stream scheduler differential + schema under the sanitizer.
+        stream_checks "$dir"
     done
     echo "check.sh: chaos gauntlet passed"
 elif [[ "$placement" -eq 1 ]]; then
@@ -209,6 +299,13 @@ elif [[ "$memprof" -eq 1 ]]; then
         --target dss_tests report_memprof
     memprof_checks "$build"
     echo "check.sh: memprof checks passed"
+elif [[ "$stream" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)" \
+        --target dss_tests throughput_stream
+    stream_checks "$build"
+    echo "check.sh: stream checks passed"
 elif [[ -n "$sanitize" ]]; then
     build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"

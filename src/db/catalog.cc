@@ -133,6 +133,19 @@ Catalog::nameOf(RelId id) const
     return "rel" + std::to_string(id);
 }
 
+std::vector<RelId>
+Catalog::allRelIds() const
+{
+    std::vector<RelId> out;
+    out.reserve(tables_.size() + indices_.size());
+    for (const auto &[id, rel] : tables_)
+        out.push_back(id);
+    for (const auto &[id, tree] : indices_)
+        out.push_back(id);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 void
 Catalog::describeRegions(obs::RegionMap &map) const
 {

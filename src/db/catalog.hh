@@ -69,6 +69,14 @@ class Catalog
     std::string nameOf(RelId id) const;
 
     /**
+     * Every lockable relation id — tables and indices — in ascending id
+     * order. The stream workload pre-warms the lock manager's hash with
+     * these so a query instance's probe sequence is independent of
+     * whether an earlier instance touched the relation first.
+     */
+    std::vector<RelId> allRelIds() const;
+
+    /**
      * Register every catalog-managed structure with the memory profiler's
      * symbol map: heap blocks and buffer metadata via the buffer manager,
      * the lock tables, and every B-tree page with its level.

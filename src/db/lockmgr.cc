@@ -183,6 +183,26 @@ LockManager::releaseAll(TracedMemory &mem, Xid xid)
     }
 }
 
+void
+LockManager::sweepXid(TracedMemory &mem, Xid xid)
+{
+    for (std::uint32_t s = 0; s < xidHashSize_; ++s) {
+        auto e_rel = mem.load<std::int32_t>(xidEntry(s) + kXidRel);
+        if (e_rel == -1)
+            continue;
+        auto e_xid = mem.load<std::uint32_t>(xidEntry(s) + kXidXid);
+        if (e_xid != xid)
+            continue;
+        auto cnt = mem.load<std::int32_t>(xidEntry(s) + kXidCount);
+        if (cnt > 0)
+            continue;
+        mem.store<std::int32_t>(xidEntry(s) + kXidRel, -1);
+        mem.store<std::uint32_t>(xidEntry(s) + kXidXid, 0);
+        mem.store<std::int32_t>(xidEntry(s) + kXidCount, 0);
+        mem.store<std::int32_t>(xidEntry(s) + kXidMode, 0);
+    }
+}
+
 std::int32_t
 LockManager::holdersOf(TracedMemory &mem, RelId rel)
 {

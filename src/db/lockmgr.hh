@@ -61,6 +61,18 @@ class LockManager
     /** Release everything @p xid still holds (end of query). */
     void releaseAll(TracedMemory &mem, Xid xid);
 
+    /**
+     * Free the xid-hash entries of @p xid whose grant count has dropped
+     * to zero. unlockRelation leaves the (xid, rel) entry in place with
+     * count 0 — Postgres95 frees the proclock at transaction end, which
+     * the single-shot traces never reach — so back-to-back queries see
+     * probe chains that grow with history and the hash eventually fills.
+     * The stream scheduler calls this between instances through an
+     * *untraced* memory so the cleanup never perturbs captured traces;
+     * entries still holding grants are left alone.
+     */
+    void sweepXid(TracedMemory &mem, Xid xid);
+
     /** The LockMgrLock word (the paper's LockSLock). */
     sim::Addr lockAddr() const { return lock_; }
 

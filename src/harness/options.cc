@@ -55,6 +55,19 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
            << "                   write the per-page access histogram "
               "consumed by\n"
            << "                   --placement profile:<path>\n";
+    if (flags & BenchOptions::kStream)
+        os << "  --stream <n>     query-stream scheduler: number of query\n"
+              "                   instances in the arrival stream\n"
+           << "  --stream-seed <s>\n"
+              "                   seed for the arrival times, query mix "
+              "and\n"
+              "                   per-instance parameters\n"
+           << "  --stream-policy <p>\n"
+              "                   dispatch policy: fifo (default), "
+              "shortest\n"
+           << "  --trace-cache <on|off>\n"
+              "                   reuse captured traces for repeated\n"
+              "                   (query, params) instances (default on)\n";
     if (flags & BenchOptions::kMemprof)
         os << "  --memprof[=N]    line-level memory profiler: hot lines "
               "with\n"
@@ -180,6 +193,36 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
             opts.placement = *spec;
         } else if (arg == "--page-profile" && supported(arg, kPlacement)) {
             opts.pageProfilePath = needValue(i++);
+        } else if (arg == "--stream" && supported(arg, kStream)) {
+            opts.streamInstances =
+                static_cast<unsigned>(positive(i++, "--stream"));
+        } else if (arg == "--stream-seed" && supported(arg, kStream)) {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || v.empty()) {
+                std::cerr << bench_name
+                          << ": --stream-seed needs an integer, got '" << v
+                          << "'\n";
+                std::exit(2);
+            }
+            opts.streamSeed = n;
+        } else if (arg == "--stream-policy" && supported(arg, kStream)) {
+            opts.streamPolicy = needValue(i++);
+            if (opts.streamPolicy != "fifo" &&
+                opts.streamPolicy != "shortest") {
+                std::cerr << bench_name << ": unknown --stream-policy '"
+                          << opts.streamPolicy << "' (fifo, shortest)\n";
+                std::exit(2);
+            }
+        } else if (arg == "--trace-cache" && supported(arg, kStream)) {
+            const std::string v = needValue(i++);
+            if (v != "on" && v != "off") {
+                std::cerr << bench_name << ": --trace-cache needs on|off, "
+                          << "got '" << v << "'\n";
+                std::exit(2);
+            }
+            opts.traceCache = (v == "on");
         } else if (arg == "--memprof" && supported(arg, kMemprof)) {
             opts.memprof = true;
         } else if (arg.rfind("--memprof=", 0) == 0 &&

@@ -25,6 +25,11 @@
  *   --page-profile <path>
  *                    write the per-page access histogram consumed by
  *                    --placement=profile (obs/pageprof.hh)
+ *   --stream <n> / --stream-seed <s> / --stream-policy <fifo|shortest>
+ *                  / --trace-cache <on|off>
+ *                    query-stream scheduler knobs (src/sched/), accepted
+ *                    only by stream-aware benches (the kStream flag bit,
+ *                    deliberately outside kAll)
  *
  * ObsSession owns the wiring: it hands out the sampler/timeline pointers
  * to pass to the runner, collects per-run stats and registry snapshots,
@@ -67,6 +72,13 @@ struct BenchOptions
         kMemprof = 1u << 8, ///< --memprof[=topN]
         kAll = kEngine | kJson | kTrace | kEpoch | kScale | kCheck |
                kFault | kPlacement | kMemprof,
+        /**
+         * --stream / --stream-seed / --stream-policy / --trace-cache.
+         * NOT part of kAll: only stream-aware benches opt in (pass
+         * kAll | kStream), so the 20 single-shot binaries keep rejecting
+         * the stream flags exactly as before.
+         */
+        kStream = 1u << 9,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -82,6 +94,10 @@ struct BenchOptions
     std::string pageProfilePath; ///< --page-profile; empty = no histogram
     bool memprof = false;        ///< --memprof: line-level memory profiler
     unsigned memprofTopN = 20;   ///< --memprof=<topN>: hot-line list size
+    unsigned streamInstances = 0; ///< --stream; 0 = the bench's default
+    std::uint64_t streamSeed = 42; ///< --stream-seed
+    std::string streamPolicy = "fifo"; ///< --stream-policy: fifo, shortest
+    bool traceCache = true;      ///< --trace-cache on|off
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints

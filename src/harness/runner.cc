@@ -26,6 +26,8 @@ snapshotRegistry(const sim::Machine &machine, const RunOptions &opts)
     *opts.registrySnapshot = reg.toJson();
 }
 
+} // namespace
+
 /**
  * One machine run under the retry guard: a FaultPlan may schedule a
  * number of query aborts for this run; each one unwinds as a
@@ -34,15 +36,15 @@ snapshotRegistry(const sim::Machine &machine, const RunOptions &opts)
  * strictly fewer aborts than RetryPolicy::maxAttempts allows).
  */
 sim::SimStats
-runGuarded(sim::Machine &machine,
-           const std::vector<const sim::TraceStream *> &ptrs,
-           const RunOptions &opts)
+runOnMachine(sim::Machine &machine,
+             const std::vector<const sim::TraceStream *> &traces,
+             const RunOptions &opts)
 {
     machine.resetStats(); // per-run home counters (Fig 12 repetitions)
     if (opts.pageProfile)
-        opts.pageProfile->addTraces(ptrs);
+        opts.pageProfile->addTraces(traces);
     if (opts.memProfile)
-        opts.memProfile->addTraces(ptrs);
+        opts.memProfile->addTraces(traces);
     if (opts.faults)
         opts.faults->scheduleQuery();
     return retryOnAbort(
@@ -51,13 +53,11 @@ runGuarded(sim::Machine &machine,
             if (opts.faults && opts.faults->abortScheduled())
                 throw db::QueryAbort(db::QueryAbort::Reason::Injected, 0,
                                      -1, "injected fault: query abort");
-            return machine.run(ptrs, opts.engine, opts.sampler,
+            return machine.run(traces, opts.engine, opts.sampler,
                                opts.timeline);
         },
         opts.faults, opts.log);
 }
-
-} // namespace
 
 sim::SimStats
 runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
@@ -69,7 +69,7 @@ runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
     machine.setPlacement(opts.placement);
     if (opts.memProfile)
         machine.enableSharing(true);
-    sim::SimStats stats = runGuarded(machine, tracePtrs(traces), opts);
+    sim::SimStats stats = runOnMachine(machine, tracePtrs(traces), opts);
     snapshotRegistry(machine, opts);
     return stats;
 }
@@ -88,7 +88,7 @@ runSequence(const sim::MachineConfig &cfg,
     std::vector<sim::SimStats> out;
     out.reserve(sequence.size());
     for (const TraceSet *traces : sequence)
-        out.push_back(runGuarded(machine, tracePtrs(*traces), opts));
+        out.push_back(runOnMachine(machine, tracePtrs(*traces), opts));
     snapshotRegistry(machine, opts);
     return out;
 }

@@ -66,6 +66,20 @@ struct RunOptions
 sim::SimStats runCold(const sim::MachineConfig &cfg, const TraceSet &traces,
                       const RunOptions &opts);
 
+/**
+ * One guarded run on a caller-owned machine: reset the per-run lifetime
+ * stats, feed the page/memory profilers, schedule and retry
+ * FaultPlan-injected aborts, and replay @p traces with opts.engine. This
+ * is the primitive runCold/runSequence chain per trace set — exposed so
+ * the stream scheduler (src/sched/) can drive many back-to-back query
+ * instances on one warm machine it wires up itself (setChecker,
+ * setFaultPlan, setPlacement are the caller's responsibility; they are
+ * per-machine, not per-run).
+ */
+sim::SimStats runOnMachine(sim::Machine &machine,
+                           const std::vector<const sim::TraceStream *> &traces,
+                           const RunOptions &opts);
+
 /** Warm-chained sequence (Fig 12), fully wired via @p opts. */
 std::vector<sim::SimStats>
 runSequence(const sim::MachineConfig &cfg,

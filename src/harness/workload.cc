@@ -47,6 +47,40 @@ Workload::traceOne(tpcd::QueryId q, sim::ProcId proc,
                      nextXid_++, /*relock_on_rescan=*/true);
 }
 
+void
+Workload::primeStreamMetadata()
+{
+    if (streamPrimed_)
+        return;
+    sim::NullSink sink;
+    db::TracedMemory mem(db_->space(), 0, sink);
+    db::LockManager &lm = db_->catalog().lockmgr();
+    const db::Xid warm = kStreamXidBase - 1;
+    for (db::RelId rel : db_->catalog().allRelIds()) {
+        lm.lockRelation(mem, warm, rel, db::LockMode::Read);
+        lm.unlockRelation(mem, warm, rel);
+    }
+    lm.sweepXid(mem, warm);
+    streamPrimed_ = true;
+}
+
+sim::TraceStream
+Workload::streamTrace(tpcd::QueryId q, std::uint64_t param_seed,
+                      sim::ProcId proc)
+{
+    primeStreamMetadata();
+    const db::Xid xid = kStreamXidBase + proc;
+    sim::TraceStream stream =
+        tracePlan(*db_, tpcd::buildQuery(*db_, q, param_seed), proc, xid,
+                  /*relock_on_rescan=*/true);
+    // Drop the xid-hash residue untraced: the next capture (any proc,
+    // any query) starts from the same metadata state this one did.
+    sim::NullSink sink;
+    db::TracedMemory clean(db_->space(), proc, sink);
+    db_->catalog().lockmgr().sweepXid(clean, xid);
+    return stream;
+}
+
 TraceSet
 Workload::trace(tpcd::QueryId q, std::uint64_t param_seed)
 {

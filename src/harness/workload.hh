@@ -72,6 +72,44 @@ class Workload
     sim::TraceStream traceOne(tpcd::QueryId q, sim::ProcId proc,
                               std::uint64_t param_seed);
 
+    /**
+     * Transaction ids used by stream captures: instance on processor p
+     * always runs as kStreamXidBase + p, so the xid-hash probe sequence
+     * is a function of the processor slot, never of stream position.
+     */
+    static constexpr db::Xid kStreamXidBase = 0x5D00;
+
+    /**
+     * Capture one *stream instance*: query @p q with parameters from
+     * @p param_seed, on processor slot @p proc. Unlike trace()/traceOne(),
+     * the capture is a pure function of (q, param_seed, proc) — the same
+     * arguments always produce a byte-identical stream, no matter what
+     * ran before:
+     *
+     *  - the transaction id is canonical (kStreamXidBase + proc), not a
+     *    live counter;
+     *  - the lock hash is pre-warmed once (primeStreamMetadata) so no
+     *    capture ever sees a first-touch insert another didn't;
+     *  - the xid-hash entries the instance leaves behind are swept
+     *    untraced afterwards, so probe chains never grow with history.
+     *
+     * This purity is what makes the sched::TraceCache sound: a cached
+     * stream replays bit-identically to a fresh capture.
+     */
+    sim::TraceStream streamTrace(tpcd::QueryId q, std::uint64_t param_seed,
+                                 sim::ProcId proc);
+
+    /**
+     * Pre-warm the lock manager's metadata for stream captures: insert
+     * every catalog relation into the lock hash (untraced) so the first
+     * instance to lock a relation probes exactly like every later one.
+     * Idempotent; streamTrace calls it lazily. Note that priming mutates
+     * shared DB state: legacy trace() captures taken *after* priming see
+     * a warm lock hash (one fewer store per first-touched relation), so
+     * golden-pinned workloads should not mix the two capture paths.
+     */
+    void primeStreamMetadata();
+
     /** Builds the plan processor @p proc should run. */
     using PlanBuilder =
         std::function<db::NodePtr(tpcd::TpcdDb &, sim::ProcId proc)>;
@@ -94,6 +132,7 @@ class Workload
     unsigned nprocs_;
     std::unique_ptr<tpcd::TpcdDb> db_;
     db::Xid nextXid_ = 100;
+    bool streamPrimed_ = false;
 };
 
 } // namespace harness

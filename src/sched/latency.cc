@@ -1,0 +1,80 @@
+#include "sched/latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dss {
+namespace sched {
+
+namespace {
+
+std::vector<double>
+finiteSorted(const std::vector<double> &values)
+{
+    std::vector<double> v;
+    v.reserve(values.size());
+    for (double x : values)
+        if (std::isfinite(x))
+            v.push_back(x);
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+double
+percentileOfSorted(const std::vector<double> &v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+} // namespace
+
+double
+percentile(const std::vector<double> &values, double p)
+{
+    return percentileOfSorted(finiteSorted(values), p);
+}
+
+LatencySummary
+summarize(const std::vector<double> &values)
+{
+    const std::vector<double> v = finiteSorted(values);
+    LatencySummary s;
+    if (v.empty())
+        return s;
+    s.count = v.size();
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    s.mean = sum / static_cast<double>(v.size());
+    s.p50 = percentileOfSorted(v, 50.0);
+    s.p95 = percentileOfSorted(v, 95.0);
+    s.p99 = percentileOfSorted(v, 99.0);
+    s.max = v.back();
+    return s;
+}
+
+obs::Json
+toJson(const LatencySummary &s)
+{
+    obs::Json j = obs::Json::object();
+    j["count"] = obs::Json(static_cast<std::uint64_t>(s.count));
+    j["mean"] = obs::Json(s.mean);
+    j["p50"] = obs::Json(s.p50);
+    j["p95"] = obs::Json(s.p95);
+    j["p99"] = obs::Json(s.p99);
+    j["max"] = obs::Json(s.max);
+    return j;
+}
+
+} // namespace sched
+} // namespace dss

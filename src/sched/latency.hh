@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tail-latency accounting for query streams: percentile math and summary
+ * statistics over per-instance latency records.
+ *
+ * The math is deliberately tiny and exactly specified so the stream
+ * goldens can pin it: percentile() sorts a copy and linearly interpolates
+ * between the two closest ranks (the "linear" / R-7 definition), after
+ * discarding non-finite inputs. Everything here is pure host-side
+ * arithmetic — no simulator state — so the unit tests can check it
+ * exactly on small vectors.
+ */
+
+#ifndef DSS_SCHED_LATENCY_HH
+#define DSS_SCHED_LATENCY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace dss {
+namespace sched {
+
+/**
+ * The @p p-th percentile (0..100) of @p values, by linear interpolation
+ * between closest ranks on the sorted finite values (R-7: rank =
+ * p/100 * (n-1)). Non-finite values (NaN, +-inf) are discarded first;
+ * @p p is clamped to [0, 100]. Returns 0.0 when no finite value remains,
+ * so JSON reports never contain NaN.
+ */
+double percentile(const std::vector<double> &values, double p);
+
+/** Five-number summary of a latency vector (finite values only). */
+struct LatencySummary
+{
+    std::size_t count = 0; ///< finite samples summarized
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Summarize @p values; all-zero summary for an empty/all-NaN input. */
+LatencySummary summarize(const std::vector<double> &values);
+
+/** {count, mean, p50, p95, p99, max} as a JSON object. */
+obs::Json toJson(const LatencySummary &s);
+
+} // namespace sched
+} // namespace dss
+
+#endif // DSS_SCHED_LATENCY_HH

@@ -1,0 +1,161 @@
+#include "sched/stream.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dss {
+namespace sched {
+
+std::optional<Policy>
+parsePolicy(const std::string &name)
+{
+    if (name == "fifo")
+        return Policy::Fifo;
+    if (name == "shortest")
+        return Policy::ShortestClass;
+    return std::nullopt;
+}
+
+std::string
+policyName(Policy p)
+{
+    return p == Policy::Fifo ? "fifo" : "shortest";
+}
+
+std::string
+arrivalModeName(ArrivalMode m)
+{
+    return m == ArrivalMode::Closed ? "closed" : "open";
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+/** Uniform double in (0, 1]: never 0, so log() below is always finite. */
+double
+unitOpen(std::uint64_t bits)
+{
+    return (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+}
+
+tpcd::QueryId
+drawFromMix(const std::vector<MixEntry> &mix, std::uint64_t bits)
+{
+    std::uint64_t total = 0;
+    for (const MixEntry &m : mix)
+        total += m.weight;
+    if (total == 0)
+        throw std::invalid_argument("stream mix has zero total weight");
+    std::uint64_t pick = bits % total;
+    for (const MixEntry &m : mix) {
+        if (pick < m.weight)
+            return m.query;
+        pick -= m.weight;
+    }
+    return mix.back().query; // unreachable
+}
+
+} // namespace
+
+std::vector<QueryInstance>
+makeInstances(const StreamConfig &cfg)
+{
+    if (cfg.mode == ArrivalMode::Closed && cfg.clients == 0)
+        throw std::invalid_argument("closed-loop stream needs >= 1 client");
+    std::vector<QueryInstance> out;
+    out.reserve(cfg.instances);
+    std::uint64_t state = cfg.seed ^ 0x5DC4ED11ull;
+    sim::Cycles clock = 0;
+    for (unsigned i = 0; i < cfg.instances; ++i) {
+        QueryInstance q;
+        q.id = i;
+        q.query = drawFromMix(cfg.mix, splitmix64(state));
+        // Substitution parameters drawn from the (small) variant pool —
+        // a pure function of (seed, i), so equal draws repeat exactly
+        // and the trace cache can serve them.
+        q.paramSeed =
+            (cfg.seed << 8) +
+            (cfg.paramVariants ? splitmix64(state) % cfg.paramVariants
+                               : i);
+        if (cfg.mode == ArrivalMode::Closed) {
+            q.client = i % cfg.clients;
+            q.arrival = 0; // filled by the scheduler from the predecessor
+        } else {
+            const double u = unitOpen(splitmix64(state));
+            const double mean =
+                static_cast<double>(cfg.meanInterarrival);
+            sim::Cycles gap =
+                static_cast<sim::Cycles>(std::floor(-mean * std::log(u)));
+            if (gap < 1)
+                gap = 1;
+            clock += gap;
+            q.arrival = clock;
+        }
+        out.push_back(q);
+    }
+    return out;
+}
+
+unsigned
+serviceRank(tpcd::QueryId q)
+{
+    // The three traced queries rank by their golden baseline solo
+    // execution times: Q6 (~1.0 Mcycles) < Q3 (~1.1) < Q12 (~2.0).
+    switch (q) {
+    case tpcd::QueryId::Q6:
+        return 0;
+    case tpcd::QueryId::Q3:
+        return 1;
+    case tpcd::QueryId::Q12:
+        return 2;
+    default:
+        break;
+    }
+    // Everything else ranks behind the calibrated three, by taxonomy:
+    // Sequential scans finish faster than Index plans, Mixed are longest.
+    switch (tpcd::queryClassOf(q)) {
+    case tpcd::QueryClass::Sequential:
+        return 3;
+    case tpcd::QueryClass::Index:
+        return 4;
+    case tpcd::QueryClass::Mixed:
+    default:
+        return 5;
+    }
+}
+
+obs::Json
+toJson(const StreamConfig &cfg)
+{
+    obs::Json j = obs::Json::object();
+    j["instances"] = obs::Json(cfg.instances);
+    j["seed"] = obs::Json(cfg.seed);
+    j["mode"] = obs::Json(arrivalModeName(cfg.mode));
+    if (cfg.mode == ArrivalMode::Closed)
+        j["clients"] = obs::Json(cfg.clients);
+    else
+        j["mean_interarrival"] = obs::Json(cfg.meanInterarrival);
+    j["policy"] = obs::Json(policyName(cfg.policy));
+    obs::Json mix = obs::Json::array();
+    for (const MixEntry &m : cfg.mix) {
+        obs::Json e = obs::Json::object();
+        e["query"] = obs::Json(tpcd::queryName(m.query));
+        e["weight"] = obs::Json(m.weight);
+        mix.push(std::move(e));
+    }
+    j["mix"] = std::move(mix);
+    j["param_variants"] = obs::Json(cfg.paramVariants);
+    j["cold_cache"] = obs::Json(cfg.coldCache);
+    return j;
+}
+
+} // namespace sched
+} // namespace dss

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Query-stream model: the configuration of a multi-query stream (arrival
+ * discipline, dispatch policy, query mix) and the deterministic
+ * generation of its instances.
+ *
+ * A stream is a seeded sequence of Q3/Q6/Q12-style query instances
+ * admitted onto the simulated machine's processors. Two arrival
+ * disciplines:
+ *
+ *  - closed-loop: a fixed population of clients, each submitting its
+ *    next query the moment its previous one completes (the TPC-D
+ *    throughput-test shape). Arrival times are *derived* during
+ *    scheduling, not drawn.
+ *  - open-loop: instance arrivals are drawn up front from a seeded
+ *    exponential inter-arrival distribution (offered load independent
+ *    of completion times).
+ *
+ * Everything is generated with a SplitMix64-style integer generator keyed
+ * only on (seed, instance id), so the instance list is a pure function of
+ * the configuration — the foundation of the scheduler's determinism
+ * argument (DESIGN.md §15).
+ */
+
+#ifndef DSS_SCHED_STREAM_HH
+#define DSS_SCHED_STREAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "sim/addr.hh"
+#include "tpcd/queries.hh"
+
+namespace dss {
+namespace sched {
+
+enum class ArrivalMode { Closed, Open };
+
+/** Dispatch order among queued (arrived, not yet started) instances. */
+enum class Policy {
+    Fifo,          ///< by (arrival, id)
+    ShortestClass, ///< by (service rank of query class, arrival, id)
+};
+
+/** Parse "fifo" / "shortest"; nullopt on anything else. */
+std::optional<Policy> parsePolicy(const std::string &name);
+std::string policyName(Policy p);
+std::string arrivalModeName(ArrivalMode m);
+
+/** One entry of the query mix: a query drawn with integer weight. */
+struct MixEntry
+{
+    tpcd::QueryId query;
+    unsigned weight = 1;
+};
+
+struct StreamConfig
+{
+    unsigned instances = 8;   ///< total query instances in the stream
+    std::uint64_t seed = 42;  ///< arrival + mix + parameter seed
+    ArrivalMode mode = ArrivalMode::Closed;
+    /** Closed-loop: concurrent clients (instance i belongs to client
+     * i % clients; a client's next instance arrives when its previous
+     * one completes). */
+    unsigned clients = 4;
+    /** Open-loop: mean exponential inter-arrival gap, simulated cycles. */
+    sim::Cycles meanInterarrival = 500000;
+    Policy policy = Policy::Fifo;
+    /** Weighted query mix; defaults to Q3:Q6:Q12 = 1:1:1 (the three
+     * queries the paper traces). */
+    std::vector<MixEntry> mix = {{tpcd::QueryId::Q3, 1},
+                                 {tpcd::QueryId::Q6, 1},
+                                 {tpcd::QueryId::Q12, 1}};
+    /**
+     * Distinct TPC-D substitution-parameter seeds the stream draws from
+     * (the spec's substitution values come from small pools, so real
+     * streams repeat parameter combinations — that is what gives the
+     * TraceCache its hits). 0 = every instance gets a unique seed
+     * (forces all-miss; purity/regression tests).
+     */
+    unsigned paramVariants = 2;
+    /** Flush machine memory state before every instance (isolates
+     * queueing effects from cache warmth; regression tests). */
+    bool coldCache = false;
+};
+
+/** One query instance of a stream. */
+struct QueryInstance
+{
+    unsigned id = 0;    ///< position in generation order
+    tpcd::QueryId query = tpcd::QueryId::Q6;
+    std::uint64_t paramSeed = 0; ///< TPC-D substitution parameter seed
+    unsigned client = 0;         ///< closed-loop submitting client
+    /** Open-loop: drawn arrival cycle. Closed-loop: 0 for each client's
+     * first instance; later instances are filled in by the scheduler
+     * with the predecessor's completion time. */
+    sim::Cycles arrival = 0;
+};
+
+/** SplitMix64 step: deterministic, platform-independent. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * Generate the instance list of @p cfg: queries drawn from the weighted
+ * mix, parameter seeds derived per instance, open-loop arrivals drawn
+ * from the exponential inter-arrival distribution. Pure function of the
+ * configuration.
+ */
+std::vector<QueryInstance> makeInstances(const StreamConfig &cfg);
+
+/**
+ * Static service rank of a query for the ShortestClass policy, from the
+ * golden baseline solo execution times (Q6 < Q3 < Q12; other queries
+ * rank by their paper taxonomy class: Sequential < Index < Mixed).
+ */
+unsigned serviceRank(tpcd::QueryId q);
+
+/** The configuration as a JSON object (stream reports, goldens). */
+obs::Json toJson(const StreamConfig &cfg);
+
+} // namespace sched
+} // namespace dss
+
+#endif // DSS_SCHED_STREAM_HH

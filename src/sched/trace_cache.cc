@@ -1,0 +1,85 @@
+#include "sched/trace_cache.hh"
+
+#include <utility>
+
+#include "obs/registry.hh"
+
+namespace dss {
+namespace sched {
+
+const sim::TraceStream &
+TraceCache::fetch(const Key &key, const Capture &capture)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    sim::TraceStream stream = capture();
+    stats_.traceEntries += stream.entries().size();
+    ++stats_.entries;
+    return entries_.emplace(key, std::move(stream)).first->second;
+}
+
+const sim::TraceStream *
+TraceCache::lookup(const Key &key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+TraceCache::contentHashOf(const Key &key) const
+{
+    const sim::TraceStream *s = lookup(key);
+    return s ? s->contentHash() : 0;
+}
+
+void
+TraceCache::clear()
+{
+    entries_.clear();
+    stats_.entries = 0;
+    stats_.traceEntries = 0;
+}
+
+void
+TraceCache::registerStats(obs::Registry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(obs::metricName(prefix, "hits"),
+                   [this] { return stats_.hits; });
+    reg.addCounter(obs::metricName(prefix, "misses"),
+                   [this] { return stats_.misses; });
+    reg.addCounter(obs::metricName(prefix, "entries"),
+                   [this] { return stats_.entries; });
+    reg.addCounter(obs::metricName(prefix, "trace_entries"),
+                   [this] { return stats_.traceEntries; });
+}
+
+obs::Json
+TraceCache::toJson() const
+{
+    obs::Json j = obs::Json::object();
+    j["hits"] = obs::Json(stats_.hits);
+    j["misses"] = obs::Json(stats_.misses);
+    j["entries"] = obs::Json(stats_.entries);
+    j["trace_entries"] = obs::Json(stats_.traceEntries);
+    obs::Json arr = obs::Json::array();
+    for (const auto &kv : entries_) {
+        obs::Json e = obs::Json::object();
+        e["query"] = obs::Json(tpcd::queryName(kv.first.query));
+        e["param_seed"] = obs::Json(kv.first.paramSeed);
+        e["proc"] = obs::Json(static_cast<unsigned>(kv.first.proc));
+        e["entries"] = obs::Json(
+            static_cast<std::uint64_t>(kv.second.entries().size()));
+        e["hash"] = obs::Json(kv.second.contentHash());
+        arr.push(std::move(e));
+    }
+    j["stored"] = std::move(arr);
+    return j;
+}
+
+} // namespace sched
+} // namespace dss

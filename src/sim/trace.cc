@@ -30,5 +30,26 @@ TraceStream::counts() const
     return c;
 }
 
+std::uint64_t
+TraceStream::contentHash() const
+{
+    // FNV-1a over the entry fields (not the raw struct bytes: the 16-byte
+    // layout has one padding byte whose value is unspecified).
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const TraceEntry &e : entries_) {
+        mix(e.addr);
+        mix((static_cast<std::uint64_t>(e.extra) << 24) |
+            (static_cast<std::uint64_t>(e.op) << 16) |
+            (static_cast<std::uint64_t>(e.cls) << 8) | e.size);
+    }
+    return h;
+}
+
 } // namespace sim
 } // namespace dss

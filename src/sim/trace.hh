@@ -131,6 +131,14 @@ class TraceStream final : public TraceSink
 
     Counts counts() const;
 
+    /**
+     * FNV-1a hash over every entry's fields, in order. Two streams hash
+     * equal iff they replay identically, so the trace cache can verify
+     * that a cached stream is byte-equivalent to a fresh capture without
+     * storing both (content addressing).
+     */
+    std::uint64_t contentHash() const;
+
   private:
     std::vector<TraceEntry> entries_;
 };

@@ -22,6 +22,7 @@
 #include "harness/runner.hh"
 #include "harness/workload.hh"
 #include "obs/stats_json.hh"
+#include "sched/scheduler.hh"
 #include "tpcd/queries.hh"
 
 #ifndef DSS_GOLDEN_DIR
@@ -101,6 +102,63 @@ TEST(GoldenStats, Q12Par)
 {
     checkGolden(tpcd::QueryId::Q12, sim::EngineConfig::par(),
                 "q12_par.json");
+}
+
+/**
+ * Stream golden: a pinned open-loop stream (8 instances, seed 42, FIFO,
+ * trace cache on) through the scheduler, full per-instance statistics
+ * included. The stream report is deliberately engine-free and stream
+ * results are engine-invariant, so stream_seq.json and stream_par.json
+ * are expected to be byte-identical files — checking in both documents
+ * that property and catches either engine drifting alone.
+ */
+void
+checkStreamGolden(const sim::EngineConfig &engine,
+                  const std::string &fixture)
+{
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 4);
+    sched::StreamConfig scfg;
+    scfg.instances = 8;
+    scfg.seed = 42;
+    scfg.mode = sched::ArrivalMode::Open;
+    scfg.meanInterarrival = 500000;
+    scfg.policy = sched::Policy::Fifo;
+    scfg.paramVariants = 2;
+
+    harness::RunOptions opts;
+    opts.engine = engine;
+    sched::TraceCache cache;
+    sched::StreamScheduler sched(wl, sim::MachineConfig::baseline(), scfg,
+                                 opts, &cache);
+    const std::string actual = toJson(sched.run(), true).dump(2) + "\n";
+
+    const std::string path = goldenPath(fixture);
+    if (std::getenv("DSS_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing fixture " << path
+                    << " (run scripts/regen_golden.sh)";
+    std::ostringstream want;
+    want << is.rdbuf();
+    EXPECT_EQ(want.str(), actual)
+        << "stream stats (" << sim::engineKindName(engine.kind)
+        << " engine) diverged from " << path
+        << "; if intended, regenerate with scripts/regen_golden.sh";
+}
+
+TEST(GoldenStats, StreamSeq)
+{
+    checkStreamGolden(sim::EngineConfig::seq(), "stream_seq.json");
+}
+
+TEST(GoldenStats, StreamPar)
+{
+    checkStreamGolden(sim::EngineConfig::par(), "stream_par.json");
 }
 
 } // namespace

@@ -241,4 +241,51 @@ TEST(BenchOptionsDeath, RobustnessFlagsOutsideDeclaredSubsetAreFatal)
                 "option '--fault-rate' is not supported");
 }
 
+TEST(BenchOptions, StreamFlagsParse)
+{
+    BenchOptions o = parseArgs(
+        {"--stream", "24", "--stream-seed", "7", "--stream-policy",
+         "shortest", "--trace-cache", "off"},
+        BenchOptions::kAll | BenchOptions::kStream);
+    EXPECT_EQ(o.streamInstances, 24u);
+    EXPECT_EQ(o.streamSeed, 7u);
+    EXPECT_EQ(o.streamPolicy, "shortest");
+    EXPECT_FALSE(o.traceCache);
+}
+
+TEST(BenchOptions, StreamFlagsDefault)
+{
+    BenchOptions o = parseArgs({}, BenchOptions::kAll | BenchOptions::kStream);
+    EXPECT_EQ(o.streamInstances, 0u) << "0 = the bench's own default";
+    EXPECT_EQ(o.streamSeed, 42u);
+    EXPECT_EQ(o.streamPolicy, "fifo");
+    EXPECT_TRUE(o.traceCache);
+}
+
+TEST(BenchOptionsDeath, MalformedStreamFlagsAreFatal)
+{
+    const unsigned f = BenchOptions::kAll | BenchOptions::kStream;
+    EXPECT_EXIT(parseArgs({"--stream", "0"}, f), testing::ExitedWithCode(2),
+                "--stream");
+    EXPECT_EXIT(parseArgs({"--stream-seed", "9x"}, f),
+                testing::ExitedWithCode(2),
+                "--stream-seed needs an integer");
+    EXPECT_EXIT(parseArgs({"--stream-policy", "sjf"}, f),
+                testing::ExitedWithCode(2),
+                "unknown --stream-policy 'sjf'");
+    EXPECT_EXIT(parseArgs({"--trace-cache", "maybe"}, f),
+                testing::ExitedWithCode(2), "--trace-cache needs on|off");
+}
+
+TEST(BenchOptionsDeath, StreamFlagsOutsideKAllAreFatal)
+{
+    // kStream is deliberately NOT part of kAll: the single-shot figure
+    // binaries must keep rejecting the stream flags.
+    EXPECT_EXIT(parseArgs({"--stream", "8"}), testing::ExitedWithCode(2),
+                "option '--stream' is not supported");
+    EXPECT_EXIT(parseArgs({"--trace-cache", "on"}),
+                testing::ExitedWithCode(2),
+                "option '--trace-cache' is not supported");
+}
+
 } // namespace
