@@ -17,7 +17,9 @@
  *     reporting the host wall-clock speedup the cache buys.
  *
  * Stream knobs: --stream <n>, --stream-seed <s>,
- * --stream-policy <fifo|shortest>, --trace-cache <on|off>.
+ * --stream-policy <fifo|shortest>, --trace-cache <on|off|N>.
+ * Resilience knobs (src/sched/resilience.hh): --deadline <cycles>,
+ * --queue-cap <n>, --shed <newest|class|deadline>, --breaker <p>.
  */
 
 #include <chrono>
@@ -40,10 +42,11 @@ struct TimedRun
 TimedRun
 runStream(harness::Workload &wl, const sim::MachineConfig &cfg,
           const sched::StreamConfig &scfg, harness::RunOptions ro,
-          sched::TraceCache *cache)
+          sched::TraceCache *cache,
+          const sched::ResilienceConfig &res = sched::ResilienceConfig())
 {
     const auto t0 = std::chrono::steady_clock::now();
-    sched::StreamScheduler sched(wl, cfg, scfg, ro, cache);
+    sched::StreamScheduler sched(wl, cfg, scfg, ro, cache, res);
     TimedRun out;
     out.result = sched.run();
     out.hostSeconds =
@@ -71,7 +74,8 @@ benchMain(int argc, char **argv)
 {
     harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "throughput_stream",
-        harness::BenchOptions::kAll | harness::BenchOptions::kStream);
+        harness::BenchOptions::kAll | harness::BenchOptions::kStream |
+            harness::BenchOptions::kResilience);
     harness::ObsSession session("throughput_stream", opts);
 
     const unsigned instances =
@@ -93,13 +97,24 @@ benchMain(int argc, char **argv)
 
     // One shared cache across every sweep point: captures are pure, so
     // entries are valid wherever the key recurs.
-    sched::TraceCache cache;
+    sched::TraceCache cache(opts.traceCacheCapacity);
     sched::TraceCache *cachep = opts.traceCache ? &cache : nullptr;
 
     sched::StreamConfig base;
     base.instances = instances;
     base.seed = opts.streamSeed;
     base.policy = *policy;
+
+    // Resilience knobs pass straight through; with none given, res stays
+    // disabled and the stream reports are byte-identical to a build
+    // without the resilience layer.
+    sched::ResilienceConfig res;
+    res.deadline = opts.deadlineCycles;
+    if (opts.queueCapacity != ~std::uint64_t{0})
+        res.queueCapacity = static_cast<unsigned>(opts.queueCapacity);
+    if (auto sp = sched::parseShedPolicy(opts.shedPolicy))
+        res.shed = *sp;
+    res.breakerThreshold = opts.breakerThreshold;
 
     obs::Json &figure = session.extra();
 
@@ -131,7 +146,7 @@ benchMain(int argc, char **argv)
         ro.placement = pol.get();
         obs::Json registry;
         ro.registrySnapshot = session.wantJson() ? &registry : nullptr;
-        TimedRun tr = runStream(wl, cfg, scfg, ro, c);
+        TimedRun tr = runStream(wl, cfg, scfg, ro, c, res);
         printPoint(label, tr.result);
         if (session.wantJson()) {
             obs::Json point = toJson(tr.result, /*include_run_stats=*/false);
@@ -181,14 +196,14 @@ benchMain(int argc, char **argv)
         opts, sim::MachineConfig::baseline(), &wl.db().space());
     vro.placement = vpol.get();
     TimedRun uncached = runStream(wl, sim::MachineConfig::baseline(), vcfg,
-                                  vro, nullptr);
+                                  vro, nullptr, res);
     // Warm the cache with one pass, then measure the all-hit pass — the
     // repeated-stream scenario the cache exists for. Each pass gets a
     // fresh machine, so the warm pass cannot influence the measured one.
-    sched::TraceCache vcache;
-    runStream(wl, sim::MachineConfig::baseline(), vcfg, vro, &vcache);
+    sched::TraceCache vcache(opts.traceCacheCapacity);
+    runStream(wl, sim::MachineConfig::baseline(), vcfg, vro, &vcache, res);
     TimedRun cached = runStream(wl, sim::MachineConfig::baseline(), vcfg,
-                                vro, &vcache);
+                                vro, &vcache, res);
     const std::string ju = toJson(uncached.result, true)["records"].dump();
     const std::string jc = toJson(cached.result, true)["records"].dump();
     if (ju != jc) {

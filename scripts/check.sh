@@ -2,7 +2,8 @@
 # Tier-1 check: configure, build, and run the full test suite.
 #
 # Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
-#                         [--placement] [--memprof] [--stream] [build-dir]
+#                         [--placement] [--memprof] [--stream]
+#                         [--resilience] [build-dir]
 #
 # --sanitize builds into a separate build directory (build-tsan/,
 # build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
@@ -34,6 +35,13 @@
 # schema and asserting the whole sweep (points, summaries, registry
 # snapshots) is bit-identical between --engine seq and --engine par.
 # The chaos gauntlet also runs these under each sanitizer.
+#
+# --resilience runs the stream-resilience checks: the resilience unit,
+# breaker, outage-table, scheduler and golden tests, then the
+# resilience_sweep bench at tiny scale with JSON output, validating the
+# SLO accounting schema, outcome conservation at every swept point,
+# engine bit-identity, and breaker trip + recovery in the failure-window
+# scenario. The chaos gauntlet also runs these under each sanitizer.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,6 +50,7 @@ chaos=0
 placement=0
 memprof=0
 stream=0
+resilience=0
 build=""
 
 for arg in "$@"; do
@@ -65,6 +74,9 @@ for arg in "$@"; do
             ;;
         --stream)
             stream=1
+            ;;
+        --resilience)
+            resilience=1
             ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
@@ -160,6 +172,82 @@ print("check.sh: stream schema, latency algebra and engine"
 PYSTREAM
 }
 
+# Stream-resilience checks against an existing build dir: the resilience
+# unit/property/scheduler/golden tests, then the resilience_sweep bench
+# (whose own per-point invariants — bounded queues, conservation,
+# breaker recovery, engine bit-identity — make its exit code a verdict),
+# validating the JSON SLO schema and the failure-window scenario.
+resilience_checks() {
+    local dir="$1"
+    local filter='ShedPolicyModel.*:ResilienceConfigModel.*'
+    filter+=':ShedVictimModel.*:CircuitBreakerModel.*:OutageTableModel.*'
+    filter+=':ResilienceSim.*:GoldenStats.StreamResilience*'
+    "$dir/tests/dss_tests" --gtest_filter="$filter"
+
+    local out_json="$dir/resilience_check.json"
+    "$dir/bench/resilience_sweep" --scale tiny --json "$out_json" \
+        > /dev/null
+
+    python3 - "$out_json" <<'PYRES'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+
+def fail(msg):
+    sys.stderr.write("check.sh: resilience: %s\n" % msg)
+    sys.exit(1)
+
+points = doc.get("points")
+if not isinstance(points, list) or not points:
+    fail("no sweep points in %s" % sys.argv[1])
+slo_keys = ("submitted", "goodput", "timeouts", "shed_queue",
+            "shed_breaker", "shed_expired", "abandoned", "migrations")
+for pt in points:
+    label = pt.get("label")
+    if not pt.get("bit_identical"):
+        fail("%s not bit-identical between engines" % label)
+    res = pt.get("resilience")
+    if not isinstance(res, dict):
+        fail("%s lacks a resilience block" % label)
+    for key in ("config", "slo", "latency", "breaker", "outages",
+                "degraded_cycles"):
+        if key not in res:
+            fail("%s resilience block lacks '%s'" % (label, key))
+    total = res["slo"]["total"]
+    for key in slo_keys:
+        if key not in total:
+            fail("%s slo total lacks '%s'" % (label, key))
+    resolved = (total["goodput"] + total["timeouts"] +
+                total["shed_queue"] + total["shed_breaker"] +
+                total["shed_expired"] + total["abandoned"])
+    if resolved != total["submitted"]:
+        fail("%s outcomes (%d) do not sum to submitted (%d)"
+             % (label, resolved, total["submitted"]))
+    if total["goodput"] == 0:
+        fail("%s goodput collapsed to zero" % label)
+    by_class = res["slo"]["by_class"]
+    if sum(c["submitted"] for c in by_class.values()) != total["submitted"]:
+        fail("%s per-class submitted does not sum to total" % label)
+    if pt["rate"] == 0 and res["outages"]:
+        fail("%s reports outages at fault rate 0" % label)
+    if pt["rate"] == 0 and res["degraded_cycles"] != 0:
+        fail("%s reports degraded cycles at fault rate 0" % label)
+
+bl = doc.get("breaker_lifecycle")
+if not isinstance(bl, dict):
+    fail("no breaker_lifecycle scenario block")
+br = bl["resilience"]["breaker"]
+if br["trips"] == 0 or br["recoveries"] == 0:
+    fail("breaker scenario: trips=%d recoveries=%d — the life cycle was"
+         " not exercised" % (br["trips"], br["recoveries"]))
+if not bl["resilience"]["outages"]:
+    fail("breaker scenario saw no outages")
+
+print("check.sh: resilience SLO schema, conservation, breaker life"
+      " cycle and engine bit-identity OK")
+PYRES
+}
+
 # Line-level memory-profiler checks against an existing build dir: unit
 # tests, then report_memprof over Q3/Q6/Q12 with --memprof on both
 # engines, validating the JSON profile schema, the per-processor
@@ -247,7 +335,7 @@ if [[ "$chaos" -eq 1 ]]; then
         cmake -B "$dir" -S "$repo" -DSIM_SANITIZE="$san"
         cmake --build "$dir" -j"$(nproc)" \
             --target dss_tests chaos_fault_sweep ablation_placement \
-            report_memprof throughput_stream
+            report_memprof throughput_stream resilience_sweep
         "$dir/tests/dss_tests" --gtest_filter="$filter"
         "$dir/bench/chaos_fault_sweep" --scale tiny
         "$dir/bench/ablation_placement" --scale tiny --check
@@ -256,6 +344,9 @@ if [[ "$chaos" -eq 1 ]]; then
         memprof_checks "$dir"
         # Stream scheduler differential + schema under the sanitizer.
         stream_checks "$dir"
+        # Deadlines, shedding, breaker and node-failure migration under
+        # the sanitizer, plus the SLO schema/conservation checks.
+        resilience_checks "$dir"
     done
     echo "check.sh: chaos gauntlet passed"
 elif [[ "$placement" -eq 1 ]]; then
@@ -306,6 +397,13 @@ elif [[ "$stream" -eq 1 ]]; then
         --target dss_tests throughput_stream
     stream_checks "$build"
     echo "check.sh: stream checks passed"
+elif [[ "$resilience" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)" \
+        --target dss_tests resilience_sweep
+    resilience_checks "$build"
+    echo "check.sh: resilience checks passed"
 elif [[ -n "$sanitize" ]]; then
     build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"

@@ -3,10 +3,21 @@
 #include <iostream>
 
 #include "obs/json.hh"
+#include "obs/registry.hh"
 #include "sim/error.hh"
 
 namespace dss {
 namespace harness {
+
+void
+RetryStats::registerStats(obs::Registry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(obs::metricName(prefix, "attempts"),
+                   [this] { return attempts; });
+    reg.addCounter(obs::metricName(prefix, "aborts"),
+                   [this] { return aborts; });
+}
 
 sim::Cycles
 backoffFor(const RetryPolicy &policy, unsigned attempt)

@@ -17,6 +17,7 @@
 #ifndef DSS_HARNESS_GUARD_HH
 #define DSS_HARNESS_GUARD_HH
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -26,6 +27,10 @@
 #include "sim/fault.hh"
 
 namespace dss {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace harness {
 
 constexpr int kErrorExitCode = 3;
@@ -47,24 +52,46 @@ void noteRetry(std::ostream *log, const db::QueryAbort &qa,
                unsigned attempt, sim::Cycles backoff);
 
 /**
+ * Retry/abort accounting, exportable to an obs::Registry so reports see
+ * `harness.retry.{attempts,aborts}` instead of stderr-only notes.
+ * `attempts` counts retries actually taken (backoffs), `aborts` every
+ * db::QueryAbort caught — including the final one that propagates.
+ */
+struct RetryStats
+{
+    std::uint64_t attempts = 0;
+    std::uint64_t aborts = 0;
+
+    /** Export <prefix>.{attempts,aborts}; this must outlive @p reg's use. */
+    void registerStats(obs::Registry &reg,
+                       const std::string &prefix = "harness.retry") const;
+};
+
+/**
  * Run @p fn, retrying on db::QueryAbort with exponential backoff. Each
- * retry's backoff is recorded on @p plan (when given) and noted on
- * @p log (when given). The final attempt's abort propagates — retries
- * are bounded, so a persistent conflict still surfaces.
+ * retry's backoff is recorded on @p plan (when given), noted on @p log
+ * (when given) and counted on @p stats (when given). The final attempt's
+ * abort propagates — retries are bounded, so a persistent conflict still
+ * surfaces.
  */
 template <typename Fn>
 auto
 retryOnAbort(const RetryPolicy &policy, Fn &&fn,
-             sim::FaultPlan *plan = nullptr, std::ostream *log = nullptr)
+             sim::FaultPlan *plan = nullptr, std::ostream *log = nullptr,
+             RetryStats *stats = nullptr)
     -> decltype(fn())
 {
     for (unsigned attempt = 0;; ++attempt) {
         try {
             return fn();
         } catch (const db::QueryAbort &qa) {
+            if (stats)
+                ++stats->aborts;
             if (attempt + 1 >= policy.maxAttempts)
                 throw;
             const sim::Cycles backoff = backoffFor(policy, attempt);
+            if (stats)
+                ++stats->attempts;
             if (plan)
                 plan->recordRetry(backoff);
             noteRetry(log, qa, attempt, backoff);

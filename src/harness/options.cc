@@ -65,9 +65,21 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
            << "  --stream-policy <p>\n"
               "                   dispatch policy: fifo (default), "
               "shortest\n"
-           << "  --trace-cache <on|off>\n"
+           << "  --trace-cache <on|off|N>\n"
               "                   reuse captured traces for repeated\n"
-              "                   (query, params) instances (default on)\n";
+              "                   (query, params) instances (default on);\n"
+              "                   N bounds the cache to N entries with\n"
+              "                   LRU eviction\n";
+    if (flags & BenchOptions::kResilience)
+        os << "  --deadline <c>   per-query deadline in simulated cycles;\n"
+              "                   later completions abort as timeouts\n"
+           << "  --queue-cap <n>  bound the run queue to n waiting\n"
+              "                   instances (0 allowed; default unbounded)\n"
+           << "  --shed <p>       load-shedding policy for a full queue:\n"
+              "                   newest (default), class, deadline\n"
+           << "  --breaker <p>    per-class circuit breaker: shed a class\n"
+              "                   whose recent timeout rate reaches p in\n"
+              "                   (0,1]; half-opens after a cooldown\n";
     if (flags & BenchOptions::kMemprof)
         os << "  --memprof[=N]    line-level memory profiler: hot lines "
               "with\n"
@@ -217,12 +229,55 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
             }
         } else if (arg == "--trace-cache" && supported(arg, kStream)) {
             const std::string v = needValue(i++);
-            if (v != "on" && v != "off") {
-                std::cerr << bench_name << ": --trace-cache needs on|off, "
-                          << "got '" << v << "'\n";
+            if (v == "on" || v == "off") {
+                opts.traceCache = (v == "on");
+            } else {
+                char *end = nullptr;
+                std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+                if (!end || *end != '\0' || v.empty() || n == 0) {
+                    std::cerr << bench_name
+                              << ": --trace-cache needs on|off or a "
+                                 "positive entry bound, got '"
+                              << v << "'\n";
+                    std::exit(2);
+                }
+                opts.traceCache = true;
+                opts.traceCacheCapacity = n;
+            }
+        } else if (arg == "--deadline" && supported(arg, kResilience)) {
+            opts.deadlineCycles = positive(i++, "--deadline");
+        } else if (arg == "--queue-cap" && supported(arg, kResilience)) {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || v.empty()) {
+                std::cerr << bench_name
+                          << ": --queue-cap needs a count (0 allowed), "
+                             "got '"
+                          << v << "'\n";
                 std::exit(2);
             }
-            opts.traceCache = (v == "on");
+            opts.queueCapacity = n;
+        } else if (arg == "--shed" && supported(arg, kResilience)) {
+            opts.shedPolicy = needValue(i++);
+            if (opts.shedPolicy != "newest" && opts.shedPolicy != "class" &&
+                opts.shedPolicy != "deadline") {
+                std::cerr << bench_name << ": unknown --shed '"
+                          << opts.shedPolicy
+                          << "' (newest, class, deadline)\n";
+                std::exit(2);
+            }
+        } else if (arg == "--breaker" && supported(arg, kResilience)) {
+            const std::string v = needValue(i++);
+            char *end = nullptr;
+            double r = std::strtod(v.c_str(), &end);
+            if (!end || *end != '\0' || v.empty() || r <= 0.0 || r > 1.0) {
+                std::cerr << bench_name
+                          << ": --breaker needs a rate in (0,1], got '"
+                          << v << "'\n";
+                std::exit(2);
+            }
+            opts.breakerThreshold = r;
         } else if (arg == "--memprof" && supported(arg, kMemprof)) {
             opts.memprof = true;
         } else if (arg.rfind("--memprof=", 0) == 0 &&
@@ -330,6 +385,7 @@ ObsSession::runOptions()
     ro.pageProfile = pageProfile_.get();
     ro.memProfile = memProfile_.get();
     ro.log = &std::cerr;
+    ro.retryStats = &retryStats_;
     return ro;
 }
 

@@ -26,10 +26,17 @@
  *                    write the per-page access histogram consumed by
  *                    --placement=profile (obs/pageprof.hh)
  *   --stream <n> / --stream-seed <s> / --stream-policy <fifo|shortest>
- *                  / --trace-cache <on|off>
+ *                  / --trace-cache <on|off|N>
  *                    query-stream scheduler knobs (src/sched/), accepted
  *                    only by stream-aware benches (the kStream flag bit,
- *                    deliberately outside kAll)
+ *                    deliberately outside kAll); --trace-cache N bounds
+ *                    the cache to N entries with LRU eviction
+ *   --deadline <c> / --queue-cap <n> / --shed <newest|class|deadline>
+ *                  / --breaker <p>
+ *                    stream resilience knobs (src/sched/resilience.hh):
+ *                    per-query deadline in cycles, bounded run queue with
+ *                    a load-shedding policy, and a per-class circuit
+ *                    breaker timeout-rate threshold (the kResilience bit)
  *
  * ObsSession owns the wiring: it hands out the sampler/timeline pointers
  * to pass to the runner, collects per-run stats and registry snapshots,
@@ -79,6 +86,11 @@ struct BenchOptions
          * the stream flags exactly as before.
          */
         kStream = 1u << 9,
+        /**
+         * --deadline / --queue-cap / --shed / --breaker. Like kStream,
+         * outside kAll: only resilience-aware stream benches opt in.
+         */
+        kResilience = 1u << 10,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -97,7 +109,14 @@ struct BenchOptions
     unsigned streamInstances = 0; ///< --stream; 0 = the bench's default
     std::uint64_t streamSeed = 42; ///< --stream-seed
     std::string streamPolicy = "fifo"; ///< --stream-policy: fifo, shortest
-    bool traceCache = true;      ///< --trace-cache on|off
+    bool traceCache = true;      ///< --trace-cache on|off|N
+    /** --trace-cache N: max cached keys; 0 = unbounded. */
+    std::uint64_t traceCacheCapacity = 0;
+    sim::Cycles deadlineCycles = 0; ///< --deadline; 0 = no deadlines
+    /** --queue-cap; ~0 = unbounded run queue. */
+    std::uint64_t queueCapacity = ~std::uint64_t{0};
+    std::string shedPolicy = "newest"; ///< --shed: newest, class, deadline
+    double breakerThreshold = 0.0; ///< --breaker; 0 = breaker off
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints
@@ -148,6 +167,10 @@ class ObsSession
 
     /** Line-level memory profiler; null unless wireMemprof() armed it. */
     obs::MemProfile *memProfile() { return memProfile_.get(); }
+
+    /** Retry/abort accounting shared by every runOptions() of this
+     * session; snapshotted as harness.retry.{attempts,aborts}. */
+    RetryStats &retryStats() { return retryStats_; }
 
     /**
      * Arm the --memprof profiler for machine geometry @p cfg and,
@@ -221,6 +244,7 @@ class ObsSession
     std::unique_ptr<obs::PageProfile> pageProfile_;
     std::unique_ptr<obs::MemProfile> memProfile_;
     obs::RegionMap symbols_;
+    RetryStats retryStats_;
     std::unique_ptr<sim::PlacementPolicy> placement_;
     obs::Json pendingRegistry_;
     obs::Json runs_;

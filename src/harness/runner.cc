@@ -23,6 +23,8 @@ snapshotRegistry(const sim::Machine &machine, const RunOptions &opts)
         opts.checker->registerStats(reg, "check");
     if (opts.faults)
         opts.faults->registerStats(reg, "fault");
+    if (opts.retryStats)
+        opts.retryStats->registerStats(reg, "harness.retry");
     *opts.registrySnapshot = reg.toJson();
 }
 
@@ -56,7 +58,7 @@ runOnMachine(sim::Machine &machine,
             return machine.run(traces, opts.engine, opts.sampler,
                                opts.timeline);
         },
-        opts.faults, opts.log);
+        opts.faults, opts.log, opts.retryStats);
 }
 
 sim::SimStats

@@ -59,6 +59,9 @@ struct RunOptions
     obs::MemProfile *memProfile = nullptr;
     RetryPolicy retry;
     std::ostream *log = nullptr; ///< retry/abort notes; null = quiet
+    /** Retry/abort accounting; registered into the snapshot registry as
+     * harness.retry.{attempts,aborts} when given. */
+    RetryStats *retryStats = nullptr;
 };
 
 /** Simulate @p traces on a fresh machine, fully wired via @p opts.

@@ -1,0 +1,453 @@
+#include "sched/resilience.hh"
+
+#include <algorithm>
+
+namespace dss {
+namespace sched {
+
+std::optional<ShedPolicy>
+parseShedPolicy(const std::string &name)
+{
+    if (name == "newest")
+        return ShedPolicy::RejectNewest;
+    if (name == "class")
+        return ShedPolicy::RejectByClass;
+    if (name == "deadline")
+        return ShedPolicy::DeadlineAware;
+    return std::nullopt;
+}
+
+std::string
+shedPolicyName(ShedPolicy p)
+{
+    switch (p) {
+      case ShedPolicy::RejectNewest: return "newest";
+      case ShedPolicy::RejectByClass: return "class";
+      case ShedPolicy::DeadlineAware: return "deadline";
+    }
+    return "?";
+}
+
+sim::Cycles
+ResilienceConfig::deadlineFor(tpcd::QueryId q) const
+{
+    for (const auto &kv : classDeadlines)
+        if (kv.first == q)
+            return kv.second;
+    return deadline;
+}
+
+obs::Json
+toJson(const ResilienceConfig &cfg)
+{
+    obs::Json j = obs::Json::object();
+    j["deadline"] = obs::Json(cfg.deadline);
+    obs::Json overrides = obs::Json::object();
+    for (const auto &kv : cfg.classDeadlines)
+        overrides[std::string(tpcd::queryName(kv.first))] =
+            obs::Json(kv.second);
+    if (overrides.size() > 0)
+        j["class_deadlines"] = std::move(overrides);
+    j["queue_capacity"] =
+        cfg.queueCapacity == ResilienceConfig::kUnboundedQueue
+            ? obs::Json(std::string("unbounded"))
+            : obs::Json(static_cast<std::uint64_t>(cfg.queueCapacity));
+    j["shed"] = obs::Json(shedPolicyName(cfg.shed));
+    j["node_failures"] = obs::Json(cfg.nodeFailures);
+    j["migration_budget"] =
+        obs::Json(static_cast<std::uint64_t>(cfg.migrationBudget));
+    obs::Json b = obs::Json::object();
+    b["threshold"] = obs::Json(cfg.breakerThreshold);
+    b["window"] = obs::Json(static_cast<std::uint64_t>(cfg.breakerWindow));
+    b["cooldown"] = obs::Json(cfg.breakerCooldown);
+    j["breaker"] = std::move(b);
+    return j;
+}
+
+std::string_view
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Ok: return "ok";
+      case Outcome::Timeout: return "timeout";
+      case Outcome::ShedQueue: return "shed_queue";
+      case Outcome::ShedBreaker: return "shed_breaker";
+      case Outcome::ShedExpired: return "shed_expired";
+      case Outcome::Abandoned: return "abandoned";
+    }
+    return "?";
+}
+
+unsigned
+shedVictim(ShedPolicy policy,
+           const std::vector<QueryInstance> &instances,
+           const std::vector<unsigned> &ready,
+           const std::vector<sim::Cycles> &deadlines)
+{
+    // "a beats b" = a is the better victim. Every branch falls through
+    // to (arrival desc, id desc): among equals the newest goes first.
+    auto newerThan = [&](const QueryInstance &a, const QueryInstance &b) {
+        if (a.arrival != b.arrival)
+            return a.arrival > b.arrival;
+        return a.id > b.id;
+    };
+    unsigned best = 0;
+    for (unsigned i = 1; i < ready.size(); ++i) {
+        const QueryInstance &a = instances[ready[i]];
+        const QueryInstance &b = instances[ready[best]];
+        bool better = false;
+        switch (policy) {
+          case ShedPolicy::RejectNewest:
+            better = newerThan(a, b);
+            break;
+          case ShedPolicy::RejectByClass:
+            // Slowest class first: its queued instances hold the queue
+            // longest for the least goodput under pressure.
+            if (serviceRank(a.query) != serviceRank(b.query))
+                better = serviceRank(a.query) > serviceRank(b.query);
+            else
+                better = newerThan(a, b);
+            break;
+          case ShedPolicy::DeadlineAware: {
+            // Tightest deadline first — it is the likeliest to miss
+            // anyway. No-deadline instances (0) are the safest keeps.
+            const sim::Cycles da = deadlines[a.id] ? deadlines[a.id]
+                                                   : sim::FaultPlan::kNever;
+            const sim::Cycles db = deadlines[b.id] ? deadlines[b.id]
+                                                   : sim::FaultPlan::kNever;
+            if (da != db)
+                better = da < db;
+            else
+                better = newerThan(a, b);
+            break;
+          }
+        }
+        if (better)
+            best = i;
+    }
+    return best;
+}
+
+// ----- CircuitBreaker -----
+
+void
+CircuitBreaker::trip(ClassState &cs, sim::Cycles now)
+{
+    cs.state = State::Open;
+    cs.openUntil = now + cfg_.breakerCooldown;
+    cs.window.clear();
+    ++cs.trips;
+}
+
+CircuitBreaker::Decision
+CircuitBreaker::onArrival(const std::string &cls, unsigned id,
+                          sim::Cycles now)
+{
+    if (!enabled())
+        return Decision::Admit;
+    ClassState &cs = classes_[cls];
+    switch (cs.state) {
+      case State::Closed:
+        return Decision::Admit;
+      case State::Open:
+        if (now < cs.openUntil)
+            return Decision::Shed;
+        cs.state = State::HalfOpen;
+        cs.trial = id;
+        cs.trialActive = true;
+        return Decision::Trial;
+      case State::HalfOpen:
+        if (cs.trialActive)
+            return Decision::Shed; // one probe at a time
+        cs.trial = id;
+        cs.trialActive = true;
+        return Decision::Trial;
+    }
+    return Decision::Admit;
+}
+
+void
+CircuitBreaker::onResolution(const std::string &cls, unsigned id,
+                             Outcome o, sim::Cycles now)
+{
+    if (!enabled())
+        return;
+    ClassState &cs = classes_[cls];
+    if (cs.state == State::HalfOpen && cs.trialActive && cs.trial == id) {
+        cs.trialActive = false;
+        if (o == Outcome::Ok) {
+            cs.state = State::Closed;
+            cs.window.clear();
+            ++cs.recoveries;
+        } else if (o == Outcome::Timeout) {
+            trip(cs, now); // the probe failed: back to a full cooldown
+        } else {
+            // The probe never got service (shed / abandoned): reopen
+            // with no extra cooldown so the next arrival probes again.
+            cs.state = State::Open;
+            cs.openUntil = now;
+            ++cs.trips;
+        }
+        return;
+    }
+    // Only Closed-state service outcomes feed the sliding window:
+    // sheds are the breaker's own doing, and queries resolved while
+    // open/half-open were admitted under an older state.
+    if (cs.state != State::Closed ||
+        (o != Outcome::Ok && o != Outcome::Timeout))
+        return;
+    cs.window.push_back(o == Outcome::Timeout ? 1 : 0);
+    if (cs.window.size() > cfg_.breakerWindow)
+        cs.window.pop_front();
+    if (cs.window.size() < cfg_.breakerWindow)
+        return;
+    const std::uint64_t timeouts = static_cast<std::uint64_t>(
+        std::count(cs.window.begin(), cs.window.end(), 1));
+    if (static_cast<double>(timeouts) >=
+        cfg_.breakerThreshold * static_cast<double>(cfg_.breakerWindow))
+        trip(cs, now);
+}
+
+CircuitBreaker::State
+CircuitBreaker::stateOf(const std::string &cls) const
+{
+    auto it = classes_.find(cls);
+    return it == classes_.end() ? State::Closed : it->second.state;
+}
+
+std::uint64_t
+CircuitBreaker::trips() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : classes_)
+        n += kv.second.trips;
+    return n;
+}
+
+std::uint64_t
+CircuitBreaker::recoveries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : classes_)
+        n += kv.second.recoveries;
+    return n;
+}
+
+std::vector<std::pair<std::string, std::string>>
+CircuitBreaker::stateNames() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &kv : classes_)
+        out.emplace_back(kv.first,
+                         std::string(breakerStateName(kv.second.state)));
+    return out;
+}
+
+std::string_view
+breakerStateName(CircuitBreaker::State s)
+{
+    switch (s) {
+      case CircuitBreaker::State::Closed: return "closed";
+      case CircuitBreaker::State::Open: return "open";
+      case CircuitBreaker::State::HalfOpen: return "half_open";
+    }
+    return "?";
+}
+
+// ----- OutageTable -----
+
+OutageTable::OutageTable(const sim::FaultPlan *plan, unsigned nprocs)
+    : plan_(plan)
+{
+    active_ = plan_ && plan_->nodeOutage(0, 0).has_value();
+    if (!active_)
+        return;
+    windows_.resize(nprocs);
+    nextIndex_.assign(nprocs, 0);
+    exhausted_.assign(nprocs, 0);
+}
+
+void
+OutageTable::extendTo(sim::ProcId p, sim::Cycles t)
+{
+    while (!exhausted_[p] &&
+           (windows_[p].empty() || windows_[p].back().start <= t)) {
+        const auto o = plan_->nodeOutage(p, nextIndex_[p]);
+        if (!o) {
+            exhausted_[p] = 1;
+            return;
+        }
+        OutageWindow w;
+        w.proc = p;
+        w.index = nextIndex_[p]++;
+        w.start = o->start;
+        w.end = o->end;
+        w.permanent = o->permanent;
+        windows_[p].push_back(w);
+        if (w.permanent)
+            exhausted_[p] = 1;
+    }
+}
+
+std::optional<OutageWindow>
+OutageTable::coveringOutage(sim::ProcId p, sim::Cycles t)
+{
+    if (!active_ || p >= windows_.size())
+        return std::nullopt;
+    extendTo(p, t);
+    for (const OutageWindow &w : windows_[p])
+        if (w.start <= t && t < w.end)
+            return w;
+    return std::nullopt;
+}
+
+std::optional<OutageWindow>
+OutageTable::nextOutageAfter(sim::ProcId p, sim::Cycles t)
+{
+    if (!active_ || p >= windows_.size())
+        return std::nullopt;
+    extendTo(p, t);
+    for (const OutageWindow &w : windows_[p])
+        if (w.start > t)
+            return w;
+    return std::nullopt;
+}
+
+std::optional<sim::Cycles>
+OutageTable::nextUpAt(sim::ProcId p, sim::Cycles t)
+{
+    const auto w = coveringOutage(p, t);
+    if (!w)
+        return t;
+    if (w->permanent)
+        return std::nullopt;
+    // Windows never abut (gaps are >= 1 cycle), so the end of the
+    // covering window is in service.
+    return w->end;
+}
+
+bool
+OutageTable::anyOutageIn(sim::Cycles a, sim::Cycles b)
+{
+    if (!active_)
+        return false;
+    for (sim::ProcId p = 0; p < windows_.size(); ++p) {
+        extendTo(p, b);
+        for (const OutageWindow &w : windows_[p])
+            if (w.start < b && w.end > a)
+                return true;
+    }
+    return false;
+}
+
+std::vector<OutageWindow>
+OutageTable::outagesIn(sim::Cycles a, sim::Cycles b)
+{
+    std::vector<OutageWindow> out;
+    if (!active_)
+        return out;
+    for (sim::ProcId p = 0; p < windows_.size(); ++p) {
+        extendTo(p, b);
+        for (const OutageWindow &w : windows_[p])
+            if (w.start < b && w.end > a)
+                out.push_back(w);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const OutageWindow &x, const OutageWindow &y) {
+                  if (x.start != y.start)
+                      return x.start < y.start;
+                  return x.proc < y.proc;
+              });
+    return out;
+}
+
+sim::Cycles
+OutageTable::degradedCyclesIn(sim::Cycles a, sim::Cycles b)
+{
+    const std::vector<OutageWindow> ws = outagesIn(a, b);
+    sim::Cycles total = 0;
+    sim::Cycles covered = a; // everything before `covered` is accounted
+    for (const OutageWindow &w : ws) {
+        const sim::Cycles s = std::max(w.start, covered);
+        const sim::Cycles e = std::min(w.end, b);
+        if (e > s)
+            total += e - s;
+        covered = std::max(covered, e);
+    }
+    return total;
+}
+
+// ----- SLO accounting -----
+
+void
+ClassSlo::count(Outcome o)
+{
+    ++submitted;
+    switch (o) {
+      case Outcome::Ok: ++goodput; break;
+      case Outcome::Timeout: ++timeouts; break;
+      case Outcome::ShedQueue: ++shedQueue; break;
+      case Outcome::ShedBreaker: ++shedBreaker; break;
+      case Outcome::ShedExpired: ++shedExpired; break;
+      case Outcome::Abandoned: ++abandoned; break;
+    }
+}
+
+obs::Json
+toJson(const ClassSlo &s)
+{
+    obs::Json j = obs::Json::object();
+    j["submitted"] = obs::Json(s.submitted);
+    j["goodput"] = obs::Json(s.goodput);
+    j["timeouts"] = obs::Json(s.timeouts);
+    j["shed_queue"] = obs::Json(s.shedQueue);
+    j["shed_breaker"] = obs::Json(s.shedBreaker);
+    j["shed_expired"] = obs::Json(s.shedExpired);
+    j["abandoned"] = obs::Json(s.abandoned);
+    j["migrations"] = obs::Json(s.migrations);
+    return j;
+}
+
+obs::Json
+toJson(const ResilienceReport &r)
+{
+    obs::Json j = obs::Json::object();
+    j["config"] = toJson(r.config);
+    obs::Json slo = obs::Json::object();
+    slo["total"] = toJson(r.total);
+    obs::Json byc = obs::Json::object();
+    for (const auto &kv : r.byClass)
+        byc[kv.first] = toJson(kv.second);
+    slo["by_class"] = std::move(byc);
+    j["slo"] = std::move(slo);
+    obs::Json lat = obs::Json::object();
+    lat["healthy"] = toJson(r.healthy);
+    lat["degraded"] = toJson(r.degraded);
+    j["latency"] = std::move(lat);
+    obs::Json b = obs::Json::object();
+    b["trips"] = obs::Json(r.breakerTrips);
+    b["recoveries"] = obs::Json(r.breakerRecoveries);
+    obs::Json states = obs::Json::object();
+    for (const auto &kv : r.breakerStates)
+        states[kv.first] = obs::Json(kv.second);
+    b["classes"] = std::move(states);
+    j["breaker"] = std::move(b);
+    obs::Json outs = obs::Json::array();
+    for (const OutageWindow &w : r.outages) {
+        obs::Json e = obs::Json::object();
+        e["proc"] = obs::Json(static_cast<unsigned>(w.proc));
+        e["index"] = obs::Json(static_cast<std::uint64_t>(w.index));
+        e["start"] = obs::Json(w.start);
+        if (w.permanent)
+            e["permanent"] = obs::Json(true);
+        else
+            e["end"] = obs::Json(w.end);
+        outs.push(std::move(e));
+    }
+    j["outages"] = std::move(outs);
+    j["degraded_cycles"] = obs::Json(r.degradedCycles);
+    return j;
+}
+
+} // namespace sched
+} // namespace dss

@@ -17,6 +17,12 @@
  * FNV-1a content hash of each stored stream (TraceStream::contentHash) so
  * reports — and the purity regression test — can verify that a re-capture
  * of the same key reproduces the same bytes.
+ *
+ * Capacity: by default the cache grows without bound. A bounded cache
+ * (--trace-cache=N) evicts the least-recently-fetched entry once N keys
+ * are stored. Because captures are pure, an evicted key's later
+ * re-capture reproduces the same bytes, so bounding the cache never
+ * changes simulation results — only the hit/miss/eviction counts.
  */
 
 #ifndef DSS_SCHED_TRACE_CACHE_HH
@@ -24,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <string>
 
@@ -64,7 +71,16 @@ class TraceCache
         std::uint64_t misses = 0;
         std::uint64_t entries = 0;      ///< distinct keys stored
         std::uint64_t traceEntries = 0; ///< total TraceEntry records held
+        std::uint64_t evictions = 0;    ///< LRU evictions (bounded cache)
     };
+
+    /** @p capacity = max stored keys; 0 (the default) = unbounded. */
+    explicit TraceCache(std::uint64_t capacity = 0)
+        : capacity_(capacity)
+    {
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
 
     /** Produces the stream for a key on a miss (calls streamTrace). */
     using Capture = std::function<sim::TraceStream()>;
@@ -72,8 +88,9 @@ class TraceCache
     /**
      * The stream for @p key: on a hit, the stored stream (capture not
      * invoked); on a miss, @p capture() runs and its result is stored.
-     * The returned reference stays valid for the cache's lifetime
-     * (std::map nodes are stable).
+     * On an unbounded cache the returned reference stays valid for the
+     * cache's lifetime (std::map nodes are stable); on a bounded cache
+     * it stays valid until the next fetch(), which may evict it.
      */
     const sim::TraceStream &fetch(const Key &key, const Capture &capture);
 
@@ -88,7 +105,7 @@ class TraceCache
     /** Drop every entry; hit/miss history is kept. */
     void clear();
 
-    /** Export cache.{hits,misses,entries,trace_entries} counters. */
+    /** Export cache.{hits,misses,entries,trace_entries,evictions}. */
     void registerStats(obs::Registry &reg,
                        const std::string &prefix = "cache") const;
 
@@ -96,7 +113,17 @@ class TraceCache
     obs::Json toJson() const;
 
   private:
-    std::map<Key, sim::TraceStream> entries_;
+    struct Entry
+    {
+        sim::TraceStream stream;
+        std::list<Key>::iterator lru; ///< position in the recency list
+    };
+
+    void evictIfOver();
+
+    std::uint64_t capacity_ = 0;
+    std::map<Key, Entry> entries_;
+    std::list<Key> lru_; ///< front = most recently fetched
     Stats stats_;
 };
 

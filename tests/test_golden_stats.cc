@@ -23,6 +23,7 @@
 #include "harness/workload.hh"
 #include "obs/stats_json.hh"
 #include "sched/scheduler.hh"
+#include "sim/fault.hh"
 #include "tpcd/queries.hh"
 
 #ifndef DSS_GOLDEN_DIR
@@ -159,6 +160,83 @@ TEST(GoldenStats, StreamSeq)
 TEST(GoldenStats, StreamPar)
 {
     checkStreamGolden(sim::EngineConfig::par(), "stream_par.json");
+}
+
+/**
+ * Resilient-stream golden: the full resilience layer at once — a binding
+ * deadline, a bounded run queue, the per-class breaker, and seeded node
+ * failures with migration — pinned for both engines. Like the plain
+ * stream goldens the two fixtures are expected to be byte-identical
+ * files: the resilience report (SLO accounting, breaker states, fired
+ * outages) is engine-invariant by construction.
+ */
+void
+checkResilientStreamGolden(const sim::EngineConfig &engine,
+                           const std::string &fixture)
+{
+    harness::Workload wl(tpcd::ScaleConfig::tiny(), 4);
+    sched::StreamConfig scfg;
+    scfg.instances = 10;
+    scfg.seed = 42;
+    scfg.mode = sched::ArrivalMode::Open;
+    scfg.meanInterarrival = 300000;
+    scfg.policy = sched::Policy::Fifo;
+    scfg.paramVariants = 2;
+
+    sched::ResilienceConfig res;
+    res.deadline = 2200000;
+    res.queueCapacity = 3;
+    res.shed = sched::ShedPolicy::DeadlineAware;
+    res.nodeFailures = true;
+    res.breakerThreshold = 0.5;
+    res.breakerWindow = 2;
+    res.breakerCooldown = 500000;
+
+    sim::FaultConfig fc;
+    fc.seed = 7;
+    fc.rate = 1.0;
+    fc.kinds = sim::FaultConfig::bitOf(sim::FaultKind::NodeFailure);
+    fc.nodeMeanUpCycles = 2000000;
+    fc.nodeDownCycles = 1200000;
+    sim::FaultPlan plan(fc);
+
+    harness::RunOptions opts;
+    opts.engine = engine;
+    opts.faults = &plan;
+    sched::TraceCache cache;
+    sched::StreamScheduler sched(wl, sim::MachineConfig::baseline(), scfg,
+                                 opts, &cache, res);
+    const std::string actual = toJson(sched.run(), true).dump(2) + "\n";
+
+    const std::string path = goldenPath(fixture);
+    if (std::getenv("DSS_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing fixture " << path
+                    << " (run scripts/regen_golden.sh)";
+    std::ostringstream want;
+    want << is.rdbuf();
+    EXPECT_EQ(want.str(), actual)
+        << "resilient stream stats (" << sim::engineKindName(engine.kind)
+        << " engine) diverged from " << path
+        << "; if intended, regenerate with scripts/regen_golden.sh";
+}
+
+TEST(GoldenStats, StreamResilienceSeq)
+{
+    checkResilientStreamGolden(sim::EngineConfig::seq(),
+                               "stream_resilience_seq.json");
+}
+
+TEST(GoldenStats, StreamResiliencePar)
+{
+    checkResilientStreamGolden(sim::EngineConfig::par(),
+                               "stream_resilience_par.json");
 }
 
 } // namespace

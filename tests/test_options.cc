@@ -288,4 +288,91 @@ TEST(BenchOptionsDeath, StreamFlagsOutsideKAllAreFatal)
                 "option '--trace-cache' is not supported");
 }
 
+TEST(BenchOptions, TraceCacheBoundParses)
+{
+    const unsigned f = BenchOptions::kAll | BenchOptions::kStream;
+    BenchOptions o = parseArgs({"--trace-cache", "16"}, f);
+    EXPECT_TRUE(o.traceCache);
+    EXPECT_EQ(o.traceCacheCapacity, 16u);
+
+    BenchOptions unbounded = parseArgs({"--trace-cache", "on"}, f);
+    EXPECT_TRUE(unbounded.traceCache);
+    EXPECT_EQ(unbounded.traceCacheCapacity, 0u) << "0 = unbounded";
+}
+
+TEST(BenchOptionsDeath, MalformedTraceCacheBoundIsFatal)
+{
+    const unsigned f = BenchOptions::kAll | BenchOptions::kStream;
+    EXPECT_EXIT(parseArgs({"--trace-cache", "0"}, f),
+                testing::ExitedWithCode(2),
+                "--trace-cache needs on\\|off or a positive entry bound");
+    EXPECT_EXIT(parseArgs({"--trace-cache", "16x"}, f),
+                testing::ExitedWithCode(2),
+                "--trace-cache needs on\\|off or a positive entry bound");
+}
+
+TEST(BenchOptions, ResilienceFlagsParse)
+{
+    const unsigned f = BenchOptions::kAll | BenchOptions::kStream |
+                       BenchOptions::kResilience;
+    BenchOptions o = parseArgs({"--deadline", "2500000", "--queue-cap",
+                                "4", "--shed", "deadline", "--breaker",
+                                "0.5"},
+                               f);
+    EXPECT_EQ(o.deadlineCycles, 2500000u);
+    EXPECT_EQ(o.queueCapacity, 4u);
+    EXPECT_EQ(o.shedPolicy, "deadline");
+    EXPECT_DOUBLE_EQ(o.breakerThreshold, 0.5);
+
+    // Capacity 0 is a real value (shed whatever cannot start at once).
+    EXPECT_EQ(parseArgs({"--queue-cap", "0"}, f).queueCapacity, 0u);
+}
+
+TEST(BenchOptions, ResilienceFlagsDefaultOff)
+{
+    const unsigned f = BenchOptions::kAll | BenchOptions::kStream |
+                       BenchOptions::kResilience;
+    BenchOptions o = parseArgs({}, f);
+    EXPECT_EQ(o.deadlineCycles, 0u);
+    EXPECT_EQ(o.queueCapacity, ~std::uint64_t{0}) << "unbounded sentinel";
+    EXPECT_EQ(o.shedPolicy, "newest");
+    EXPECT_DOUBLE_EQ(o.breakerThreshold, 0.0);
+}
+
+TEST(BenchOptionsDeath, MalformedResilienceFlagsAreFatal)
+{
+    const unsigned f = BenchOptions::kAll | BenchOptions::kStream |
+                       BenchOptions::kResilience;
+    EXPECT_EXIT(parseArgs({"--deadline", "0"}, f),
+                testing::ExitedWithCode(2), "--deadline");
+    EXPECT_EXIT(parseArgs({"--queue-cap", "4x"}, f),
+                testing::ExitedWithCode(2), "--queue-cap needs a count");
+    EXPECT_EXIT(parseArgs({"--shed", "oldest"}, f),
+                testing::ExitedWithCode(2), "unknown --shed 'oldest'");
+    EXPECT_EXIT(parseArgs({"--breaker", "0"}, f),
+                testing::ExitedWithCode(2),
+                "--breaker needs a rate in \\(0,1\\]");
+    EXPECT_EXIT(parseArgs({"--breaker", "1.5"}, f),
+                testing::ExitedWithCode(2),
+                "--breaker needs a rate in \\(0,1\\]");
+}
+
+TEST(BenchOptionsDeath, ResilienceFlagsOutsideDeclaredSubsetAreFatal)
+{
+    // kResilience is not part of kAll: single-shot figure binaries keep
+    // rejecting the resilience flags.
+    EXPECT_EXIT(parseArgs({"--deadline", "1000"}),
+                testing::ExitedWithCode(2),
+                "option '--deadline' is not supported");
+    EXPECT_EXIT(parseArgs({"--queue-cap", "4"}),
+                testing::ExitedWithCode(2),
+                "option '--queue-cap' is not supported");
+    EXPECT_EXIT(parseArgs({"--shed", "newest"}),
+                testing::ExitedWithCode(2),
+                "option '--shed' is not supported");
+    EXPECT_EXIT(parseArgs({"--breaker", "0.5"}),
+                testing::ExitedWithCode(2),
+                "option '--breaker' is not supported");
+}
+
 } // namespace

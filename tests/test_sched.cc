@@ -255,6 +255,71 @@ TEST(TraceCacheUnit, RegistersCounters)
     EXPECT_EQ(reg.counterValue("cache.misses"), 1u);
     EXPECT_EQ(reg.counterValue("cache.hits"), 0u);
     EXPECT_EQ(reg.counterValue("cache.entries"), 1u);
+    EXPECT_EQ(reg.counterValue("cache.evictions"), 0u);
+}
+
+TEST(TraceCacheUnit, BoundedCacheEvictsLeastRecentlyFetched)
+{
+    sched::TraceCache cache(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+    auto capture = [](sim::Addr addr) {
+        return [addr] {
+            sim::TraceStream s;
+            s.record(sim::TraceEntry::read(addr, sim::DataClass::Data, 4));
+            return s;
+        };
+    };
+    const sched::TraceCache::Key a{tpcd::QueryId::Q3, 1, 0};
+    const sched::TraceCache::Key b{tpcd::QueryId::Q6, 2, 0};
+    const sched::TraceCache::Key c{tpcd::QueryId::Q12, 3, 0};
+
+    cache.fetch(a, capture(0x1000));
+    cache.fetch(b, capture(0x2000));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch a: b becomes the least recently fetched.
+    cache.fetch(a, capture(0x1000));
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // Inserting c evicts b, not a.
+    cache.fetch(c, capture(0x3000));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.lookup(b), nullptr);
+    EXPECT_NE(cache.lookup(a), nullptr);
+    EXPECT_NE(cache.lookup(c), nullptr);
+
+    // Re-fetching b is a miss that re-captures and evicts a (the LRU
+    // after c's insert). Purity means the recapture reproduces the
+    // evicted bytes, so eviction only ever changes the stats.
+    const std::uint64_t b_hash = cache.fetch(b, capture(0x2000)).contentHash();
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.lookup(a), nullptr);
+    EXPECT_EQ(cache.contentHashOf(b), b_hash);
+
+    // traceEntries tracks only what is currently stored.
+    EXPECT_EQ(cache.stats().traceEntries, 2u);
+
+    obs::Json j = cache.toJson();
+    EXPECT_EQ(j["evictions"].dump(), "2");
+    EXPECT_EQ(j["capacity"].dump(), "2");
+}
+
+TEST(TraceCacheUnit, UnboundedCacheNeverEvicts)
+{
+    sched::TraceCache cache; // capacity 0 = unbounded
+    for (std::uint64_t seed = 0; seed < 16; ++seed)
+        cache.fetch({tpcd::QueryId::Q6, seed, 0}, [] {
+            sim::TraceStream s;
+            s.record(sim::TraceEntry::read(0x4000, sim::DataClass::Data, 4));
+            return s;
+        });
+    EXPECT_EQ(cache.stats().entries, 16u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.toJson().find("capacity"), nullptr)
+        << "capacity key is for bounded caches only";
 }
 
 // ------------------------------------------------- simulation-backed tests

@@ -14,6 +14,13 @@
  * One tiny workload and one trace cache are shared across all seeds
  * (captures are pure; test_sched.cc asserts that), which keeps the 50
  * iterations affordable: most instances re-use cached captures.
+ *
+ * The second fifty-seed pass turns the resilience layer on — random
+ * deadlines, queue bounds, shed policies, breaker thresholds and a
+ * NodeFailure-only fault plan per seed — and tightens the differential
+ * property to the FULL report document: with one cache per engine both
+ * replays see identical fetch sequences, so even the cache and fired-
+ * outage accounting must serialize byte-identically.
  */
 
 #include <string>
@@ -22,8 +29,10 @@
 
 #include "harness/runner.hh"
 #include "harness/workload.hh"
+#include "sched/resilience.hh"
 #include "sched/scheduler.hh"
 #include "sim/check.hh"
+#include "sim/fault.hh"
 
 namespace {
 
@@ -116,6 +125,105 @@ TEST_F(StreamFuzz, FiftySeedsDifferentialAndChecked)
         ASSERT_EQ(seq_json["summary"].dump(), par_json["summary"].dump());
         ASSERT_EQ(checker.totalViolations(), 0u)
             << "invariant violations in checked par replay";
+    }
+}
+
+/** A random-but-deterministic resilience layer for one fuzz seed. */
+sched::ResilienceConfig
+fuzzResilience(std::uint64_t seed)
+{
+    std::uint64_t state = seed * 0xBF58476D1CE4E5B9ull + 3;
+    auto draw = [&state] { return sched::splitmix64(state); };
+
+    sched::ResilienceConfig res;
+    res.nodeFailures = true;
+    // Sometimes binding, sometimes generous, sometimes absent.
+    switch (draw() % 3) {
+      case 0: res.deadline = 1500000 + draw() % 1500000; break;
+      case 1: res.deadline = 8000000; break;
+      default: res.deadline = 0; break;
+    }
+    if (draw() & 1)
+        res.queueCapacity = unsigned(draw() % 4); // 0..3, 0 included
+    switch (draw() % 3) {
+      case 0: res.shed = sched::ShedPolicy::RejectNewest; break;
+      case 1: res.shed = sched::ShedPolicy::RejectByClass; break;
+      default: res.shed = sched::ShedPolicy::DeadlineAware; break;
+    }
+    if (draw() & 1) {
+        res.breakerThreshold = 0.5;
+        res.breakerWindow = 2 + unsigned(draw() % 3);
+        res.breakerCooldown = 250000 + draw() % 500000;
+    }
+    res.migrationBudget = 1 + unsigned(draw() % 3);
+    return res;
+}
+
+/** A NodeFailure-only fault config for one fuzz seed. */
+sim::FaultConfig
+fuzzFaults(std::uint64_t seed)
+{
+    std::uint64_t state = seed * 0x94D049BB133111EBull + 5;
+    auto draw = [&state] { return sched::splitmix64(state); };
+
+    sim::FaultConfig fc;
+    fc.seed = seed;
+    fc.rate = (draw() & 1) ? 1.0 : 0.5;
+    fc.kinds = sim::FaultConfig::bitOf(sim::FaultKind::NodeFailure);
+    fc.nodeMeanUpCycles = 1500000 + draw() % 4000000;
+    fc.nodeDownCycles = 500000 + draw() % 1000000;
+    return fc;
+}
+
+TEST_F(StreamFuzz, FiftyResilientSeedsDifferentialAndChecked)
+{
+    // One cache per engine, shared across all seeds: both engines see
+    // the same fetch sequence, so the full reports — cache stats
+    // included — must match byte for byte at every seed.
+    sched::TraceCache cache_seq, cache_par;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        SCOPED_TRACE("resilient fuzz seed " + std::to_string(seed));
+        const sched::StreamConfig cfg = fuzzConfig(seed);
+        const sched::ResilienceConfig res = fuzzResilience(seed);
+        const sim::FaultConfig fc = fuzzFaults(seed);
+        const unsigned threads = 1 + unsigned(seed % 4);
+
+        // Fresh fault plans per run: windows are a pure function of the
+        // seed, so both plans yield identical outage schedules, and the
+        // per-plan fired-failure log stays per-engine.
+        sim::FaultPlan seq_plan(fc);
+        harness::RunOptions seq_opts;
+        seq_opts.engine = sim::EngineConfig::seq();
+        seq_opts.faults = &seq_plan;
+        sched::StreamScheduler seq_sched(*wl_,
+                                         sim::MachineConfig::baseline(),
+                                         cfg, seq_opts, &cache_seq, res);
+        const sched::StreamResult seq_res = seq_sched.run();
+        const std::string seq_json = toJson(seq_res, true).dump();
+
+        sim::FaultPlan par_plan(fc);
+        sim::InvariantChecker checker;
+        harness::RunOptions par_opts;
+        par_opts.engine = sim::EngineConfig::par(threads);
+        par_opts.faults = &par_plan;
+        par_opts.checker = &checker;
+        sched::StreamScheduler par_sched(*wl_,
+                                         sim::MachineConfig::baseline(),
+                                         cfg, par_opts, &cache_par, res);
+        const std::string par_json = toJson(par_sched.run(), true).dump();
+
+        ASSERT_EQ(seq_json, par_json)
+            << "resilient stream diverged between engines (par threads="
+            << threads << ")";
+        ASSERT_EQ(checker.totalViolations(), 0u)
+            << "invariant violations in checked par replay";
+
+        // Conservation at every seed: each instance resolves exactly once.
+        const sched::ClassSlo &t = seq_res.resilience.total;
+        ASSERT_EQ(t.submitted, cfg.instances);
+        ASSERT_EQ(t.goodput + t.timeouts + t.shedQueue + t.shedBreaker +
+                      t.shedExpired + t.abandoned,
+                  t.submitted);
     }
 }
 
