@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -17,20 +18,17 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_associativity",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ablation_associativity", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Ablation: cache associativity (baseline sizes) "
                  "===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space()));
-    session.wireMemprof(sim::MachineConfig::baseline(),
+        opts, ctx.config(), &wl.db().space()));
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6}) {
@@ -44,9 +42,9 @@ benchMain(int argc, char **argv)
         };
         for (Point p : {Point{1, 2}, Point{2, 2}, Point{4, 4},
                         Point{8, 8}}) {
-            sim::MachineConfig cfg = sim::MachineConfig::baseline();
-            cfg.l1.assoc = p.l1;
-            cfg.l2.assoc = p.l2;
+            sim::MachineConfig cfg = ctx.config();
+            cfg.l1().assoc = p.l1;
+            cfg.l2().assoc = p.l2;
             sim::ProcStats agg =
                 harness::runCold(cfg, traces, session.runOptions())
                     .aggregate();
@@ -54,22 +52,24 @@ benchMain(int argc, char **argv)
                 {std::to_string(p.l1) + "/" + std::to_string(p.l2),
                  std::to_string(agg.totalCycles()),
                  std::to_string(
-                     agg.l1Misses.byGroup(sim::ClassGroup::Priv)),
-                 std::to_string(agg.l1Misses.byGroupAndType(
+                     agg.l1Misses().byGroup(sim::ClassGroup::Priv)),
+                 std::to_string(agg.l1Misses().byGroupAndType(
                      sim::ClassGroup::Priv, sim::MissType::Conf)),
                  std::to_string(
-                     agg.l2Misses.byGroup(sim::ClassGroup::Data))});
+                     agg.l2Misses().byGroup(sim::ClassGroup::Data))});
         }
         std::cout << tpcd::queryName(q) << '\n';
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ablation_associativity", argc, argv, benchMain);
+    return harness::benchMain("ablation_associativity", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

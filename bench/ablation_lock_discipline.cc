@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -19,17 +20,14 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_lock_discipline",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ablation_lock_discipline", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Ablation: per-rescan lock-manager discipline ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -50,11 +48,11 @@ benchMain(int argc, char **argv)
                                 static_cast<double>(agg.syncStall) /
                                 static_cast<double>(agg.totalCycles())),
                  std::to_string(
-                     agg.l2Misses.byClass(sim::DataClass::LockSLock)),
+                     agg.l2Misses().byClass(sim::DataClass::LockSLock)),
                  std::to_string(
-                     agg.l2Misses.byClass(sim::DataClass::LockHash)),
+                     agg.l2Misses().byClass(sim::DataClass::LockHash)),
                  std::to_string(
-                     agg.l2Misses.byClass(sim::DataClass::XidHash))});
+                     agg.l2Misses().byClass(sim::DataClass::XidHash))});
         }
     }
     tab.print(std::cout);
@@ -71,5 +69,7 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ablation_lock_discipline", argc, argv, benchMain);
+    return harness::benchMain("ablation_lock_discipline", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

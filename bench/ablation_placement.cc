@@ -28,6 +28,7 @@
 #include <iostream>
 #include <string>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -36,19 +37,15 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_placement",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kJson |
-            harness::BenchOptions::kScale | harness::BenchOptions::kCheck |
-            harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ablation_placement", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Ablation: NUMA page-placement policy ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.wireMemprof(cfg, &wl.db().catalog());
     const sim::PlacementPolicy::Geometry g{
         cfg.nprocs, cfg.pageBytes, sim::AddressSpace::kPrivateBase,
@@ -160,5 +157,8 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ablation_placement", argc, argv, benchMain);
+    return harness::benchMain("ablation_placement", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kJson |
+            harness::BenchOptions::kScale | harness::BenchOptions::kCheck |
+            harness::BenchOptions::kMemprof, run);
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -15,20 +16,17 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_prefetch_degree",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ablation_prefetch_degree", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Ablation: sequential prefetch degree (exec time, "
                  "Base=100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space()));
-    session.wireMemprof(sim::MachineConfig::baseline(),
+        opts, ctx.config(), &wl.db().space()));
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
 
     harness::TextTable tab(
@@ -39,7 +37,7 @@ benchMain(int argc, char **argv)
         double base = 0;
         std::vector<std::string> row{tpcd::queryName(q)};
         for (unsigned degree : {0u, 1u, 2u, 4u, 8u, 16u}) {
-            sim::MachineConfig cfg = sim::MachineConfig::baseline();
+            sim::MachineConfig cfg = ctx.config();
             cfg.prefetchData = degree > 0;
             cfg.prefetchDegree = degree;
             sim::ProcStats agg =
@@ -53,12 +51,14 @@ benchMain(int argc, char **argv)
         tab.addRow(std::move(row));
     }
     tab.print(std::cout);
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ablation_prefetch_degree", argc, argv, benchMain);
+    return harness::benchMain("ablation_prefetch_degree", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -19,13 +20,10 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_scaling",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ablation_scaling", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Ablation: inter-query workload vs. processor count "
                  "===\n\n";
 
@@ -36,7 +34,7 @@ benchMain(int argc, char **argv)
         for (unsigned nprocs : {1u, 2u, 4u, 8u}) {
             harness::Workload wl(tpcd::ScaleConfig::paperScale(), nprocs);
             harness::TraceSet traces = wl.trace(q);
-            sim::MachineConfig cfg = sim::MachineConfig::baseline();
+            sim::MachineConfig cfg = ctx.config();
             cfg.nprocs = nprocs;
             // Re-arms per sweep point: the JSON memprof block
             // reports the last point's profile.
@@ -52,7 +50,7 @@ benchMain(int argc, char **argv)
 
             std::uint64_t cohe = 0;
             for (std::size_t c = 0; c < sim::kNumDataClasses; ++c) {
-                cohe += agg.l2Misses.of(static_cast<sim::DataClass>(c),
+                cohe += agg.l2Misses().of(static_cast<sim::DataClass>(c),
                                         sim::MissType::Cohe);
             }
             tab.addRow(
@@ -63,19 +61,21 @@ benchMain(int argc, char **argv)
                                 static_cast<double>(agg.totalCycles())),
                  std::to_string(cohe / nprocs),
                  std::to_string(
-                     agg.l2Misses.byGroup(sim::ClassGroup::Data) /
+                     agg.l2Misses().byGroup(sim::ClassGroup::Data) /
                      nprocs)});
         }
         std::cout << tpcd::queryName(q) << '\n';
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ablation_scaling", argc, argv, benchMain);
+    return harness::benchMain("ablation_scaling", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -33,20 +34,17 @@ traceUF1(tpcd::TpcdDb &db, unsigned orders)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ablation_write_buffer",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ablation_write_buffer", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Ablation: write-buffer depth ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     harness::TraceSet q6 = wl.trace(tpcd::QueryId::Q6);
 
     tpcd::TpcdDb update_db(tpcd::ScaleConfig::paperScale(), 1);
-    session.wireMemprof(sim::MachineConfig::baseline(),
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
     harness::TraceSet uf1;
     uf1.push_back(traceUF1(update_db, update_db.scale().orders() / 20));
@@ -59,7 +57,7 @@ benchMain(int argc, char **argv)
         harness::TextTable tab({"entries", "exec cycles", "overflows",
                                 "Mem%"});
         for (std::size_t entries : {1, 4, 16, 64}) {
-            sim::MachineConfig cfg = sim::MachineConfig::baseline();
+            sim::MachineConfig cfg = ctx.config();
             cfg.nprocs = procs;
             cfg.writeBufferEntries = entries;
             // Geometry (nprocs) and address space differ per workload.
@@ -79,12 +77,14 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ablation_write_buffer", argc, argv, benchMain);
+    return harness::benchMain("ablation_write_buffer", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

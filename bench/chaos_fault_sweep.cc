@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -24,17 +25,16 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts =
-        harness::BenchOptions::parse(argc, argv, "chaos_fault_sweep");
-    harness::ObsSession session("chaos_fault_sweep", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Chaos sweep: fault injection under invariant "
                  "checking ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -114,5 +114,6 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("chaos_fault_sweep", argc, argv, benchMain);
+    return harness::benchMain("chaos_fault_sweep", argc, argv,
+                                 harness::BenchOptions::kAll, run);
 }

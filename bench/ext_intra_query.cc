@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -22,17 +23,14 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ext_intra_query",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ext_intra_query", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Extension: intra-query parallelism for Q6 ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -58,7 +56,7 @@ benchMain(int argc, char **argv)
         sim::ProcStats agg = s.aggregate();
         std::uint64_t cohe = 0;
         for (std::size_t c = 0; c < sim::kNumDataClasses; ++c) {
-            cohe += agg.l2Misses.of(static_cast<sim::DataClass>(c),
+            cohe += agg.l2Misses().of(static_cast<sim::DataClass>(c),
                                     sim::MissType::Cohe);
         }
         double speedup =
@@ -67,7 +65,7 @@ benchMain(int argc, char **argv)
         tab.addRow({name, std::to_string(s.executionTime()),
                     harness::fixed(speedup, 2),
                     std::to_string(
-                        agg.l2Misses.byGroup(sim::ClassGroup::Data)),
+                        agg.l2Misses().byGroup(sim::ClassGroup::Data)),
                     std::to_string(cohe)});
     };
     row("1 proc, whole Q6      ", s_solo);
@@ -85,5 +83,7 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ext_intra_query", argc, argv, benchMain);
+    return harness::benchMain("ext_intra_query", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -22,17 +23,14 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ext_nested_query",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ext_nested_query", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Extension: flat vs. nested Q4 ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -54,22 +52,22 @@ benchMain(int argc, char **argv)
                 .aggregate();
         const double total = static_cast<double>(agg.totalCycles());
         const double misses =
-            std::max(1.0, static_cast<double>(agg.l2Misses.total()));
+            std::max(1.0, static_cast<double>(agg.l2Misses().total()));
         tab.addRow(
             {name, std::to_string(agg.totalCycles()),
              harness::pct(static_cast<double>(agg.busy), total),
              harness::pct(static_cast<double>(agg.memStall), total),
              harness::pct(static_cast<double>(agg.syncStall), total),
              harness::pct(static_cast<double>(
-                              agg.l2Misses.byGroup(sim::ClassGroup::Data)),
+                              agg.l2Misses().byGroup(sim::ClassGroup::Data)),
                           misses),
              harness::pct(
                  static_cast<double>(
-                     agg.l2Misses.byGroup(sim::ClassGroup::Index)),
+                     agg.l2Misses().byGroup(sim::ClassGroup::Index)),
                  misses),
              harness::pct(
                  static_cast<double>(
-                     agg.l2Misses.byGroup(sim::ClassGroup::Metadata)),
+                     agg.l2Misses().byGroup(sim::ClassGroup::Metadata)),
                  misses)});
     }
     tab.print(std::cout);
@@ -85,5 +83,7 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ext_nested_query", argc, argv, benchMain);
+    return harness::benchMain("ext_nested_query", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

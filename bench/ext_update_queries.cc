@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -51,13 +52,10 @@ traceUpdate(tpcd::TpcdDb &db, bool uf1, unsigned orders, std::uint64_t seed)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "ext_update_queries",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("ext_update_queries", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Extension: TPC-D update functions UF1 / UF2 "
                  "(single processor) ===\n\n";
 
@@ -66,7 +64,7 @@ benchMain(int argc, char **argv)
     // bit so the trace is meaningful.
     const unsigned batch = db.scale().orders() / 20;
 
-    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    sim::MachineConfig cfg = ctx.config();
     cfg.nprocs = 1;
     session.usePlacement(harness::makePlacement(opts, cfg, &db.space()));
     session.wireMemprof(cfg, &db.catalog());
@@ -121,7 +119,7 @@ benchMain(int argc, char **argv)
 
         std::cout << (uf1 ? "UF1" : "UF2")
                   << ": L2 read-miss mix by structure\n";
-        harness::printMissTable(std::cout, "", agg.l2Misses);
+        harness::printMissTable(std::cout, "", agg.l2Misses());
         std::cout << '\n';
     }
     tab.print(std::cout);
@@ -146,5 +144,7 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("ext_update_queries", argc, argv, benchMain);
+    return harness::benchMain("ext_update_queries", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

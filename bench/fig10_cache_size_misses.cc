@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -43,20 +44,17 @@ sizeName(std::size_t bytes)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig10_cache_size_misses",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("fig10_cache_size_misses", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Figure 10: misses vs. cache size (baseline "
                  "4K/128K = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space()));
-    session.wireMemprof(sim::MachineConfig::baseline(),
+        opts, ctx.config(), &wl.db().space()));
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
@@ -66,7 +64,7 @@ benchMain(int argc, char **argv)
         std::vector<sim::ProcStats> results;
         for (const SizePoint &sp : kSizes) {
             sim::MachineConfig cfg =
-                sim::MachineConfig::baseline().withCacheSizes(sp.l1,
+                ctx.config().withCacheSizes(sp.l1,
                                                               sp.l2);
             results.push_back(
                 harness::runCold(cfg, traces, session.runOptions())
@@ -74,16 +72,16 @@ benchMain(int argc, char **argv)
         }
 
         const double base_l1 = std::max<double>(
-            1.0, static_cast<double>(results[0].l1Misses.total()));
+            1.0, static_cast<double>(results[0].l1Misses().total()));
         const double base_l2 = std::max<double>(
-            1.0, static_cast<double>(results[0].l2Misses.total()));
+            1.0, static_cast<double>(results[0].l2Misses().total()));
 
         auto print_level = [&](const char *name, bool l1, double base) {
             harness::TextTable tab({"caches", "Priv", "Data", "Index",
                                     "Metadata", "Total"});
             for (std::size_t i = 0; i < std::size(kSizes); ++i) {
                 const sim::MissTable &m =
-                    l1 ? results[i].l1Misses : results[i].l2Misses;
+                    l1 ? results[i].l1Misses() : results[i].l2Misses();
                 auto n = [&](sim::ClassGroup g) {
                     return harness::fixed(
                         100.0 * static_cast<double>(m.byGroup(g)) / base,
@@ -108,12 +106,14 @@ benchMain(int argc, char **argv)
         print_level("primary cache", true, base_l1);
         print_level("secondary cache", false, base_l2);
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig10_cache_size_misses", argc, argv, benchMain);
+    return harness::benchMain("fig10_cache_size_misses", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

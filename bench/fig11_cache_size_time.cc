@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -43,20 +44,17 @@ sizeName(std::size_t bytes)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig11_cache_size_time",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("fig11_cache_size_time", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Figure 11: execution time vs. cache size (baseline "
                  "4K/128K = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space()));
-    session.wireMemprof(sim::MachineConfig::baseline(),
+        opts, ctx.config(), &wl.db().space()));
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
@@ -66,7 +64,7 @@ benchMain(int argc, char **argv)
         std::vector<sim::ProcStats> results;
         for (const SizePoint &sp : kSizes) {
             sim::MachineConfig cfg =
-                sim::MachineConfig::baseline().withCacheSizes(sp.l1,
+                ctx.config().withCacheSizes(sp.l1,
                                                               sp.l2);
             results.push_back(
                 harness::runCold(cfg, traces, session.runOptions())
@@ -92,12 +90,14 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig11_cache_size_time", argc, argv, benchMain);
+    return harness::benchMain("fig11_cache_size_time", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

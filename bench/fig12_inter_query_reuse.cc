@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -25,7 +26,7 @@ namespace {
 void
 printRun(const std::string &label, const sim::SimStats &stats, double base)
 {
-    const sim::MissTable &m = stats.aggregate().l2Misses;
+    const sim::MissTable &m = stats.aggregate().l2Misses();
     auto n = [&](sim::ClassGroup g) {
         return harness::fixed(
             100.0 * static_cast<double>(m.byGroup(g)) / base, 1);
@@ -51,7 +52,7 @@ trimmed(std::string s)
 obs::Json
 normalizedRow(const sim::SimStats &stats, double base)
 {
-    const sim::MissTable &m = stats.aggregate().l2Misses;
+    const sim::MissTable &m = stats.aggregate().l2Misses();
     auto n = [&](sim::ClassGroup g) {
         return 100.0 * static_cast<double>(m.byGroup(g)) / base;
     };
@@ -67,17 +68,16 @@ normalizedRow(const sim::SimStats &stats, double base)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts =
-        harness::BenchOptions::parse(argc, argv, "fig12_inter_query_reuse");
-    harness::ObsSession session("fig12_inter_query_reuse", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Figure 12: secondary-cache misses with warm caches "
                  "(1M L1 / 32M L2; cold run = 100) ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    sim::MachineConfig cfg = sim::MachineConfig::baseline().withCacheSizes(
+    sim::MachineConfig cfg = ctx.config().withCacheSizes(
         1 << 20, 32 << 20);
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
@@ -114,7 +114,7 @@ benchMain(int argc, char **argv)
             if (!c.warm) {
                 base = std::max<double>(
                     1.0, static_cast<double>(
-                             measured.aggregate().l2Misses.total()));
+                             measured.aggregate().l2Misses().total()));
             }
             printRun(c.label, measured, base);
             if (session.wantJson()) {
@@ -147,5 +147,6 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig12_inter_query_reuse", argc, argv, benchMain);
+    return harness::benchMain("fig12_inter_query_reuse", argc, argv,
+                                 harness::BenchOptions::kAll, run);
 }

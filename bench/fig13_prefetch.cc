@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -20,18 +21,15 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig13_prefetch",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("fig13_prefetch", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Figure 13: sequential data prefetching (Base = 100) "
                  "===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
-    const sim::MachineConfig base_cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig base_cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, base_cfg, &wl.db().space()));
     session.wireMemprof(base_cfg, &wl.db().catalog());
@@ -74,5 +72,7 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig13_prefetch", argc, argv, benchMain);
+    return harness::benchMain("fig13_prefetch", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

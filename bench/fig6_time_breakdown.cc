@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -18,17 +19,16 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts =
-        harness::BenchOptions::parse(argc, argv, "fig6_time_breakdown");
-    harness::ObsSession session("fig6_time_breakdown", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Figure 6: execution time and memory-stall breakdown "
                  "(baseline machine) ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -74,5 +74,6 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig6_time_breakdown", argc, argv, benchMain);
+    return harness::benchMain("fig6_time_breakdown", argc, argv,
+                                 harness::BenchOptions::kAll, run);
 }

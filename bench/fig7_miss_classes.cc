@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -20,17 +21,16 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts =
-        harness::BenchOptions::parse(argc, argv, "fig7_miss_classes");
-    harness::ObsSession session("fig7_miss_classes", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Figure 7: miss classification by data structure "
                  "(baseline machine) ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -48,12 +48,12 @@ benchMain(int argc, char **argv)
 
         harness::printMissTable(
             std::cout, tpcd::queryName(q) + ": primary cache read misses",
-            agg.l1Misses);
+            agg.l1Misses());
         std::cout << '\n';
         harness::printMissTable(
             std::cout,
             tpcd::queryName(q) + ": secondary cache read misses",
-            agg.l2Misses);
+            agg.l2Misses());
         std::cout << '\n';
 
         rates.addRow({tpcd::queryName(q),
@@ -70,5 +70,6 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig7_miss_classes", argc, argv, benchMain);
+    return harness::benchMain("fig7_miss_classes", argc, argv,
+                                 harness::BenchOptions::kAll, run);
 }

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -27,20 +28,17 @@ constexpr std::size_t kBaselineLine = 64;
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig8_line_size_misses",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("fig8_line_size_misses", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Figure 8: misses vs. cache line size (normalized to "
                  "the 64 B-L2-line baseline = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space()));
-    session.wireMemprof(sim::MachineConfig::baseline(),
+        opts, ctx.config(), &wl.db().space()));
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
 
     for (tpcd::QueryId q : {tpcd::QueryId::Q3, tpcd::QueryId::Q6,
@@ -58,20 +56,20 @@ benchMain(int argc, char **argv)
         std::uint64_t base_l1 = 1, base_l2 = 1;
         for (std::size_t line : kLineSizes) {
             sim::MachineConfig cfg =
-                sim::MachineConfig::baseline().withLineSize(line);
+                ctx.config().withLineSize(line);
             sim::SimStats stats =
                 harness::runCold(cfg, traces, session.runOptions());
             sim::ProcStats agg = stats.aggregate();
             Row r{line, {}, {}};
             for (std::size_t g = 0; g < sim::kNumClassGroups; ++g) {
-                r.l1[g] = agg.l1Misses.byGroup(
+                r.l1[g] = agg.l1Misses().byGroup(
                     static_cast<sim::ClassGroup>(g));
-                r.l2[g] = agg.l2Misses.byGroup(
+                r.l2[g] = agg.l2Misses().byGroup(
                     static_cast<sim::ClassGroup>(g));
             }
             if (line == kBaselineLine) {
-                base_l1 = std::max<std::uint64_t>(1, agg.l1Misses.total());
-                base_l2 = std::max<std::uint64_t>(1, agg.l2Misses.total());
+                base_l1 = std::max<std::uint64_t>(1, agg.l1Misses().total());
+                base_l2 = std::max<std::uint64_t>(1, agg.l2Misses().total());
             }
             rows.push_back(r);
         }
@@ -110,12 +108,14 @@ benchMain(int argc, char **argv)
         print_level("primary cache", true, base_l1);
         print_level("secondary cache", false, base_l2);
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig8_line_size_misses", argc, argv, benchMain);
+    return harness::benchMain("fig8_line_size_misses", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -18,20 +19,17 @@
 using namespace dss;
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "fig9_line_size_time",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
-            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof);
-    harness::ObsSession session("fig9_line_size_time", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
     std::cout << "=== Figure 9: execution time vs. cache line size "
                  "(baseline 64 B = 100) ===\n\n";
 
     harness::Workload wl(tpcd::ScaleConfig::paperScale(), 4);
     session.usePlacement(harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space()));
-    session.wireMemprof(sim::MachineConfig::baseline(),
+        opts, ctx.config(), &wl.db().space()));
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
     constexpr std::size_t kLineSizes[] = {16, 32, 64, 128, 256};
 
@@ -43,7 +41,7 @@ benchMain(int argc, char **argv)
         std::vector<sim::ProcStats> results;
         for (std::size_t line : kLineSizes) {
             sim::MachineConfig cfg =
-                sim::MachineConfig::baseline().withLineSize(line);
+                ctx.config().withLineSize(line);
             results.push_back(
                 harness::runCold(cfg, traces, session.runOptions())
                     .aggregate());
@@ -72,12 +70,14 @@ benchMain(int argc, char **argv)
         tab.print(std::cout);
         std::cout << '\n';
     }
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("fig9_line_size_time", argc, argv, benchMain);
+    return harness::benchMain("fig9_line_size_time", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kPlacement |
+            harness::BenchOptions::kJson | harness::BenchOptions::kMemprof, run);
 }

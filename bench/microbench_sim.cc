@@ -20,6 +20,7 @@
 #include "sim/directory.hh"
 #include "sim/machine.hh"
 #include "sim/placement.hh"
+#include "sim/spec.hh"
 #include "sim/write_buffer.hh"
 
 using namespace dss::sim;
@@ -143,6 +144,33 @@ BM_MachineReplay(benchmark::State &state)
 BENCHMARK(BM_MachineReplay);
 
 /**
+ * The same streaming replay on the three-level `modern` preset: what the
+ * generalized level-chain walk costs when a chain actually has an
+ * intermediate level. Compare against BM_MachineReplay (two levels) to
+ * see the indirection's price; the two-level case itself must stay
+ * within 5% of the pre-refactor fixed-L1/L2 machine.
+ */
+void
+BM_HierarchyReplay(benchmark::State &state)
+{
+    TraceStream stream;
+    for (Addr a = 0; a < 1 << 20; a += 8) {
+        stream.record(TraceEntry::read(0x1000'0000 + a, DataClass::Data, 8));
+        stream.record(TraceEntry::busy(3));
+    }
+    const MachineConfig cfg = machinePreset("modern").config;
+    for (auto _ : state) {
+        Machine m(cfg);
+        SimStats s = m.run({&stream});
+        benchmark::DoNotOptimize(s.procs[0].reads);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_HierarchyReplay);
+
+/**
  * Engine comparison: four processors streaming over disjoint shared-space
  * regions, replayed by the sequential reference engine and by the
  * epoch-window parallel engine (one host thread per simulated processor).
@@ -215,7 +243,7 @@ BM_MemprofOverhead(benchmark::State &state, int mode)
         SimStats s = m.run(ptrs);
         benchmark::DoNotOptimize(s.procs[0].l2CoheTrue);
         if (mode >= 2) {
-            dss::obs::MemProfile prof({cfg.l2, cfg.nprocs, cfg.pageBytes});
+            dss::obs::MemProfile prof({cfg.coherent(), cfg.nprocs, cfg.pageBytes});
             prof.addTraces(ptrs);
             benchmark::DoNotOptimize(prof.lines().size());
         }

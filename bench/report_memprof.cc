@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -34,26 +35,22 @@ u64(const obs::Json &rec, const std::string &key)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    const harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "report_memprof",
-        harness::BenchOptions::kEngine | harness::BenchOptions::kJson |
-            harness::BenchOptions::kScale |
-            harness::BenchOptions::kMemprof);
-    harness::ObsSession session("report_memprof", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Line-level memory profile: hot lines, sharing "
                  "classification, symbols ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
 
     obs::RegionMap symbols;
     wl.db().catalog().describeRegions(symbols);
 
     obs::MemProfileConfig mc;
-    mc.l2 = cfg.l2;
+    mc.l2 = cfg.coherent();
     mc.nprocs = cfg.nprocs;
     mc.pageBytes = cfg.pageBytes;
 
@@ -110,5 +107,8 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("report_memprof", argc, argv, benchMain);
+    return harness::benchMain("report_memprof", argc, argv,
+                                 harness::BenchOptions::kEngine | harness::BenchOptions::kJson |
+            harness::BenchOptions::kScale |
+            harness::BenchOptions::kMemprof, run);
 }

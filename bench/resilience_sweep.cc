@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "sched/scheduler.hh"
@@ -70,13 +71,10 @@ runPoint(harness::Workload &wl, const sim::MachineConfig &cfg,
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "resilience_sweep",
-        harness::BenchOptions::kAll | harness::BenchOptions::kStream |
-            harness::BenchOptions::kResilience);
-    harness::ObsSession session("resilience_sweep", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     const unsigned instances =
         opts.streamInstances ? opts.streamInstances : 16;
@@ -110,7 +108,7 @@ benchMain(int argc, char **argv)
               << sched::shedPolicyName(res.shed) << ") ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.wireMemprof(cfg, &wl.db().catalog());
 
     // Captures are pure, so a shared cache never influences simulated
@@ -297,5 +295,7 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("resilience_sweep", argc, argv, benchMain);
+    return harness::benchMain("resilience_sweep", argc, argv,
+                                 harness::BenchOptions::kAll | harness::BenchOptions::kStream |
+            harness::BenchOptions::kResilience, run);
 }

@@ -13,6 +13,7 @@
 #include <array>
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -34,11 +35,10 @@ className(tpcd::QueryClass c)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts =
-        harness::BenchOptions::parse(argc, argv, "taxonomy_all_queries");
-    harness::ObsSession session("taxonomy_all_queries", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     std::cout << "=== Taxonomy: measured access-pattern class of Q1..Q17 "
                  "===\n\n";
@@ -53,7 +53,7 @@ benchMain(int argc, char **argv)
     if (opts.scale == "tiny")
         scale = tpcd::ScaleConfig::tiny();
     harness::Workload wl(scale, 4);
-    const sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    const sim::MachineConfig cfg = ctx.config();
     session.usePlacement(
         harness::makePlacement(opts, cfg, &wl.db().space()));
     session.wireMemprof(cfg, &wl.db().catalog());
@@ -81,11 +81,11 @@ benchMain(int argc, char **argv)
                 hops[g][h] += agg.hopsByGroup[g][h];
 
         const double data = static_cast<double>(
-            agg.l2Misses.byGroup(sim::ClassGroup::Data));
+            agg.l2Misses().byGroup(sim::ClassGroup::Data));
         const double index = static_cast<double>(
-            agg.l2Misses.byGroup(sim::ClassGroup::Index));
+            agg.l2Misses().byGroup(sim::ClassGroup::Index));
         const double meta = static_cast<double>(
-            agg.l2Misses.byGroup(sim::ClassGroup::Metadata));
+            agg.l2Misses().byGroup(sim::ClassGroup::Metadata));
         const double shared = std::max(1.0, data + index + meta);
 
         const double data_share = data / shared;
@@ -145,5 +145,6 @@ benchMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("taxonomy_all_queries", argc, argv, benchMain);
+    return harness::benchMain("taxonomy_all_queries", argc, argv,
+                                 harness::BenchOptions::kAll, run);
 }

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "harness/bench_main.hh"
 #include "harness/options.hh"
 #include "harness/report.hh"
 #include "sched/scheduler.hh"
@@ -70,13 +71,10 @@ printPoint(const std::string &label, const sched::StreamResult &r)
 } // namespace
 
 int
-benchMain(int argc, char **argv)
+run(harness::BenchContext &ctx)
 {
-    harness::BenchOptions opts = harness::BenchOptions::parse(
-        argc, argv, "throughput_stream",
-        harness::BenchOptions::kAll | harness::BenchOptions::kStream |
-            harness::BenchOptions::kResilience);
-    harness::ObsSession session("throughput_stream", opts);
+    harness::BenchOptions &opts = ctx.opts;
+    harness::ObsSession &session = ctx.session;
 
     const unsigned instances =
         opts.streamInstances ? opts.streamInstances : 12;
@@ -92,7 +90,7 @@ benchMain(int argc, char **argv)
               << (opts.traceCache ? "on" : "off") << ") ===\n\n";
 
     harness::Workload wl(opts.scaleConfig(), 4);
-    session.wireMemprof(sim::MachineConfig::baseline(),
+    session.wireMemprof(ctx.config(),
                         &wl.db().catalog());
 
     // One shared cache across every sweep point: captures are pure, so
@@ -130,7 +128,7 @@ benchMain(int argc, char **argv)
         solo.instances = 1;
         solo.mix = {{q, 1}};
         solo.paramVariants = 1;
-        TimedRun tr = runStream(wl, sim::MachineConfig::baseline(), solo,
+        TimedRun tr = runStream(wl, ctx.config(), solo,
                                 session.runOptions(), cachep);
         session.addRun("solo " + tpcd::queryName(q),
                        tr.result.records.front().stats);
@@ -162,7 +160,7 @@ benchMain(int argc, char **argv)
     const unsigned client_sweep[] = {1, 2, 4, 6};
     const unsigned proc_sweep[] = {2, 4};
     for (unsigned nprocs : proc_sweep) {
-        sim::MachineConfig cfg = sim::MachineConfig::baseline();
+        sim::MachineConfig cfg = ctx.config();
         cfg.nprocs = nprocs;
         for (unsigned clients : client_sweep) {
             sched::StreamConfig scfg = base;
@@ -181,7 +179,7 @@ benchMain(int argc, char **argv)
         scfg.mode = sched::ArrivalMode::Open;
         scfg.meanInterarrival = gap;
         runPoint("open gap" + std::to_string(gap),
-                 sim::MachineConfig::baseline(), scfg, cachep);
+                 ctx.config(), scfg, cachep);
     }
 
     // Cache validation: heaviest closed point, cold cache off vs on. The
@@ -193,16 +191,16 @@ benchMain(int argc, char **argv)
     vcfg.clients = 6;
     harness::RunOptions vro = session.runOptions();
     std::unique_ptr<sim::PlacementPolicy> vpol = harness::makePlacement(
-        opts, sim::MachineConfig::baseline(), &wl.db().space());
+        opts, ctx.config(), &wl.db().space());
     vro.placement = vpol.get();
-    TimedRun uncached = runStream(wl, sim::MachineConfig::baseline(), vcfg,
+    TimedRun uncached = runStream(wl, ctx.config(), vcfg,
                                   vro, nullptr, res);
     // Warm the cache with one pass, then measure the all-hit pass — the
     // repeated-stream scenario the cache exists for. Each pass gets a
     // fresh machine, so the warm pass cannot influence the measured one.
     sched::TraceCache vcache(opts.traceCacheCapacity);
-    runStream(wl, sim::MachineConfig::baseline(), vcfg, vro, &vcache, res);
-    TimedRun cached = runStream(wl, sim::MachineConfig::baseline(), vcfg,
+    runStream(wl, ctx.config(), vcfg, vro, &vcache, res);
+    TimedRun cached = runStream(wl, ctx.config(), vcfg,
                                 vro, &vcache, res);
     const std::string ju = toJson(uncached.result, true)["records"].dump();
     const std::string jc = toJson(cached.result, true)["records"].dump();
@@ -231,12 +229,14 @@ benchMain(int argc, char **argv)
         figure["cache_validation"] = std::move(v);
     }
 
-    return session.finish(sim::MachineConfig::baseline(), std::cerr) ? 0
+    return session.finish(ctx.config(), std::cerr) ? 0
                                                                      : 1;
 }
 
 int
 main(int argc, char **argv)
 {
-    return harness::guardedMain("throughput_stream", argc, argv, benchMain);
+    return harness::benchMain("throughput_stream", argc, argv,
+                                 harness::BenchOptions::kAll | harness::BenchOptions::kStream |
+            harness::BenchOptions::kResilience, run);
 }

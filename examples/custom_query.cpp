@@ -127,6 +127,6 @@ main()
               << harness::fixed(100 * tb.msync) << "%\n\n";
     harness::printMissTable(std::cout,
                             "L2 read misses (an Index-style query)",
-                            stats.aggregate().l2Misses);
+                            stats.aggregate().l2Misses());
     return 0;
 }

@@ -141,8 +141,8 @@ main(int argc, char **argv)
         sim::ProcStats agg = stats.aggregate();
 
         std::cout << "\nmachine: " << cfg.nprocs << " procs, L1 "
-                  << o.l1 / 1024 << "K/" << cfg.l1.lineBytes << "B, L2 "
-                  << o.l2 / 1024 << "K/" << cfg.l2.lineBytes
+                  << o.l1 / 1024 << "K/" << cfg.l1().lineBytes << "B, L2 "
+                  << o.l2 / 1024 << "K/" << cfg.l2().lineBytes
                   << "B, prefetch "
                   << (cfg.prefetchData
                           ? std::to_string(cfg.prefetchDegree)
@@ -172,7 +172,7 @@ main(int argc, char **argv)
         std::cout << '\n';
 
         harness::printMissTable(std::cout, "L2 read misses",
-                                agg.l2Misses);
+                                agg.l2Misses());
         return 0;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';

@@ -41,10 +41,10 @@ main(int argc, char **argv)
             harness::runCold(cfg, traces).aggregate();
         lines.addRow({std::to_string(line) + "B",
                       std::to_string(agg.totalCycles()),
-                      std::to_string(agg.l1Misses.total()),
-                      std::to_string(agg.l2Misses.total()),
+                      std::to_string(agg.l1Misses().total()),
+                      std::to_string(agg.l2Misses().total()),
                       std::to_string(
-                          agg.l2Misses.byGroup(sim::ClassGroup::Data))});
+                          agg.l2Misses().byGroup(sim::ClassGroup::Data))});
     }
     lines.print(std::cout);
 
@@ -66,9 +66,9 @@ main(int argc, char **argv)
                           std::to_string(l2 >> 10) + "K",
                       std::to_string(agg.totalCycles()),
                       std::to_string(
-                          agg.l1Misses.byGroup(sim::ClassGroup::Priv)),
+                          agg.l1Misses().byGroup(sim::ClassGroup::Priv)),
                       std::to_string(
-                          agg.l2Misses.byGroup(sim::ClassGroup::Data))});
+                          agg.l2Misses().byGroup(sim::ClassGroup::Data))});
     }
     sizes.print(std::cout);
 

@@ -45,6 +45,6 @@ main()
               << harness::fixed(100 * agg.l2GlobalMissRate(), 2) << "%\n\n";
 
     harness::printMissTable(std::cout, "L2 read misses by structure",
-                            agg.l2Misses);
+                            agg.l2Misses());
     return 0;
 }

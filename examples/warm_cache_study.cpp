@@ -18,11 +18,11 @@ void
 report(const char *label, const sim::SimStats &stats)
 {
     sim::ProcStats agg = stats.aggregate();
-    std::cout << label << ": L2 misses " << agg.l2Misses.total()
-              << " (Data " << agg.l2Misses.byGroup(sim::ClassGroup::Data)
-              << ", Index " << agg.l2Misses.byGroup(sim::ClassGroup::Index)
+    std::cout << label << ": L2 misses " << agg.l2Misses().total()
+              << " (Data " << agg.l2Misses().byGroup(sim::ClassGroup::Data)
+              << ", Index " << agg.l2Misses().byGroup(sim::ClassGroup::Index)
               << ", Metadata "
-              << agg.l2Misses.byGroup(sim::ClassGroup::Metadata)
+              << agg.l2Misses().byGroup(sim::ClassGroup::Metadata)
               << "), exec " << agg.totalCycles() << " cycles\n";
 }
 

@@ -3,7 +3,7 @@
 #
 # Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
 #                         [--placement] [--memprof] [--stream]
-#                         [--resilience] [build-dir]
+#                         [--resilience] [--machine] [build-dir]
 #
 # --sanitize builds into a separate build directory (build-tsan/,
 # build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
@@ -42,6 +42,15 @@
 # SLO accounting schema, outcome conservation at every swept point,
 # engine bit-identity, and breaker trip + recovery in the failure-window
 # scenario. The chaos gauntlet also runs these under each sanitizer.
+#
+# --machine runs the machine-spec checks: the hierarchy/spec unit tests,
+# `--machine list` preset discovery, byte-identity of the default report
+# against an explicit `--machine paper1997` (the spec layer must be
+# invisible to the goldens), the modern three-level preset over
+# Q3/Q6/Q12 under the invariant checker with per-level counter
+# reconciliation, and a machine-spec *file* (written on the spot) driving
+# a bench end to end. The chaos gauntlet also runs these under each
+# sanitizer.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -51,6 +60,7 @@ placement=0
 memprof=0
 stream=0
 resilience=0
+machine=0
 build=""
 
 for arg in "$@"; do
@@ -77,6 +87,9 @@ for arg in "$@"; do
             ;;
         --resilience)
             resilience=1
+            ;;
+        --machine)
+            machine=1
             ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
@@ -248,6 +261,122 @@ print("check.sh: resilience SLO schema, conservation, breaker life"
 PYRES
 }
 
+# Machine-spec checks against an existing build dir: the hierarchy and
+# spec unit tests, preset discovery, byte-identity of the default run
+# against an explicit --machine paper1997, the modern preset over
+# Q3/Q6/Q12 under the invariant checker with per-level counter
+# reconciliation, and a spec file written on the spot driving a bench.
+machine_checks() {
+    local dir="$1"
+    local filter='Hierarchy.*:MachineSpec.*:MachineValidation.*'
+    filter+=':BenchOptions.Machine*:BenchOptionsDeath.Machine*'
+    "$dir/tests/dss_tests" --gtest_filter="$filter"
+
+    # Preset discovery: `--machine list` prints every preset and exits 0.
+    local listing
+    listing="$("$dir/bench/fig6_time_breakdown" --machine list)"
+    for preset in paper1997 modern scaled64; do
+        if ! grep -q "$preset" <<< "$listing"; then
+            echo "check.sh: machine: '--machine list' lacks $preset" >&2
+            exit 1
+        fi
+    done
+
+    # The spec layer must be invisible to the goldens: a run with no
+    # --machine flag and one with an explicit paper1997 are the same
+    # binary report, byte for byte.
+    local dflt_json="$dir/machine_check_default.json"
+    local paper_json="$dir/machine_check_paper1997.json"
+    "$dir/bench/fig6_time_breakdown" --scale tiny \
+        --json "$dflt_json" > /dev/null
+    "$dir/bench/fig6_time_breakdown" --scale tiny --machine paper1997 \
+        --json "$paper_json" > /dev/null
+    if ! cmp -s "$dflt_json" "$paper_json"; then
+        echo "check.sh: machine: default report differs from an explicit" \
+             "--machine paper1997" >&2
+        exit 1
+    fi
+
+    # The modern three-level preset over Q3/Q6/Q12, invariant checker on.
+    local modern_json="$dir/machine_check_modern.json"
+    "$dir/bench/fig6_time_breakdown" --scale tiny --check \
+        --machine modern --json "$modern_json" > /dev/null
+
+    # A machine-spec *file* must drive a bench end to end: modern's
+    # geometry with a distinctive middle level (512K instead of 256K)
+    # so the report provably came from the file, not a preset.
+    local spec_json="$dir/machine_check_spec.json"
+    local file_json="$dir/machine_check_from_file.json"
+    cat > "$spec_json" <<'SPEC'
+{
+  "name": "check-file",
+  "levels": [
+    {"sizeBytes": 32768, "lineBytes": 64, "assoc": 8, "hitCycles": 1},
+    {"sizeBytes": 524288, "lineBytes": 64, "assoc": 8, "hitCycles": 14},
+    {"sizeBytes": 8388608, "lineBytes": 64, "assoc": 16,
+     "hitCycles": 48, "shared": true}
+  ]
+}
+SPEC
+    "$dir/bench/fig6_time_breakdown" --scale tiny \
+        --machine "$spec_json" --json "$file_json" > /dev/null
+
+    python3 - "$modern_json" "$file_json" <<'PYMACHINE'
+import json, sys
+
+modern = json.load(open(sys.argv[1]))
+fromfile = json.load(open(sys.argv[2]))
+
+def fail(msg):
+    sys.stderr.write("check.sh: machine: %s\n" % msg)
+    sys.exit(1)
+
+levels = modern.get("config", {}).get("levels")
+if not isinstance(levels, list) or len(levels) != 3:
+    fail("modern config does not expose a three-entry levels array")
+if not levels[-1].get("shared"):
+    fail("modern LLC lost its shared flag on the way to JSON")
+
+def miss_total(c, proc, lvl):
+    prefix = "%s.%s.miss." % (proc, lvl)
+    return sum(v for k, v in c.items() if k.startswith(prefix))
+
+for run in modern["runs"]:
+    c = run["counters"]
+    procs = sorted({k.split(".")[0] for k in c if k.startswith("proc")})
+    if not procs:
+        fail("%s exports no per-processor counters" % run["label"])
+    for p in procs:
+        l2_acc = c["%s.l2_accesses" % p]
+        if c["%s.l3_accesses" % p] == 0 and l2_acc > 0:
+            fail("%s %s: l2 accesses but the l3 was never consulted"
+                 % (run["label"], p))
+        # Every L1 miss is an L2 lookup, and every L2 lookup resolves.
+        if miss_total(c, p, "l1") != l2_acc:
+            fail("%s %s: l1 misses (%d) != l2 accesses (%d)"
+                 % (run["label"], p, miss_total(c, p, "l1"), l2_acc))
+        if c["%s.l2_hits" % p] + miss_total(c, p, "l2") != l2_acc:
+            fail("%s %s: l2 hits + misses != l2 accesses"
+                 % (run["label"], p))
+        # Atomics consult the coherence point even on an upper-level
+        # hit, so hits + misses bound the lookups from below.
+        l3_acc = c["%s.l3_accesses" % p]
+        if c["%s.l3_hits" % p] + miss_total(c, p, "l3") > l3_acc:
+            fail("%s %s: l3 hits + misses exceed l3 accesses"
+                 % (run["label"], p))
+
+file_levels = fromfile["config"]["levels"]
+if len(file_levels) != 3:
+    fail("spec file's three levels did not reach the report")
+if file_levels[1]["sizeBytes"] != 524288:
+    fail("spec file's 512K middle level did not reach the report"
+         " (got %d)" % file_levels[1]["sizeBytes"])
+
+print("check.sh: machine preset listing, paper1997 byte-identity,"
+      " modern counter reconciliation and spec-file run OK")
+PYMACHINE
+}
+
 # Line-level memory-profiler checks against an existing build dir: unit
 # tests, then report_memprof over Q3/Q6/Q12 with --memprof on both
 # engines, validating the JSON profile schema, the per-processor
@@ -335,7 +464,8 @@ if [[ "$chaos" -eq 1 ]]; then
         cmake -B "$dir" -S "$repo" -DSIM_SANITIZE="$san"
         cmake --build "$dir" -j"$(nproc)" \
             --target dss_tests chaos_fault_sweep ablation_placement \
-            report_memprof throughput_stream resilience_sweep
+            report_memprof throughput_stream resilience_sweep \
+            fig6_time_breakdown
         "$dir/tests/dss_tests" --gtest_filter="$filter"
         "$dir/bench/chaos_fault_sweep" --scale tiny
         "$dir/bench/ablation_placement" --scale tiny --check
@@ -347,6 +477,10 @@ if [[ "$chaos" -eq 1 ]]; then
         # Deadlines, shedding, breaker and node-failure migration under
         # the sanitizer, plus the SLO schema/conservation checks.
         resilience_checks "$dir"
+        # The N-level hierarchy and machine-spec layer under the
+        # sanitizer: preset discovery, paper1997 byte-identity, modern
+        # counter reconciliation and a spec-file-driven run.
+        machine_checks "$dir"
     done
     echo "check.sh: chaos gauntlet passed"
 elif [[ "$placement" -eq 1 ]]; then
@@ -404,6 +538,13 @@ elif [[ "$resilience" -eq 1 ]]; then
         --target dss_tests resilience_sweep
     resilience_checks "$build"
     echo "check.sh: resilience checks passed"
+elif [[ "$machine" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)" \
+        --target dss_tests fig6_time_breakdown
+    machine_checks "$build"
+    echo "check.sh: machine checks passed"
 elif [[ -n "$sanitize" ]]; then
     build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"

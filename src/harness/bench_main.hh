@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The shared entry point of the bench/ binaries.
+ *
+ * Every figure binary used to repeat the same preamble: parse the shared
+ * flags, build an ObsSession, run the body under guardedMain's
+ * catch-and-report guard. benchMain() lifts that into one place — which
+ * is also where `--machine` resolves: the selected MachineSpec is loaded
+ * and validated before the body runs, so every bench gains machine
+ * selection without touching its own code.
+ *
+ *     int main(int argc, char **argv)
+ *     {
+ *         return harness::benchMain(
+ *             "fig6_time_breakdown", argc, argv,
+ *             harness::BenchOptions::kAll,
+ *             [](harness::BenchContext &ctx) {
+ *                 const sim::MachineConfig &cfg = ctx.config();
+ *                 ...
+ *                 return ctx.session.finish(cfg, std::cerr) ? 0 : 1;
+ *             });
+ *     }
+ *
+ * Benches that sweep machine geometry derive their sweep points from
+ * ctx.config() (withLineSize, withCacheSizes, ...), so `--machine`
+ * composes with the sweeps instead of fighting them.
+ */
+
+#ifndef DSS_HARNESS_BENCH_MAIN_HH
+#define DSS_HARNESS_BENCH_MAIN_HH
+
+#include <functional>
+#include <string>
+
+#include "harness/options.hh"
+#include "sim/spec.hh"
+
+namespace dss {
+namespace harness {
+
+/** Everything the shared preamble sets up for a bench body. */
+struct BenchContext
+{
+    BenchOptions opts;
+    sim::MachineSpec spec; ///< resolved --machine (default paper1997)
+    ObsSession session;
+
+    /** The machine the bench should simulate (or derive sweeps from). */
+    const sim::MachineConfig &config() const { return spec.config; }
+};
+
+/**
+ * Parse flags (@p flags | kMachine), resolve --machine into a validated
+ * MachineSpec, open an ObsSession, and run @p body under guardedMain.
+ * Returns the process exit code: the body's return value, 2 for bad
+ * flags, 3 (kErrorExitCode) for SimError/QueryAbort/exceptions — exactly
+ * the codes the binaries have always used.
+ */
+int benchMain(const std::string &bench_name, int argc, char **argv,
+              unsigned flags, const std::function<int(BenchContext &)> &body);
+
+} // namespace harness
+} // namespace dss
+
+#endif // DSS_HARNESS_BENCH_MAIN_HH

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/stats_json.hh"
+#include "sim/spec.hh"
 
 namespace dss {
 namespace harness {
@@ -80,6 +81,11 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
            << "  --breaker <p>    per-class circuit breaker: shed a class\n"
               "                   whose recent timeout rate reaches p in\n"
               "                   (0,1]; half-opens after a cooldown\n";
+    if (flags & BenchOptions::kMachine)
+        os << "  --machine <m>    machine spec: a preset (paper1997 "
+              "default,\n"
+              "                   modern, scaled64), a JSON spec file, or\n"
+              "                   'list' to print the presets\n";
     if (flags & BenchOptions::kMemprof)
         os << "  --memprof[=N]    line-level memory profiler: hot lines "
               "with\n"
@@ -278,6 +284,13 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
                 std::exit(2);
             }
             opts.breakerThreshold = r;
+        } else if (arg == "--machine" && supported(arg, kMachine)) {
+            opts.machine = needValue(i++);
+            if (opts.machine == "list") {
+                for (const std::string &n : sim::machinePresetNames())
+                    std::cout << n << '\n';
+                std::exit(0);
+            }
         } else if (arg == "--memprof" && supported(arg, kMemprof)) {
             opts.memprof = true;
         } else if (arg.rfind("--memprof=", 0) == 0 &&
@@ -362,7 +375,7 @@ ObsSession::wireMemprof(const sim::MachineConfig &cfg,
     if (!opts_.memprof)
         return;
     obs::MemProfileConfig mc;
-    mc.l2 = cfg.l2;
+    mc.l2 = cfg.coherent();
     mc.nprocs = cfg.nprocs;
     mc.pageBytes = cfg.pageBytes;
     memProfile_ = std::make_unique<obs::MemProfile>(mc);

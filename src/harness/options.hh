@@ -31,6 +31,12 @@
  *                    only by stream-aware benches (the kStream flag bit,
  *                    deliberately outside kAll); --trace-cache N bounds
  *                    the cache to N entries with LRU eviction
+ *   --machine <preset|file.json>
+ *                    machine specification (sim/spec.hh): paper1997
+ *                    (default), modern, scaled64, or a JSON spec file;
+ *                    "--machine list" prints the presets (the kMachine
+ *                    bit — every bench built on harness::benchMain
+ *                    accepts it)
  *   --deadline <c> / --queue-cap <n> / --shed <newest|class|deadline>
  *                  / --breaker <p>
  *                    stream resilience knobs (src/sched/resilience.hh):
@@ -91,6 +97,12 @@ struct BenchOptions
          * outside kAll: only resilience-aware stream benches opt in.
          */
         kResilience = 1u << 10,
+        /**
+         * --machine. Outside kAll so direct parse() callers are
+         * unaffected; harness::benchMain ORs it in, which is how all
+         * bench binaries pick the flag up in one place.
+         */
+        kMachine = 1u << 11,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -117,6 +129,8 @@ struct BenchOptions
     std::uint64_t queueCapacity = ~std::uint64_t{0};
     std::string shedPolicy = "newest"; ///< --shed: newest, class, deadline
     double breakerThreshold = 0.0; ///< --breaker; 0 = breaker off
+    /** --machine: preset name or JSON spec path (sim::loadSpec). */
+    std::string machine = "paper1997";
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints

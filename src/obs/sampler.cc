@@ -152,8 +152,8 @@ Sampler::toJson() const
                 }
                 return m;
             };
-            jp["l1MissByClass"] = missByClass(d.l1Misses);
-            jp["l2MissByClass"] = missByClass(d.l2Misses);
+            jp["l1MissByClass"] = missByClass(d.l1Misses());
+            jp["l2MissByClass"] = missByClass(d.l2Misses());
             procs.push(std::move(jp));
         }
         js["procs"] = std::move(procs);

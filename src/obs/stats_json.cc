@@ -50,16 +50,16 @@ toJson(const sim::ProcStats &p)
     out["reads"] = p.reads;
     out["writes"] = p.writes;
     out["assumedHitReads"] = p.assumedHitReads;
-    out["l1Hits"] = p.l1Hits;
-    out["l2Accesses"] = p.l2Accesses;
-    out["l2Hits"] = p.l2Hits;
+    out["l1Hits"] = p.l1Hits();
+    out["l2Accesses"] = p.l2Accesses();
+    out["l2Hits"] = p.l2Hits();
     out["wbOverflows"] = p.wbOverflows;
     out["prefetchesIssued"] = p.prefetchesIssued;
     out["prefetchesUseful"] = p.prefetchesUseful;
     out["l1MissRatePct"] = 100.0 * p.l1MissRate();
     out["l2GlobalMissRatePct"] = 100.0 * p.l2GlobalMissRate();
-    out["l1Misses"] = toJson(p.l1Misses);
-    out["l2Misses"] = toJson(p.l2Misses);
+    out["l1Misses"] = toJson(p.l1Misses());
+    out["l2Misses"] = toJson(p.l2Misses());
     return out;
 }
 
@@ -134,8 +134,20 @@ toJson(const sim::MachineConfig &m)
 {
     Json out = Json::object();
     out["nprocs"] = m.nprocs;
-    out["l1"] = toJson(m.l1);
-    out["l2"] = toJson(m.l2);
+    // The two-level names are pinned by the golden reports; deeper
+    // chains append the extra levels without disturbing them.
+    out["l1"] = toJson(m.l1());
+    out["l2"] = toJson(m.l2());
+    if (m.numLevels() > 2) {
+        Json levels = Json::array();
+        for (const sim::LevelConfig &lc : m.levels) {
+            Json lvl = toJson(static_cast<const sim::CacheConfig &>(lc));
+            lvl["hitCycles"] = lc.hitCycles;
+            lvl["shared"] = lc.shared;
+            levels.push(std::move(lvl));
+        }
+        out["levels"] = std::move(levels);
+    }
     out["writeBufferEntries"] = m.writeBufferEntries;
     out["pageBytes"] = m.pageBytes;
     out["latency"] = toJson(m.lat);

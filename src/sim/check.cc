@@ -12,16 +12,16 @@ namespace sim {
 
 namespace {
 
-constexpr std::uint8_t
+constexpr std::uint64_t
 bit(ProcId p)
 {
-    return static_cast<std::uint8_t>(1u << p);
+    return std::uint64_t{1} << p;
 }
 
 unsigned
-popcount(std::uint8_t mask)
+popcount(std::uint64_t mask)
 {
-    return static_cast<unsigned>(std::bitset<8>(mask).count());
+    return static_cast<unsigned>(std::bitset<64>(mask).count());
 }
 
 std::string
@@ -66,10 +66,10 @@ InvariantChecker::checkLine(const Machine &m, Addr addr)
     // clean copy (see file comment); tolerate exactly that shape.
     const bool tol = cfg.prefetchData;
 
-    std::uint8_t holders = 0;
-    std::uint8_t dirty = 0;
+    std::uint64_t holders = 0;
+    std::uint64_t dirty = 0;
     for (ProcId p = 0; p < cfg.nprocs; ++p) {
-        const Cache &l2 = m.nodes_[p]->l2;
+        const Cache &l2 = m.nodes_[p]->coh();
         if (!l2.contains(line))
             continue;
         holders |= bit(p);
@@ -112,14 +112,12 @@ InvariantChecker::checkLine(const Machine &m, Addr addr)
             report(Invariant::DirState, line, 0,
                    "dirty cached copy of " + hexAddr(line) +
                        " under a Shared directory entry");
-        const std::uint8_t missing =
-            static_cast<std::uint8_t>(e.sharers & ~holders);
+        const std::uint64_t missing = e.sharers & ~holders;
         if (missing != 0)
             report(Invariant::DirState, line, 0,
                    "sharer bits " + std::to_string(missing) + " of " +
                        hexAddr(line) + " name caches with no copy");
-        const std::uint8_t extra =
-            static_cast<std::uint8_t>(holders & ~e.sharers);
+        const std::uint64_t extra = holders & ~e.sharers;
         if (extra != 0 && !tol)
             report(Invariant::DirState, line, 0,
                    "caches " + std::to_string(extra) + " hold " +
@@ -145,8 +143,7 @@ InvariantChecker::checkLine(const Machine &m, Addr addr)
             report(Invariant::DirState, line, e.owner,
                    "Dirty entry for " + hexAddr(line) +
                        " with sharer set != owner bit");
-        const std::uint8_t others =
-            static_cast<std::uint8_t>(holders & ~bit(e.owner));
+        const std::uint64_t others = holders & ~bit(e.owner);
         if (others != 0 && !tol)
             report(Invariant::DirState, line, e.owner,
                    "caches " + std::to_string(others) +
@@ -155,17 +152,25 @@ InvariantChecker::checkLine(const Machine &m, Addr addr)
       }
     }
 
-    // --- Inclusion: L1 sublines require the enclosing L2 line ---
+    // --- Inclusion: each level's sublines require the enclosing line
+    // one level down, pairwise along the whole chain ---
     for (ProcId p = 0; p < cfg.nprocs; ++p) {
         const Machine::Node &n = *m.nodes_[p];
-        if (n.l2.contains(line))
-            continue;
-        for (Addr a = line; a < line + cfg.l2.lineBytes;
-             a += cfg.l1.lineBytes) {
-            if (n.l1.contains(a))
-                report(Invariant::Inclusion, a, p,
-                       "L1 of proc " + std::to_string(p) + " holds " +
-                           hexAddr(a) + " without the L2 line");
+        for (std::size_t u = 0; u + 1 < n.caches.size(); ++u) {
+            for (Addr la = line; la < line + cfg.coherent().lineBytes;
+                 la += cfg.levels[u + 1].lineBytes) {
+                if (n.caches[u + 1].contains(la))
+                    continue;
+                for (Addr a = la; a < la + cfg.levels[u + 1].lineBytes;
+                     a += cfg.levels[u].lineBytes) {
+                    if (n.caches[u].contains(a))
+                        report(Invariant::Inclusion, a, p,
+                               "L" + std::to_string(u + 1) + " of proc " +
+                                   std::to_string(p) + " holds " +
+                                   hexAddr(a) + " without the L" +
+                                   std::to_string(u + 2) + " line");
+                }
+            }
         }
     }
 }
@@ -270,22 +275,26 @@ InvariantChecker::sweep(const Machine &m)
         lines.push_back(addr);
     }
     for (ProcId p = 0; p < m.cfg_.nprocs; ++p)
-        for (Addr a : m.nodes_[p]->l2.residentLines())
+        for (Addr a : m.nodes_[p]->coh().residentLines())
             lines.push_back(m.dir_.lineAddrOf(a));
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
     for (Addr a : lines)
         checkLine(m, a);
 
-    // Full inclusion pass from the L1 side (checkLine only covers lines
-    // the L2/directory know about).
+    // Full inclusion pass from the upper side (checkLine only covers
+    // lines the coherent level/directory know about): every resident
+    // line at level u must be enclosed at level u+1.
     for (ProcId p = 0; p < m.cfg_.nprocs; ++p) {
         const Machine::Node &n = *m.nodes_[p];
-        for (Addr a : n.l1.residentLines())
-            if (!n.l2.contains(a))
-                report(Invariant::Inclusion, a, p,
-                       "L1 of proc " + std::to_string(p) + " holds " +
-                           hexAddr(a) + " without the L2 line");
+        for (std::size_t u = 0; u + 1 < n.caches.size(); ++u)
+            for (Addr a : n.caches[u].residentLines())
+                if (!n.caches[u + 1].contains(a))
+                    report(Invariant::Inclusion, a, p,
+                           "L" + std::to_string(u + 1) + " of proc " +
+                               std::to_string(p) + " holds " + hexAddr(a) +
+                               " without the L" + std::to_string(u + 2) +
+                               " line");
         checkWriteBuffer(m, p);
     }
     checkLocks(m);

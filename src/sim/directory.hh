@@ -65,7 +65,7 @@ class Directory
     struct Entry
     {
         State state = State::Uncached;
-        std::uint8_t sharers = 0; ///< bitmask of caching nodes
+        std::uint64_t sharers = 0; ///< bitmask of caching nodes
         ProcId owner = 0;         ///< valid when state == Dirty
 
         bool operator==(const Entry &o) const = default;

@@ -10,6 +10,7 @@
 #include "sim/arena.hh"
 #include "sim/check.hh"
 #include "sim/error.hh"
+#include "sim/hierarchy.hh"
 #include "sim/machine_impl.hh"
 #include "sim/par_engine.hh"
 
@@ -18,10 +19,10 @@ namespace sim {
 
 namespace {
 
-constexpr std::uint8_t
+constexpr std::uint64_t
 bit(ProcId p)
 {
-    return static_cast<std::uint8_t>(1u << p);
+    return std::uint64_t{1} << p;
 }
 
 std::string
@@ -42,12 +43,20 @@ MachineConfig::baseline()
     return MachineConfig{};
 }
 
+void
+MachineConfig::validate() const
+{
+    validateMachineConfig(*this);
+}
+
 MachineConfig
 MachineConfig::withLineSize(std::size_t l2_line) const
 {
     MachineConfig c = *this;
-    c.l2.lineBytes = l2_line;
-    c.l1.lineBytes = l2_line / 2;
+    for (std::size_t lvl = 1; lvl < c.levels.size(); ++lvl)
+        c.levels[lvl].lineBytes = l2_line;
+    c.l1().lineBytes = l2_line / 2;
+    c.validate();
     return c;
 }
 
@@ -56,27 +65,32 @@ MachineConfig::withCacheSizes(std::size_t l1_bytes,
                               std::size_t l2_bytes) const
 {
     MachineConfig c = *this;
-    c.l1.sizeBytes = l1_bytes;
-    c.l2.sizeBytes = l2_bytes;
+    c.l1().sizeBytes = l1_bytes;
+    c.coherent().sizeBytes = l2_bytes;
+    c.validate();
     return c;
 }
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg),
-      dir_(cfg.nprocs, cfg.l2.lineBytes, cfg.pageBytes,
+    : cfg_((validateMachineConfig(cfg), cfg)),
+      dir_(cfg.nprocs, cfg.coherent().lineBytes, cfg.pageBytes,
            AddressSpace::kPrivateBase, AddressSpace::kPrivateStride,
            cfg.lat)
 {
-    if (cfg_.l1.lineBytes * 2 != cfg_.l2.lineBytes)
-        throw std::invalid_argument("L1 line must be half the L2 line");
-    // L2 round trip, adjusted for the L1-line transfer time relative to
-    // the baseline 32 B L1 line.
+    // Hit round trips, adjusted for the L1-line transfer time relative
+    // to the baseline 32 B L1 line (critical-word-first: short lines are
+    // not faster). Level 0's entry is the no-stall L1 hit cost.
     std::int64_t adj =
-        (static_cast<std::int64_t>(cfg_.l1.lineBytes) - 32) /
+        (static_cast<std::int64_t>(cfg_.l1().lineBytes) - 32) /
         static_cast<std::int64_t>(cfg_.lat.ctrlBytesPerCycle);
     if (adj < 0)
-        adj = 0; // critical-word-first: short lines are not faster
-    l2HitLat_ = cfg_.lat.l2Hit + static_cast<Cycles>(adj);
+        adj = 0;
+    nlev_ = cfg_.numLevels();
+    levelHitLat_[0] = cfg_.lat.l1Hit;
+    for (std::size_t lvl = 1; lvl < nlev_; ++lvl)
+        levelHitLat_[lvl] =
+            cfg_.levels[lvl].hitCycles + static_cast<Cycles>(adj);
+    cohHitLat_ = levelHitLat_[nlev_ - 1];
     nodes_.reserve(cfg_.nprocs);
     for (unsigned p = 0; p < cfg_.nprocs; ++p)
         nodes_.push_back(std::make_unique<Node>(cfg_));
@@ -104,8 +118,8 @@ void
 Machine::resetMemoryState()
 {
     for (auto &n : nodes_) {
-        n->l1.reset();
-        n->l2.reset();
+        for (Cache &c : n->caches)
+            c.reset();
         n->wb.reset();
         n->prefetched.clear();
     }
@@ -130,7 +144,8 @@ void
 Machine::classifyCoheMiss(ProcStats &st, ProcId p, Addr addr, unsigned size,
                           Addr l2_line) const
 {
-    const WordMask wm = wordMaskOf(addr, size, l2_line, cfg_.l2.lineBytes);
+    const WordMask wm =
+        wordMaskOf(addr, size, l2_line, cfg_.coherent().lineBytes);
     if (sharing_->isTrueSharing(p, l2_line, wm))
         ++st.l2CoheTrue;
     else
@@ -146,9 +161,24 @@ Machine::dropFromDirectory(ProcId p, Addr l2_line)
         e.sharers = 0;
         return;
     }
-    e.sharers &= static_cast<std::uint8_t>(~bit(p));
+    e.sharers &= ~bit(p);
     if (e.sharers == 0 && e.state == Directory::State::Shared)
         e.state = Directory::State::Uncached;
+}
+
+void
+Machine::invalidateUpperLevels(ProcId p, Addr line, bool coherence)
+{
+    Node &n = *nodes_[p];
+    const std::size_t coh_bytes = cfg_.coherent().lineBytes;
+    for (std::size_t u = 0; u + 1 < n.caches.size(); ++u) {
+        for (Addr a = line; a < line + coh_bytes;
+             a += cfg_.levels[u].lineBytes) {
+            n.caches[u].invalidate(a, coherence);
+            if (u == 0)
+                n.prefetched.erase(a);
+        }
+    }
 }
 
 void
@@ -158,13 +188,8 @@ Machine::invalidateOtherCaches(Addr l2_line, ProcId except)
     for (ProcId q = 0; q < cfg_.nprocs; ++q) {
         if (q == except || !(e.sharers & bit(q)))
             continue;
-        Node &n = *nodes_[q];
-        n.l2.invalidate(l2_line, /*coherence=*/true);
-        for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
-             a += cfg_.l1.lineBytes) {
-            n.l1.invalidate(a, /*coherence=*/true);
-            n.prefetched.erase(a);
-        }
+        nodes_[q]->coh().invalidate(l2_line, /*coherence=*/true);
+        invalidateUpperLevels(q, l2_line, /*coherence=*/true);
     }
     if (e.state == Directory::State::Dirty && e.owner != except) {
         e.state = Directory::State::Uncached;
@@ -183,10 +208,10 @@ Machine::applyReadFillDir(ProcId p, Addr l2_line)
     if (e.state == Directory::State::Dirty && e.owner != p) {
         // The owner's copy is written back and downgraded to Shared.
         Node &own = *nodes_[e.owner];
-        if (own.l2.contains(l2_line))
-            own.l2.markClean(l2_line);
+        if (own.coh().contains(l2_line))
+            own.coh().markClean(l2_line);
         e.state = Directory::State::Shared;
-        e.sharers = static_cast<std::uint8_t>(bit(e.owner) | bit(p));
+        e.sharers = bit(e.owner) | bit(p);
     } else {
         if (e.state == Directory::State::Uncached)
             e.state = Directory::State::Shared;
@@ -213,8 +238,8 @@ Machine::applyStoreDir(ProcId p, Addr l2_line, WordMask wmask)
     // interleaved remote ReadFill may have downgraded the copy to clean
     // after the eager phase-A cache update.
     Node &n = *nodes_[p];
-    if (n.l2.contains(l2_line))
-        n.l2.markDirty(l2_line);
+    if (n.coh().contains(l2_line))
+        n.coh().markDirty(l2_line);
     if (sharing_)
         sharing_->recordStore(p, l2_line, wmask);
 }
@@ -230,9 +255,9 @@ Machine::reconcileDirAfterBarrier(Addr l2_line)
     // the ground truth — once the barrier has fully drained. Sequential
     // runs never call this: their directory ops are applied in-step.
     Directory::Entry &e = dir_.entry(l2_line);
-    std::uint8_t holders = 0;
+    std::uint64_t holders = 0;
     for (ProcId p = 0; p < static_cast<ProcId>(nodes_.size()); ++p)
-        if (nodes_[p]->l2.contains(l2_line))
+        if (nodes_[p]->coh().contains(l2_line))
             holders |= bit(p);
     switch (e.state) {
       case Directory::State::Dirty:
@@ -277,11 +302,37 @@ void
 Machine::fillL1(ProcId p, Addr addr)
 {
     Node &n = *nodes_[p];
-    if (n.l1.contains(addr))
+    if (n.l1().contains(addr))
         return;
-    Cache::Victim v = n.l1.fill(addr);
+    Cache::Victim v = n.l1().fill(addr);
     if (v.valid)
         n.prefetched.erase(v.lineAddr); // write-through L1: never dirty
+}
+
+void
+Machine::fillIntermediates(ProcId p, Addr addr)
+{
+    Node &n = *nodes_[p];
+    for (std::size_t lvl = n.caches.size() - 1; lvl-- > 1;) {
+        Cache &c = n.caches[lvl];
+        if (c.contains(addr))
+            continue;
+        Cache::Victim v = c.fill(addr, /*dirty=*/false);
+        if (!v.valid)
+            continue;
+        // Strict inclusion: levels above this one drop the victim's
+        // sublines. No writeback — intermediates hold clean copies, and
+        // the level below still has the line.
+        for (std::size_t u = 0; u < lvl; ++u) {
+            for (Addr a = v.lineAddr;
+                 a < v.lineAddr + cfg_.levels[lvl].lineBytes;
+                 a += cfg_.levels[u].lineBytes) {
+                n.caches[u].invalidate(a, /*coherence=*/false);
+                if (u == 0)
+                    n.prefetched.erase(a);
+            }
+        }
+    }
 }
 
 void
@@ -445,6 +496,8 @@ Machine::run(const std::vector<const TraceStream *> &traces,
 
     runs_.clear();
     runs_.resize(cfg_.nprocs);
+    for (ProcRun &r : runs_)
+        r.stats.levels = static_cast<std::uint8_t>(cfg_.numLevels());
     for (std::size_t i = 0; i < traces.size(); ++i)
         runs_[i].entries = &traces[i]->entries();
 
@@ -603,10 +656,21 @@ Machine::registerStats(obs::Registry &reg, const std::string &prefix) const
         proc("sync_stall", [](const ProcStats &s) { return s.syncStall; });
         proc("reads", [](const ProcStats &s) { return s.reads; });
         proc("writes", [](const ProcStats &s) { return s.writes; });
-        proc("l1_hits", [](const ProcStats &s) { return s.l1Hits; });
+        proc("l1_hits", [](const ProcStats &s) { return s.l1Hits(); });
         proc("l2_accesses",
-             [](const ProcStats &s) { return s.l2Accesses; });
-        proc("l2_hits", [](const ProcStats &s) { return s.l2Hits; });
+             [](const ProcStats &s) { return s.l2Accesses(); });
+        proc("l2_hits", [](const ProcStats &s) { return s.l2Hits(); });
+        // Deeper chains export their extra levels alongside; on the
+        // two-level baseline none of these exist and the registry's
+        // metric set is exactly the legacy one.
+        for (std::size_t lvl = 2; lvl < cfg_.numLevels(); ++lvl) {
+            proc((levelName(lvl) + "_accesses").c_str(),
+                 [lvl](const ProcStats &s) {
+                     return s.levelAccesses[lvl];
+                 });
+            proc((levelName(lvl) + "_hits").c_str(),
+                 [lvl](const ProcStats &s) { return s.levelHits[lvl]; });
+        }
         proc("wb_overflows",
              [](const ProcStats &s) { return s.wbOverflows; });
         proc("prefetch_issued",
@@ -621,8 +685,8 @@ Machine::registerStats(obs::Registry &reg, const std::string &prefix) const
         proc("miss.cohe", [](const ProcStats &s) {
             std::uint64_t n = 0;
             for (std::size_t c = 0; c < kNumDataClasses; ++c)
-                n += s.l2Misses.of(static_cast<DataClass>(c),
-                                   MissType::Cohe);
+                n += s.cohMisses().of(static_cast<DataClass>(c),
+                                      MissType::Cohe);
             return n;
         });
         proc("miss.cohe.true",
@@ -651,29 +715,30 @@ Machine::registerStats(obs::Registry &reg, const std::string &prefix) const
             }
         }
 
-        // One counter per miss-table cell: proc0.l1.miss.cold.index ...
-        for (int lvl = 0; lvl < 2; ++lvl) {
-            const bool l1 = lvl == 0;
+        // One counter per miss-table cell and level:
+        // proc0.l1.miss.cold.index ... proc0.l3.miss.cohe.data ...
+        for (std::size_t lvl = 0; lvl < cfg_.numLevels(); ++lvl) {
             for (std::size_t t = 0; t < kNumMissTypes; ++t) {
                 for (std::size_t c = 0; c < kNumDataClasses; ++c) {
                     auto mt = static_cast<MissType>(t);
                     auto cls = static_cast<DataClass>(c);
                     std::string name = obs::metricName(
-                        base, std::string(l1 ? "l1" : "l2") + ".miss." +
+                        base, levelName(lvl) + ".miss." +
                                   lowered(missTypeName(mt)) + "." +
                                   lowered(dataClassName(cls)));
-                    reg.addCounter(name, [this, p, l1, cls, mt] {
+                    reg.addCounter(name, [this, p, lvl, cls, mt] {
                         if (p >= runs_.size())
                             return std::uint64_t{0};
                         const ProcStats &s = runs_[p].stats;
-                        return (l1 ? s.l1Misses : s.l2Misses).of(cls, mt);
+                        return s.levelMisses[lvl].of(cls, mt);
                     });
                 }
             }
         }
 
-        nodes_[p]->l1.registerStats(reg, base + ".l1");
-        nodes_[p]->l2.registerStats(reg, base + ".l2");
+        for (std::size_t lvl = 0; lvl < cfg_.numLevels(); ++lvl)
+            nodes_[p]->caches[lvl].registerStats(
+                reg, base + "." + levelName(lvl));
         nodes_[p]->wb.registerStats(reg, base + ".wb");
     }
     dir_.registerStats(reg, obs::metricName(prefix, "dir"));

@@ -34,6 +34,7 @@
 #include "sim/cache.hh"
 #include "sim/directory.hh"
 #include "sim/engine.hh"
+#include "sim/hierarchy.hh"
 #include "sim/sharing.hh"
 #include "sim/spinlock_model.hh"
 #include "sim/stats.hh"
@@ -54,8 +55,15 @@ namespace sim {
 struct MachineConfig
 {
     unsigned nprocs = 4;
-    CacheConfig l1{4 * 1024, 32, 1};
-    CacheConfig l2{128 * 1024, 64, 2};
+
+    /**
+     * The cache-level chain, index 0 nearest the processor
+     * (sim/hierarchy.hh). Defaults to the paper's L1/L2 pair; the named
+     * l1()/l2() accessors keep every existing configuration site reading
+     * and writing the slots it always did.
+     */
+    LevelChain levels = paperLevels();
+
     std::size_t writeBufferEntries = 16;
     std::size_t pageBytes = 8 * 1024;
     LatencyConfig lat;
@@ -67,16 +75,36 @@ struct MachineConfig
     /** Issue cost charged to Busy per memory reference. */
     Cycles issueCyclesPerRef = 1;
 
+    /** The primary cache (level 0). */
+    LevelConfig &l1() { return levels.front(); }
+    const LevelConfig &l1() const { return levels.front(); }
+
+    /** The secondary cache (level 1 — on the baseline two-level chain
+     * this is also the coherent level). */
+    LevelConfig &l2() { return levels[1]; }
+    const LevelConfig &l2() const { return levels[1]; }
+
+    /** The coherent (last) level: dirty data, directory granularity. */
+    LevelConfig &coherent() { return levels.back(); }
+    const LevelConfig &coherent() const { return levels.back(); }
+
+    std::size_t numLevels() const { return levels.size(); }
+
+    /** Validate geometry and latencies; throws SimError (hierarchy.hh). */
+    void validate() const;
+
     /** The paper's baseline machine. */
     static MachineConfig baseline();
 
     /**
-     * Same machine with @p l2_line byte L2 lines; the L1 line is always
-     * half the L2 line (paper Section 4.3).
+     * Same machine with @p l2_line byte coherent-level lines; the L1 line
+     * is always half of it (paper Section 4.3); intermediate levels (if
+     * any) adopt the coherent line. Throws SimError on invalid geometry.
      */
     MachineConfig withLineSize(std::size_t l2_line) const;
 
-    /** Same machine with different cache capacities. */
+    /** Same machine with different L1/last-level capacities. Throws
+     * SimError on invalid geometry. */
     MachineConfig withCacheSizes(std::size_t l1_bytes,
                                  std::size_t l2_bytes) const;
 };
@@ -185,9 +213,15 @@ class Machine
      */
     void resetStats();
 
-    /** Direct cache access for tests. */
-    Cache &l1(ProcId p) { return nodes_.at(p)->l1; }
-    Cache &l2(ProcId p) { return nodes_.at(p)->l2; }
+    /** Direct cache access for tests. l2() names the *coherent* (last)
+     * level — on the baseline two-level chain, the cache it always named. */
+    Cache &l1(ProcId p) { return nodes_.at(p)->caches.front(); }
+    Cache &l2(ProcId p) { return nodes_.at(p)->caches.back(); }
+    /** Any level of @p p's chain (tests of deeper hierarchies). */
+    Cache &level(ProcId p, std::size_t lvl)
+    {
+        return nodes_.at(p)->caches.at(lvl);
+    }
 
     /** Directory access for tests (final-state equivalence checks). */
     const Directory &directory() const { return dir_; }
@@ -204,16 +238,35 @@ class Machine
   private:
     struct Node
     {
-        Node(const MachineConfig &cfg)
-            : l1(cfg.l1), l2(cfg.l2), wb(cfg.writeBufferEntries)
-        {}
+        Node(const MachineConfig &cfg) : wb(cfg.writeBufferEntries)
+        {
+            caches.reserve(cfg.levels.size());
+            for (const LevelConfig &lc : cfg.levels)
+                caches.emplace_back(lc);
+            // The chain never resizes after construction; the endpoint
+            // pointers keep the per-access paths off vector front()/
+            // back() arithmetic (replay throughput is guarded by
+            // BM_MachineReplay).
+            l1_ = &caches.front();
+            coh_ = &caches.back();
+        }
 
-        Cache l1;
-        Cache l2;
+        /** The level chain, index 0 nearest the processor. */
+        std::vector<Cache> caches;
         WriteBuffer wb;
         /** L1 lines filled by prefetch -> cycle the data arrives. A demand
          * read that gets there first waits for the remainder. */
         std::unordered_map<Addr, Cycles> prefetched;
+
+        Cache &l1() { return *l1_; }
+        const Cache &l1() const { return *l1_; }
+        /** The coherent (last) level. */
+        Cache &coh() { return *coh_; }
+        const Cache &coh() const { return *coh_; }
+
+      private:
+        Cache *l1_;
+        Cache *coh_;
     };
 
     /** Per-run execution state of one processor. */
@@ -273,15 +326,40 @@ class Machine
 
     template <typename Port>
     void issuePrefetchesT(Port &port, ProcId p, Addr addr);
-    template <typename Port>
-    void fillL2T(Port &port, ProcId p, Addr addr, bool dirty);
 
-    /** Fault hook: force-evict the L2 line of @p addr (plus its L1
-     * sublines) from p's own caches, keeping the directory in sync. */
+    /**
+     * Fill the coherent (last) level, evicting its LRU victim: upper
+     * levels drop the victim's sublines (strict inclusion), the
+     * directory drops the copy, and a dirty victim writes back in the
+     * background.
+     */
+    template <typename Port>
+    void fillCoherentT(Port &port, ProcId p, Addr addr, bool dirty);
+
+    /** Fault hook: force-evict the coherent line of @p addr (plus its
+     * upper-level sublines) from p's own caches, keeping the directory in
+     * sync. */
     template <typename Port>
     void faultEvictT(Port &port, ProcId p, Addr addr);
 
     void fillL1(ProcId p, Addr addr);
+
+    /**
+     * Fill every intermediate level (1..n-2) missing @p addr, deepest
+     * first so inclusion holds at each step. Intermediates hold clean
+     * copies only, so victims drop silently (the level below still holds
+     * them) after their upper-level sublines are invalidated. A chain of
+     * two levels has no intermediates: this is a no-op there.
+     */
+    void fillIntermediates(ProcId p, Addr addr);
+
+    /**
+     * Invalidate every level above the coherent one for the sublines of
+     * coherent line @p line on node @p p (eviction or remote
+     * invalidation), dropping pending prefetches with them.
+     */
+    void invalidateUpperLevels(ProcId p, Addr line, bool coherence);
+
     void invalidateOtherCaches(Addr l2_line, ProcId except);
     void dropFromDirectory(ProcId p, Addr l2_line);
 
@@ -348,7 +426,12 @@ class Machine
     std::vector<ProcStats> statsSnapshot(std::size_t n) const;
 
     MachineConfig cfg_;
-    Cycles l2HitLat_; ///< L2 round trip adjusted for the L1 line transfer
+    /** Chain depth (== cfg_.numLevels()), cached for the access paths. */
+    std::size_t nlev_ = 2;
+    /** Per-level hit round trips, adjusted for the L1 line transfer;
+     * [0] is lat.l1Hit, [nlev_-1] the coherent level's (cohHitLat_). */
+    std::array<Cycles, kMaxCacheLevels> levelHitLat_ = {};
+    Cycles cohHitLat_ = 0;
     std::vector<std::unique_ptr<Node>> nodes_;
     Directory dir_;
     LockTable locks_;

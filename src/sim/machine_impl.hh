@@ -93,18 +93,15 @@ struct Machine::SeqPort
 
 template <typename Port>
 void
-Machine::fillL2T(Port &port, ProcId p, Addr addr, bool dirty)
+Machine::fillCoherentT(Port &port, ProcId p, Addr addr, bool dirty)
 {
     Node &n = *nodes_[p];
-    Cache::Victim v = n.l2.fill(addr, dirty);
+    Cache::Victim v = n.coh().fill(addr, dirty);
     if (!v.valid)
         return;
-    // Inclusion: the L1 cannot keep sublines of an evicted L2 line.
-    for (Addr a = v.lineAddr; a < v.lineAddr + cfg_.l2.lineBytes;
-         a += cfg_.l1.lineBytes) {
-        n.l1.invalidate(a, /*coherence=*/false);
-        n.prefetched.erase(a);
-    }
+    // Inclusion: no upper level may keep sublines of an evicted
+    // coherent-level line.
+    invalidateUpperLevels(p, v.lineAddr, /*coherence=*/false);
     port.applyDrop(p, v.lineAddr);
     if (v.dirty) {
         // Background writeback occupies the victim's home controller but
@@ -119,15 +116,11 @@ void
 Machine::faultEvictT(Port &port, ProcId p, Addr addr)
 {
     Node &n = *nodes_[p];
-    const Addr l2_line = n.l2.lineAddrOf(addr);
-    if (!n.l2.contains(l2_line))
+    const Addr l2_line = n.coh().lineAddrOf(addr);
+    if (!n.coh().contains(l2_line))
         return;
-    n.l2.invalidate(l2_line, /*coherence=*/false);
-    for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
-         a += cfg_.l1.lineBytes) {
-        n.l1.invalidate(a, /*coherence=*/false);
-        n.prefetched.erase(a);
-    }
+    n.coh().invalidate(l2_line, /*coherence=*/false);
+    invalidateUpperLevels(p, l2_line, /*coherence=*/false);
     // Keep the directory agreeing with the caches — the invariant
     // checker must see no difference between injected and organic
     // evictions.
@@ -142,19 +135,20 @@ Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
     ProcStats &st = r.stats;
-    const Addr l1_line = n.l1.lineAddrOf(addr);
-    const Addr l2_line = n.l2.lineAddrOf(addr);
+    const std::size_t nlev = nlev_;
+    const Addr l1_line = n.l1().lineAddrOf(addr);
+    const Addr l2_line = n.coh().lineAddrOf(addr);
 
     ++st.reads;
 
     // Loads are satisfied by a matching store still in the write buffer.
     if (n.wb.containsLine(l1_line, r.clock)) {
-        ++st.l1Hits;
+        ++st.l1Hits();
         return {cfg_.lat.l1Hit};
     }
 
-    if (n.l1.access(addr)) {
-        ++st.l1Hits;
+    if (n.l1().access(addr)) {
+        ++st.l1Hits();
         if (!n.prefetched.empty()) {
             auto pf = n.prefetched.find(l1_line);
             if (pf != n.prefetched.end()) {
@@ -170,29 +164,55 @@ Machine::readAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
         return {cfg_.lat.l1Hit};
     }
 
-    st.l1Misses.add(cls, n.l1.classifyMiss(addr));
-    ++st.l2Accesses;
+    st.l1Misses().add(cls, n.l1().classifyMiss(addr));
+    ++st.l2Accesses();
+
+    // Walk the intermediate levels (none on a two-level chain). A hit
+    // there is a clean local copy under strict inclusion: no directory
+    // work, just the level's round trip.
+    std::size_t hit_lvl = 0;
+    for (std::size_t lvl = 1; lvl + 1 < nlev; ++lvl) {
+        if (lvl > 1)
+            ++st.levelAccesses[lvl];
+        if (n.caches[lvl].access(addr)) {
+            ++st.levelHits[lvl];
+            hit_lvl = lvl;
+            break;
+        }
+        st.levelMisses[lvl].add(cls, n.caches[lvl].classifyMiss(addr));
+    }
 
     Cycles latency;
-    if (n.l2.access(addr)) {
-        ++st.l2Hits;
-        latency = l2HitLat_;
+    if (hit_lvl) {
+        latency = levelHitLat_[hit_lvl];
+        fillIntermediates(p, addr); // refill the levels above the hit
     } else {
-        const MissType mt = n.l2.classifyMiss(addr);
-        st.l2Misses.add(cls, mt);
-        if (sharing_ && mt == MissType::Cohe)
-            classifyCoheMiss(st, p, addr, size, l2_line);
-        const Directory::Entry v = port.entryView(l2_line);
-        const ProcId home = dir_.homeOf(l2_line);
-        const bool dirty_else =
-            v.state == Directory::State::Dirty && v.owner != p;
-        st.hopsByGroup[static_cast<std::size_t>(groupOf(cls))]
-                      [Directory::hopClass(p, home, v.owner, dirty_else)]++;
-        const Cycles qdelay = port.controller(home, r.clock);
-        latency = dir_.transactionLatency(p, home, v.owner, dirty_else) +
-                  qdelay;
-        port.applyReadFill(p, l2_line);
-        fillL2T(port, p, addr, /*dirty=*/false);
+        if (nlev > 2)
+            ++st.levelAccesses[nlev - 1];
+        if (n.coh().access(addr)) {
+            ++st.levelHits[nlev - 1];
+            latency = levelHitLat_[nlev - 1];
+        } else {
+            const MissType mt = n.coh().classifyMiss(addr);
+            st.levelMisses[nlev - 1].add(cls, mt);
+            if (sharing_ && mt == MissType::Cohe)
+                classifyCoheMiss(st, p, addr, size, l2_line);
+            const Directory::Entry v = port.entryView(l2_line);
+            const ProcId home = dir_.homeOf(l2_line);
+            const bool dirty_else =
+                v.state == Directory::State::Dirty && v.owner != p;
+            st.hopsByGroup[static_cast<std::size_t>(groupOf(cls))]
+                          [Directory::hopClass(p, home, v.owner,
+                                               dirty_else)]++;
+            const Cycles qdelay = port.controller(home, r.clock);
+            latency =
+                dir_.transactionLatency(p, home, v.owner, dirty_else) +
+                qdelay;
+            port.applyReadFill(p, l2_line);
+            fillCoherentT(port, p, addr, /*dirty=*/false);
+        }
+        if (nlev > 2)
+            fillIntermediates(p, addr);
     }
     fillL1(p, addr);
 
@@ -214,16 +234,17 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls,
 {
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
-    const Addr l2_line = n.l2.lineAddrOf(addr);
+    const Addr l2_line = n.coh().lineAddrOf(addr);
     const Directory::Entry v = port.entryView(l2_line);
     const ProcId home = dir_.homeOf(l2_line);
     const auto grp = static_cast<std::size_t>(groupOf(cls));
 
     Cycles drain;
-    if (n.l2.contains(l2_line)) {
+    if (n.coh().contains(l2_line)) {
         if (v.state == Directory::State::Dirty && v.owner == p) {
-            // Already exclusively owned: drain straight into the L2.
-            drain = l2HitLat_;
+            // Already exclusively owned: drain straight into the
+            // coherent level.
+            drain = cohHitLat_;
         } else {
             // Upgrade: invalidate the other sharers via the home node.
             r.stats.hopsByGroup[grp]
@@ -231,9 +252,11 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls,
             const Cycles qdelay = port.controller(home, r.clock);
             drain = dir_.transactionLatency(p, home, p, false) + qdelay;
         }
-        n.l2.access(addr, /*set_dirty=*/true);
+        n.coh().access(addr, /*set_dirty=*/true);
     } else {
-        // Write-allocate miss: obtain an exclusive copy.
+        // Write-allocate miss: obtain an exclusive copy. Stores allocate
+        // only at the coherence point; intermediate levels are read-side
+        // structures and pick the line up on the next read miss.
         const bool dirty_else =
             v.state == Directory::State::Dirty && v.owner != p;
         r.stats.hopsByGroup[grp]
@@ -241,26 +264,28 @@ Machine::writeTransactionT(Port &port, ProcId p, Addr addr, DataClass cls,
         const Cycles qdelay = port.controller(home, r.clock);
         drain = dir_.transactionLatency(p, home, v.owner, dirty_else) +
                 qdelay;
-        fillL2T(port, p, addr, /*dirty=*/true);
+        fillCoherentT(port, p, addr, /*dirty=*/true);
     }
     port.applyStore(p, l2_line,
-                    sharing_
-                        ? wordMaskOf(addr, size, l2_line, cfg_.l2.lineBytes)
-                        : WordMask{0});
+                    sharing_ ? wordMaskOf(addr, size, l2_line,
+                                          cfg_.coherent().lineBytes)
+                             : WordMask{0});
 
-    // The store (re)established exclusive ownership: any pending L1
-    // coherence marks on this line's sublines are repaid by this very
-    // transaction. The write-through L1 never allocates on a store, so
-    // without this the next read of an invalidated subline — an L2 hit on
+    // The store (re)established exclusive ownership: any pending upper-
+    // level coherence marks on this line's sublines are repaid by this
+    // very transaction. The write-through L1 never allocates on a store,
+    // so without this the next read of an invalidated subline — a hit on
     // our own fresh exclusive copy — would classify Cohe a second time,
     // double-counting the upgrade.
-    for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
-         a += cfg_.l1.lineBytes)
-        n.l1.clearCoherenceMark(a);
+    for (std::size_t u = 0; u + 1 < n.caches.size(); ++u)
+        for (Addr a = l2_line; a < l2_line + cfg_.coherent().lineBytes;
+             a += cfg_.levels[u].lineBytes)
+            n.caches[u].clearCoherenceMark(a);
 
-    // Write-through L1: a resident line is updated in place (stays valid);
-    // a missing line is not allocated.
-    n.l1.access(addr);
+    // Upper levels stay write-through: a resident line is updated in
+    // place (stays valid); a missing line is not allocated.
+    for (std::size_t u = 0; u + 1 < n.caches.size(); ++u)
+        n.caches[u].access(addr);
     return drain;
 }
 
@@ -272,32 +297,47 @@ Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
     ProcStats &st = r.stats;
-    const Addr l2_line = n.l2.lineAddrOf(addr);
+    const std::size_t nlev = nlev_;
+    const Addr l2_line = n.coh().lineAddrOf(addr);
 
     ++st.reads;
-    const bool l1hit = n.l1.access(addr);
+    const bool l1hit = n.l1().access(addr);
     if (l1hit) {
-        ++st.l1Hits;
+        ++st.l1Hits();
     } else {
-        st.l1Misses.add(cls, n.l1.classifyMiss(addr));
-        ++st.l2Accesses;
+        st.l1Misses().add(cls, n.l1().classifyMiss(addr));
+        ++st.l2Accesses();
+        // Intermediate-level bookkeeping: the lookup passes through on
+        // its way to the coherence point, where the atomic resolves.
+        for (std::size_t lvl = 1; lvl + 1 < nlev; ++lvl) {
+            if (lvl > 1)
+                ++st.levelAccesses[lvl];
+            if (n.caches[lvl].access(addr)) {
+                ++st.levelHits[lvl];
+                break;
+            }
+            st.levelMisses[lvl].add(cls,
+                                    n.caches[lvl].classifyMiss(addr));
+        }
+        if (nlev > 2)
+            ++st.levelAccesses[nlev - 1];
     }
 
     const Directory::Entry v = port.entryView(l2_line);
     const ProcId home = dir_.homeOf(l2_line);
-    const bool l2has = n.l2.contains(l2_line);
+    const bool l2has = n.coh().contains(l2_line);
 
     Cycles latency;
     if (l2has && v.state == Directory::State::Dirty && v.owner == p) {
-        // Exclusive in our L2: the atomic completes at the L2.
+        // Exclusive at our coherent level: the atomic completes there.
         if (!l1hit)
-            ++st.l2Hits;
-        n.l2.access(addr, /*set_dirty=*/true);
-        latency = l2HitLat_;
+            ++st.levelHits[nlev - 1];
+        n.coh().access(addr, /*set_dirty=*/true);
+        latency = cohHitLat_;
     } else {
         if (!l2has && !l1hit) {
-            const MissType mt = n.l2.classifyMiss(addr);
-            st.l2Misses.add(cls, mt);
+            const MissType mt = n.coh().classifyMiss(addr);
+            st.levelMisses[nlev - 1].add(cls, mt);
             if (sharing_ && mt == MissType::Cohe)
                 classifyCoheMiss(st, p, addr, size, l2_line);
         }
@@ -309,22 +349,26 @@ Machine::rmwAccessT(Port &port, ProcId p, Addr addr, DataClass cls,
         latency = dir_.transactionLatency(p, home, v.owner, dirty_else) +
                   qdelay;
         if (l2has)
-            n.l2.access(addr, /*set_dirty=*/true);
+            n.coh().access(addr, /*set_dirty=*/true);
         else
-            fillL2T(port, p, addr, /*dirty=*/true);
+            fillCoherentT(port, p, addr, /*dirty=*/true);
         port.applyStore(p, l2_line,
                         sharing_ ? wordMaskOf(addr, size, l2_line,
-                                              cfg_.l2.lineBytes)
+                                              cfg_.coherent().lineBytes)
                                  : WordMask{0});
         // Same repayment rule as writeTransactionT: the RMW acquired
-        // exclusive ownership, so pending L1 coherence marks on the
-        // line's sublines are settled by this transaction.
-        for (Addr a = l2_line; a < l2_line + cfg_.l2.lineBytes;
-             a += cfg_.l1.lineBytes)
-            n.l1.clearCoherenceMark(a);
+        // exclusive ownership, so pending upper-level coherence marks on
+        // the line's sublines are settled by this transaction.
+        for (std::size_t u = 0; u + 1 < nlev; ++u)
+            for (Addr a = l2_line; a < l2_line + cfg_.coherent().lineBytes;
+                 a += cfg_.levels[u].lineBytes)
+                n.caches[u].clearCoherenceMark(a);
     }
-    if (!l1hit)
+    if (!l1hit) {
+        if (nlev > 2)
+            fillIntermediates(p, addr);
         fillL1(p, addr);
+    }
     return latency;
 }
 
@@ -334,15 +378,15 @@ Machine::issuePrefetchesT(Port &port, ProcId p, Addr addr)
 {
     Node &n = *nodes_[p];
     ProcRun &r = runs_[p];
-    const Addr l1_line = n.l1.lineAddrOf(addr);
+    const Addr l1_line = n.l1().lineAddrOf(addr);
     Cycles issue = r.clock;
     for (unsigned i = 1; i <= cfg_.prefetchDegree; ++i) {
-        const Addr a = l1_line + i * cfg_.l1.lineBytes;
-        if (n.l1.contains(a))
+        const Addr a = l1_line + i * cfg_.l1().lineBytes;
+        if (n.l1().contains(a))
             continue;
-        const Addr l2_line = n.l2.lineAddrOf(a);
-        Cycles ready = issue + l2HitLat_;
-        if (!n.l2.contains(l2_line)) {
+        const Addr l2_line = n.coh().lineAddrOf(a);
+        Cycles ready = issue + cohHitLat_;
+        if (!n.coh().contains(l2_line)) {
             const Directory::Entry v = port.entryView(l2_line);
             if (v.state == Directory::State::Dirty && v.owner != p)
                 continue; // keep the prefetcher out of dirty remote lines
@@ -353,10 +397,12 @@ Machine::issuePrefetchesT(Port &port, ProcId p, Addr addr)
             ready = issue + qdelay +
                     dir_.transactionLatency(p, home, v.owner, false);
             port.applyPrefetchShare(p, l2_line);
-            fillL2T(port, p, a, /*dirty=*/false);
+            fillCoherentT(port, p, a, /*dirty=*/false);
         }
+        if (nlev_ > 2)
+            fillIntermediates(p, a);
         fillL1(p, a);
-        n.prefetched[n.l1.lineAddrOf(a)] = ready;
+        n.prefetched[n.l1().lineAddrOf(a)] = ready;
         // Prefetches leave the node back to back, one per miss-port slot.
         issue += cfg_.lat.controllerOccupancy;
         ++r.stats.prefetchesIssued;
@@ -406,7 +452,7 @@ Machine::doWriteT(Port &port, ProcId p, const TraceEntry &e)
 
     const Cycles drain = writeTransactionT(port, p, e.addr, e.cls, e.size);
     const Cycles stall =
-        n.wb.push(r.clock, drain, n.l1.lineAddrOf(e.addr));
+        n.wb.push(r.clock, drain, n.l1().lineAddrOf(e.addr));
     if (stall) {
         ++r.stats.wbOverflows;
         r.stats.memStall += stall;

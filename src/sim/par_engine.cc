@@ -14,10 +14,10 @@ namespace sim {
 
 namespace {
 
-constexpr std::uint8_t
+constexpr std::uint64_t
 bit(ProcId p)
 {
-    return static_cast<std::uint8_t>(1u << p);
+    return std::uint64_t{1} << p;
 }
 
 } // namespace
@@ -160,7 +160,7 @@ ParEngine::portApplyReadFill(ProcCtx &ctx, ProcId p, Addr line)
     Directory::Entry e = portEntryView(ctx, la);
     if (e.state == Directory::State::Dirty && e.owner != p) {
         e.state = Directory::State::Shared;
-        e.sharers = static_cast<std::uint8_t>(bit(e.owner) | bit(p));
+        e.sharers = bit(e.owner) | bit(p);
     } else {
         if (e.state == Directory::State::Uncached)
             e.state = Directory::State::Shared;
@@ -193,7 +193,7 @@ ParEngine::portApplyDrop(ProcCtx &ctx, ProcId p, Addr line)
         e.state = Directory::State::Uncached;
         e.sharers = 0;
     } else {
-        e.sharers &= static_cast<std::uint8_t>(~bit(p));
+        e.sharers &= ~bit(p);
         if (e.sharers == 0 && e.state == Directory::State::Shared)
             e.state = Directory::State::Uncached;
     }

@@ -59,7 +59,7 @@ wordMaskOf(Addr addr, unsigned size, Addr line_addr, std::size_t line_bytes)
 class SharingTracker
 {
   public:
-    static constexpr std::size_t kMaxProcs = 8;
+    static constexpr std::size_t kMaxProcs = 64;
 
     explicit SharingTracker(unsigned nprocs) : nprocs_(nprocs) {}
 

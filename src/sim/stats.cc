@@ -69,7 +69,7 @@ MissTable::operator-=(const MissTable &o)
 double
 ProcStats::l1MissRate() const
 {
-    std::uint64_t m = l1Misses.total();
+    std::uint64_t m = l1Misses().total();
     std::uint64_t refs = reads + assumedHitReads;
     return refs ? static_cast<double>(m) / static_cast<double>(refs) : 0.0;
 }
@@ -77,7 +77,7 @@ ProcStats::l1MissRate() const
 double
 ProcStats::l2GlobalMissRate() const
 {
-    std::uint64_t m = l2Misses.total();
+    std::uint64_t m = l2Misses().total();
     std::uint64_t refs = reads + assumedHitReads;
     return refs ? static_cast<double>(m) / static_cast<double>(refs) : 0.0;
 }
@@ -114,14 +114,15 @@ ProcStats::operator+=(const ProcStats &o)
     reads += o.reads;
     writes += o.writes;
     assumedHitReads += o.assumedHitReads;
-    l1Hits += o.l1Hits;
-    l2Accesses += o.l2Accesses;
-    l2Hits += o.l2Hits;
+    levels = std::max(levels, o.levels);
+    for (std::size_t l = 0; l < kMaxCacheLevels; ++l) {
+        levelHits[l] += o.levelHits[l];
+        levelAccesses[l] += o.levelAccesses[l];
+        levelMisses[l] += o.levelMisses[l];
+    }
     wbOverflows += o.wbOverflows;
     prefetchesIssued += o.prefetchesIssued;
     prefetchesUseful += o.prefetchesUseful;
-    l1Misses += o.l1Misses;
-    l2Misses += o.l2Misses;
     l2CoheTrue += o.l2CoheTrue;
     l2CoheFalse += o.l2CoheFalse;
     return *this;
@@ -141,14 +142,14 @@ ProcStats::operator-=(const ProcStats &o)
     reads -= o.reads;
     writes -= o.writes;
     assumedHitReads -= o.assumedHitReads;
-    l1Hits -= o.l1Hits;
-    l2Accesses -= o.l2Accesses;
-    l2Hits -= o.l2Hits;
+    for (std::size_t l = 0; l < kMaxCacheLevels; ++l) {
+        levelHits[l] -= o.levelHits[l];
+        levelAccesses[l] -= o.levelAccesses[l];
+        levelMisses[l] -= o.levelMisses[l];
+    }
     wbOverflows -= o.wbOverflows;
     prefetchesIssued -= o.prefetchesIssued;
     prefetchesUseful -= o.prefetchesUseful;
-    l1Misses -= o.l1Misses;
-    l2Misses -= o.l2Misses;
     l2CoheTrue -= o.l2CoheTrue;
     l2CoheFalse -= o.l2CoheFalse;
     return *this;

@@ -4,6 +4,13 @@
  * execution-time breakdown (Busy/Mem/MSync, Fig 6a), memory-stall
  * decomposition by structure group (Fig 6b, 9, 11), and read-miss counts
  * per cache level x data class x miss type (Fig 7, 8, 10, 12).
+ *
+ * The per-cache-level counters are arrays indexed by hierarchy level
+ * (sim/hierarchy.hh), sized for the deepest chain a machine may declare.
+ * The legacy two-level names (l1Hits, l2Misses, ...) survive as inline
+ * reference accessors onto levels 0 and 1, so every report and figure
+ * computation reads exactly the slots it always read — on a two-level
+ * machine the refactor is invisible, byte for byte.
  */
 
 #ifndef DSS_SIM_STATS_HH
@@ -15,6 +22,7 @@
 
 #include "sim/addr.hh"
 #include "sim/cache.hh"
+#include "sim/hierarchy.hh"
 
 namespace dss {
 namespace sim {
@@ -84,27 +92,66 @@ struct ProcStats
      * paper's do.
      */
     std::uint64_t assumedHitReads = 0;
-    std::uint64_t l1Hits = 0;
-    std::uint64_t l2Accesses = 0; ///< L1 read misses reaching the L2
-    std::uint64_t l2Hits = 0;
+
+    /**
+     * Depth of the hierarchy these counters describe. Machine::run stamps
+     * it; aggregation adopts the deepest operand. Slots at or past it are
+     * structurally zero.
+     */
+    std::uint8_t levels = 2;
+
+    /** Read hits per level; [0] is the primary cache. */
+    std::array<std::uint64_t, kMaxCacheLevels> levelHits = {};
+
+    /**
+     * Read lookups that reached each level past the primary ([0] is
+     * unused — level-0 traffic is reads/levelHits[0]). On the baseline
+     * chain levelAccesses[1] is the legacy "L1 read misses reaching the
+     * L2".
+     */
+    std::array<std::uint64_t, kMaxCacheLevels> levelAccesses = {};
+
+    /** Read misses per level, classified Cold/Conf/Cohe. */
+    std::array<MissTable, kMaxCacheLevels> levelMisses;
+
     std::uint64_t wbOverflows = 0;
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesUseful = 0; ///< prefetched lines hit before evict
 
-    MissTable l1Misses; ///< read misses in the primary cache
-    MissTable l2Misses; ///< read misses in the secondary cache
-
     /**
-     * True/false-sharing split of the L2 coherence misses, populated only
-     * when word-granular sharing tracking is enabled
+     * True/false-sharing split of the coherent-level coherence misses,
+     * populated only when word-granular sharing tracking is enabled
      * (Machine::enableSharing); both stay zero otherwise. When enabled,
-     * l2CoheTrue + l2CoheFalse equals the Cohe column of l2Misses summed
-     * over classes, by construction. Like hopsByGroup, deliberately absent
-     * from obs::toJson(ProcStats) — exported via the counter registry as
-     * proc*.miss.cohe.{true,false}.
+     * l2CoheTrue + l2CoheFalse equals the Cohe column of the coherent
+     * level's MissTable summed over classes, by construction. Like
+     * hopsByGroup, deliberately absent from obs::toJson(ProcStats) —
+     * exported via the counter registry as proc*.miss.cohe.{true,false}.
      */
     std::uint64_t l2CoheTrue = 0;
     std::uint64_t l2CoheFalse = 0;
+
+    /** @name Legacy two-level accessors
+     * Reference views onto the per-level arrays under the names the
+     * figure code and the golden reports have always used. On a chain of
+     * three or more levels, "l2" still means level 1 (the cache named
+     * L2); the coherent level's counters are cohMisses()/levelHits. */
+    ///@{
+    std::uint64_t &l1Hits() { return levelHits[0]; }
+    std::uint64_t l1Hits() const { return levelHits[0]; }
+    std::uint64_t &l2Hits() { return levelHits[1]; }
+    std::uint64_t l2Hits() const { return levelHits[1]; }
+    /** L1 read misses reaching the L2. */
+    std::uint64_t &l2Accesses() { return levelAccesses[1]; }
+    std::uint64_t l2Accesses() const { return levelAccesses[1]; }
+    MissTable &l1Misses() { return levelMisses[0]; }
+    const MissTable &l1Misses() const { return levelMisses[0]; }
+    MissTable &l2Misses() { return levelMisses[1]; }
+    const MissTable &l2Misses() const { return levelMisses[1]; }
+    ///@}
+
+    /** The coherent (last) level's miss table. */
+    MissTable &cohMisses() { return levelMisses[levels - 1]; }
+    const MissTable &cohMisses() const { return levelMisses[levels - 1]; }
 
     Cycles totalCycles() const { return busy + memStall + syncStall; }
 

@@ -41,7 +41,7 @@ TEST(Coherence, WriteUpgradeInvalidatesSharers)
     });
     SimStats s = m.run({&p0, &p1});
     // Proc 1's second read is a coherence miss caused by the upgrade.
-    EXPECT_EQ(s.procs[1].l2Misses.of(DataClass::Data, MissType::Cohe), 1u);
+    EXPECT_EQ(s.procs[1].l2Misses().of(DataClass::Data, MissType::Cohe), 1u);
     // That read also downgraded proc 0's dirty copy: both now share it
     // clean.
     EXPECT_TRUE(m.l2(0).contains(0x40));
@@ -66,7 +66,7 @@ TEST(Coherence, RemoteReadDowngradesDirtyOwner)
     });
     SimStats s = m.run({&writer, &reader});
     // The reader's second read misses because of the re-upgrade.
-    EXPECT_EQ(s.procs[1].l2Misses.of(DataClass::Data, MissType::Cohe), 1u);
+    EXPECT_EQ(s.procs[1].l2Misses().of(DataClass::Data, MissType::Cohe), 1u);
     // ... and downgrades the writer again: final state is shared-clean in
     // both caches.
     EXPECT_TRUE(m.l2(0).contains(0x40));
@@ -113,7 +113,7 @@ TEST(Coherence, DirtyEvictionWritesBackAndForgetsOwnership)
     EXPECT_FALSE(m.l2(0).contains(0x0));
     // The late reader gets it from memory as a cold miss at 2-hop cost at
     // most — and the run completes without tripping any asserts.
-    EXPECT_EQ(s.procs[1].l2Misses.of(DataClass::Data, MissType::Cold), 1u);
+    EXPECT_EQ(s.procs[1].l2Misses().of(DataClass::Data, MissType::Cold), 1u);
 }
 
 TEST(Coherence, RmwOnOwnDirtyLineIsLocal)
@@ -150,8 +150,8 @@ TEST(Coherence, ThreeWaySharingInvalidatesAllCopies)
         TraceEntry::write(0x40, DataClass::Data, 8),
     });
     SimStats s = m.run({&r1, &r2, &w});
-    EXPECT_EQ(s.procs[0].l2Misses.of(DataClass::Data, MissType::Cohe), 1u);
-    EXPECT_EQ(s.procs[1].l2Misses.of(DataClass::Data, MissType::Cohe), 1u);
+    EXPECT_EQ(s.procs[0].l2Misses().of(DataClass::Data, MissType::Cohe), 1u);
+    EXPECT_EQ(s.procs[1].l2Misses().of(DataClass::Data, MissType::Cohe), 1u);
 }
 
 TEST(Coherence, PrivateDataNeverPingPongs)
@@ -175,7 +175,7 @@ TEST(Coherence, PrivateDataNeverPingPongs)
     SimStats s = m.run({&p0, &p1});
     for (const ProcStats &ps : s.procs) {
         for (std::size_t c = 0; c < kNumDataClasses; ++c) {
-            EXPECT_EQ(ps.l2Misses.of(static_cast<DataClass>(c),
+            EXPECT_EQ(ps.l2Misses().of(static_cast<DataClass>(c),
                                      MissType::Cohe),
                       0u);
         }

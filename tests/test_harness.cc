@@ -119,11 +119,11 @@ TEST_F(WorkloadFixture, RunColdAndWarmSequences)
         harness::runSequence(cfg, {&traces, &traces});
     ASSERT_EQ(seq.size(), 2u);
     // First run of the sequence == a cold run.
-    EXPECT_EQ(seq[0].aggregate().l2Misses.total(),
-              cold.aggregate().l2Misses.total());
+    EXPECT_EQ(seq[0].aggregate().l2Misses().total(),
+              cold.aggregate().l2Misses().total());
     // Warm run reuses the whole scanned table.
-    EXPECT_LT(seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Data),
-              cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Data) /
+    EXPECT_LT(seq[1].aggregate().l2Misses().byGroup(sim::ClassGroup::Data),
+              cold.aggregate().l2Misses().byGroup(sim::ClassGroup::Data) /
                   4);
 }
 

@@ -65,9 +65,9 @@ TEST_P(Invariants, CacheAccountingBalances)
     sim::SimStats stats =
         harness::runCold(sim::MachineConfig::baseline(), traces);
     for (const sim::ProcStats &p : stats.procs) {
-        EXPECT_EQ(p.reads, p.l1Hits + p.l1Misses.total());
-        EXPECT_EQ(p.l2Accesses, p.l1Misses.total());
-        EXPECT_EQ(p.l2Accesses, p.l2Hits + p.l2Misses.total());
+        EXPECT_EQ(p.reads, p.l1Hits() + p.l1Misses().total());
+        EXPECT_EQ(p.l2Accesses(), p.l1Misses().total());
+        EXPECT_EQ(p.l2Accesses(), p.l2Hits() + p.l2Misses().total());
     }
 }
 
@@ -113,10 +113,10 @@ TEST_P(Invariants, SimulationIsDeterministic)
         EXPECT_EQ(a.procs[p].totalCycles(), b.procs[p].totalCycles());
         EXPECT_EQ(a.procs[p].memStall, b.procs[p].memStall);
         EXPECT_EQ(a.procs[p].syncStall, b.procs[p].syncStall);
-        EXPECT_EQ(a.procs[p].l1Misses.total(),
-                  b.procs[p].l1Misses.total());
-        EXPECT_EQ(a.procs[p].l2Misses.total(),
-                  b.procs[p].l2Misses.total());
+        EXPECT_EQ(a.procs[p].l1Misses().total(),
+                  b.procs[p].l1Misses().total());
+        EXPECT_EQ(a.procs[p].l2Misses().total(),
+                  b.procs[p].l2Misses().total());
     }
 }
 
@@ -134,7 +134,7 @@ TEST_P(Invariants, BiggerCachesNeverAddL2Misses)
     // LRU inclusion-property caches are not strictly monotone in theory,
     // but a 64x capacity jump must not increase total L2 misses on these
     // workloads.
-    EXPECT_LE(big.l2Misses.total(), small.l2Misses.total());
+    EXPECT_LE(big.l2Misses().total(), small.l2Misses().total());
 }
 
 TEST_P(Invariants, ColdMissesIndependentOfCacheSize)
@@ -150,7 +150,7 @@ TEST_P(Invariants, ColdMissesIndependentOfCacheSize)
                 .aggregate();
         std::uint64_t cold = 0;
         for (std::size_t c = 0; c < sim::kNumDataClasses; ++c)
-            cold += agg.l2Misses.of(static_cast<sim::DataClass>(c),
+            cold += agg.l2Misses().of(static_cast<sim::DataClass>(c),
                                     sim::MissType::Cold);
         return cold;
     };

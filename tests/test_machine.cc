@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/arena.hh"
+#include "sim/error.hh"
 #include "sim/machine.hh"
 
 namespace {
@@ -38,8 +39,8 @@ TEST(Machine, ReadHitAfterMissCostsOneCycle)
     SimStats s = m.run({&t});
     const ProcStats &p = s.procs[0];
     EXPECT_EQ(p.reads, 2u);
-    EXPECT_EQ(p.l1Hits, 1u);
-    EXPECT_EQ(p.l1Misses.total(), 1u);
+    EXPECT_EQ(p.l1Hits(), 1u);
+    EXPECT_EQ(p.l1Misses().total(), 1u);
     // Address 0 lives in page 0 -> home node 0 -> local memory: 80 cycles.
     EXPECT_EQ(p.memStall, kLocalStall);
     EXPECT_EQ(p.busy, 2u);
@@ -57,10 +58,10 @@ TEST(Machine, L2HitAfterL1Conflict)
     });
     SimStats s = m.run({&t});
     const ProcStats &p = s.procs[0];
-    EXPECT_EQ(p.l1Misses.total(), 3u);
-    EXPECT_EQ(p.l2Misses.total(), 2u);
-    EXPECT_EQ(p.l2Hits, 1u);
-    EXPECT_EQ(p.l1Misses.of(DataClass::Data, MissType::Conf), 1u);
+    EXPECT_EQ(p.l1Misses().total(), 3u);
+    EXPECT_EQ(p.l2Misses().total(), 2u);
+    EXPECT_EQ(p.l2Hits(), 1u);
+    EXPECT_EQ(p.l1Misses().of(DataClass::Data, MissType::Conf), 1u);
     EXPECT_EQ(p.memStall, 2 * kLocalStall + kL2HitStall);
 }
 
@@ -88,7 +89,7 @@ TEST(Machine, DirtyThirdNodeIs3Hop)
     });
     SimStats s = m.run({&writer, &reader});
     EXPECT_EQ(s.procs[1].memStall, kRemote3Stall);
-    EXPECT_EQ(s.procs[1].l2Misses.of(DataClass::Data, MissType::Cold), 1u);
+    EXPECT_EQ(s.procs[1].l2Misses().of(DataClass::Data, MissType::Cold), 1u);
 }
 
 TEST(Machine, WriteInvalidationMakesCoherenceMiss)
@@ -106,8 +107,8 @@ TEST(Machine, WriteInvalidationMakesCoherenceMiss)
         TraceEntry::write(0x40, DataClass::Data, 8),
     });
     SimStats s = m.run({&p0, &p1});
-    EXPECT_EQ(s.procs[0].l2Misses.of(DataClass::Data, MissType::Cohe), 1u);
-    EXPECT_EQ(s.procs[0].l1Misses.of(DataClass::Data, MissType::Cohe), 1u);
+    EXPECT_EQ(s.procs[0].l2Misses().of(DataClass::Data, MissType::Cohe), 1u);
+    EXPECT_EQ(s.procs[0].l1Misses().of(DataClass::Data, MissType::Cohe), 1u);
 }
 
 TEST(Machine, WriteBufferOverflowStalls)
@@ -134,7 +135,7 @@ TEST(Machine, LoadsForwardFromWriteBuffer)
     });
     SimStats s = m.run({&t});
     // The read is satisfied by the buffered store: no read stall.
-    EXPECT_EQ(s.procs[0].l1Hits, 1u);
+    EXPECT_EQ(s.procs[0].l1Hits(), 1u);
     EXPECT_EQ(s.procs[0].memStall, 0u);
 }
 
@@ -221,7 +222,7 @@ TEST(Machine, PrefetchFetchesAheadOnDataMisses)
     SimStats s = m.run({&t});
     EXPECT_EQ(s.procs[0].prefetchesIssued, 4u);
     EXPECT_EQ(s.procs[0].prefetchesUseful, 1u);
-    EXPECT_EQ(s.procs[0].l1Misses.total(), 1u); // second read hit
+    EXPECT_EQ(s.procs[0].l1Misses().total(), 1u); // second read hit
 }
 
 TEST(Machine, PrefetchIgnoresNonDataClasses)
@@ -252,7 +253,7 @@ TEST(Machine, PrefetchInFlightDelaysEarlyDemand)
     SimStats s = m.run({&t});
     // The second read hits a prefetched-but-in-flight line: partial stall,
     // smaller than a full miss.
-    EXPECT_EQ(s.procs[0].l1Misses.total(), 1u);
+    EXPECT_EQ(s.procs[0].l1Misses().total(), 1u);
     EXPECT_GT(s.procs[0].memStall, kLocalStall);
     EXPECT_LT(s.procs[0].memStall, 2 * kLocalStall);
 }
@@ -284,16 +285,16 @@ TEST(Machine, WarmRunReusesCaches)
         t.record(TraceEntry::read(a, DataClass::Data, 8));
     SimStats cold = m.run({&t});
     SimStats warm = m.run({&t});
-    EXPECT_GT(cold.procs[0].l2Misses.total(),
-              warm.procs[0].l2Misses.total());
+    EXPECT_GT(cold.procs[0].l2Misses().total(),
+              warm.procs[0].l2Misses().total());
     // Cold data fits the 128 KB L2 entirely: the warm run has no L2
     // misses at all.
-    EXPECT_EQ(warm.procs[0].l2Misses.total(), 0u);
+    EXPECT_EQ(warm.procs[0].l2Misses().total(), 0u);
 
     m.resetMemoryState();
     SimStats cold2 = m.run({&t});
-    EXPECT_EQ(cold2.procs[0].l2Misses.total(),
-              cold.procs[0].l2Misses.total());
+    EXPECT_EQ(cold2.procs[0].l2Misses().total(),
+              cold.procs[0].l2Misses().total());
 }
 
 TEST(Machine, StatsAreFreshEachRun)
@@ -313,8 +314,8 @@ TEST(Machine, ReadsEqualHitsPlusMisses)
         t.record(TraceEntry::read((i * 7919) % 32768, DataClass::Data, 8));
     SimStats s = m.run({&t});
     const ProcStats &p = s.procs[0];
-    EXPECT_EQ(p.reads, p.l1Hits + p.l1Misses.total());
-    EXPECT_EQ(p.l2Accesses, p.l2Hits + p.l2Misses.total());
+    EXPECT_EQ(p.reads, p.l1Hits() + p.l1Misses().total());
+    EXPECT_EQ(p.l2Accesses(), p.l2Hits() + p.l2Misses().total());
 }
 
 TEST(Machine, InclusionHoldsAfterMixedTraffic)
@@ -348,25 +349,34 @@ TEST(Machine, RejectsTooManyTraces)
 TEST(Machine, RejectsMismatchedLineSizes)
 {
     MachineConfig cfg = MachineConfig::baseline();
-    cfg.l1.lineBytes = 64; // must be half of L2's 64
-    EXPECT_THROW(Machine m(cfg), std::invalid_argument);
+    cfg.l1().lineBytes = 128; // larger than L2's 64: violates nesting
+    EXPECT_THROW(Machine m(cfg), SimError);
+}
+
+TEST(Machine, AcceptsEqualLineSizes)
+{
+    // Equal lines satisfy strict inclusion (the `modern` preset relies
+    // on this); only a *larger* upper-level line is rejected.
+    MachineConfig cfg = MachineConfig::baseline();
+    cfg.l1().lineBytes = 64;
+    EXPECT_NO_THROW(Machine m(cfg));
 }
 
 TEST(MachineConfig, WithLineSizeKeepsHalfRatio)
 {
     MachineConfig cfg = MachineConfig::baseline().withLineSize(256);
-    EXPECT_EQ(cfg.l2.lineBytes, 256u);
-    EXPECT_EQ(cfg.l1.lineBytes, 128u);
+    EXPECT_EQ(cfg.l2().lineBytes, 256u);
+    EXPECT_EQ(cfg.l1().lineBytes, 128u);
 }
 
 TEST(MachineConfig, WithCacheSizesKeepsLines)
 {
     MachineConfig cfg =
         MachineConfig::baseline().withCacheSizes(1 << 20, 32 << 20);
-    EXPECT_EQ(cfg.l1.sizeBytes, 1u << 20);
-    EXPECT_EQ(cfg.l2.sizeBytes, 32u << 20);
-    EXPECT_EQ(cfg.l1.lineBytes, 32u);
-    EXPECT_EQ(cfg.l2.lineBytes, 64u);
+    EXPECT_EQ(cfg.l1().sizeBytes, 1u << 20);
+    EXPECT_EQ(cfg.l2().sizeBytes, 32u << 20);
+    EXPECT_EQ(cfg.l1().lineBytes, 32u);
+    EXPECT_EQ(cfg.l2().lineBytes, 64u);
 }
 
 /** Property sweep: a pure streaming read trace sees exactly one cold miss
@@ -383,7 +393,7 @@ TEST_P(MachineLineSweep, ColdMissesEqualDistinctLines)
     for (Addr a = 0; a < span; a += 8)
         t.record(TraceEntry::read(a, DataClass::Data, 8));
     SimStats s = m.run({&t});
-    EXPECT_EQ(s.procs[0].l2Misses.byGroupAndType(ClassGroup::Data,
+    EXPECT_EQ(s.procs[0].l2Misses().byGroupAndType(ClassGroup::Data,
                                                  MissType::Cold),
               span / line);
 }

@@ -252,7 +252,7 @@ TEST(MemProfile, ProfileBitIdenticalAcrossEnginesAndThreads)
     harness::TraceSet traces = wl.trace(tpcd::QueryId::Q6);
 
     obs::MemProfileConfig mc;
-    mc.l2 = cfg.l2;
+    mc.l2 = cfg.coherent();
     mc.nprocs = cfg.nprocs;
     mc.pageBytes = cfg.pageBytes;
 
@@ -286,7 +286,7 @@ TEST(MemProfile, MachineSplitReconcilesWithCoherenceMisses)
     const sim::MachineConfig cfg = sim::MachineConfig::baseline();
     harness::TraceSet traces = wl.trace(tpcd::QueryId::Q3);
 
-    obs::MemProfile prof({cfg.l2, cfg.nprocs, cfg.pageBytes});
+    obs::MemProfile prof({cfg.coherent(), cfg.nprocs, cfg.pageBytes});
     harness::RunOptions ro;
     ro.memProfile = &prof;
     obs::Json snapshot;
@@ -298,7 +298,7 @@ TEST(MemProfile, MachineSplitReconcilesWithCoherenceMisses)
         const sim::ProcStats &st = stats.procs[p];
         std::uint64_t cohe = 0;
         for (std::size_t c = 0; c < sim::kNumDataClasses; ++c)
-            cohe += st.l2Misses.of(static_cast<sim::DataClass>(c),
+            cohe += st.l2Misses().of(static_cast<sim::DataClass>(c),
                                    sim::MissType::Cohe);
         EXPECT_EQ(st.l2CoheTrue + st.l2CoheFalse, cohe) << "proc " << p;
         total_cohe += cohe;
@@ -333,7 +333,7 @@ TEST(MemProfile, DisabledMachineAllocatesNoTrackerAndSplitsNothing)
         EXPECT_EQ(st.l2CoheTrue, 0u);
         EXPECT_EQ(st.l2CoheFalse, 0u);
         for (std::size_t c = 0; c < sim::kNumDataClasses; ++c)
-            cohe += st.l2Misses.of(static_cast<sim::DataClass>(c),
+            cohe += st.l2Misses().of(static_cast<sim::DataClass>(c),
                                    sim::MissType::Cohe);
     }
     EXPECT_GT(cohe, 0u); // the misses themselves still happen

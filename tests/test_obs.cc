@@ -100,7 +100,7 @@ TEST(Registry, MachineRegistersHierarchicalNames)
     for (const auto &[name, value] : snapshot.members())
         if (name.find(".l1.miss.") != std::string::npos)
             l1_total += value.asUint();
-    EXPECT_EQ(l1_total, stats.aggregate().l1Misses.total());
+    EXPECT_EQ(l1_total, stats.aggregate().l1Misses().total());
 }
 
 // -------------------------------------------------------------------- json
@@ -178,7 +178,7 @@ TEST(Json, SimStatsSurvivesSerializationRoundTrip)
     ASSERT_NE(aggj, nullptr);
     EXPECT_EQ(aggj->find("reads")->asUint(), agg.reads);
     EXPECT_EQ(aggj->find("l1Misses")->find("total")->asUint(),
-              agg.l1Misses.total());
+              agg.l1Misses().total());
 }
 
 // ----------------------------------------------------------------- sampler
@@ -196,16 +196,16 @@ expectSameStats(const sim::ProcStats &a, const sim::ProcStats &b)
     EXPECT_EQ(a.reads, b.reads);
     EXPECT_EQ(a.writes, b.writes);
     EXPECT_EQ(a.assumedHitReads, b.assumedHitReads);
-    EXPECT_EQ(a.l1Hits, b.l1Hits);
-    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
-    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l1Hits(), b.l1Hits());
+    EXPECT_EQ(a.l2Accesses(), b.l2Accesses());
+    EXPECT_EQ(a.l2Hits(), b.l2Hits());
     EXPECT_EQ(a.wbOverflows, b.wbOverflows);
     for (std::size_t c = 0; c < sim::kNumDataClasses; ++c)
         for (std::size_t t = 0; t < sim::kNumMissTypes; ++t) {
             const auto dc = static_cast<sim::DataClass>(c);
             const auto mt = static_cast<sim::MissType>(t);
-            EXPECT_EQ(a.l1Misses.of(dc, mt), b.l1Misses.of(dc, mt));
-            EXPECT_EQ(a.l2Misses.of(dc, mt), b.l2Misses.of(dc, mt));
+            EXPECT_EQ(a.l1Misses().of(dc, mt), b.l1Misses().of(dc, mt));
+            EXPECT_EQ(a.l2Misses().of(dc, mt), b.l2Misses().of(dc, mt));
         }
 }
 
@@ -444,5 +444,5 @@ TEST(StatsJson, ConfigSerializesMachineParameters)
     EXPECT_EQ(j.find("nprocs")->asUint(), cfg.nprocs);
     const obs::Json *l1 = j.find("l1");
     ASSERT_NE(l1, nullptr);
-    EXPECT_EQ(l1->find("sizeBytes")->asUint(), cfg.l1.sizeBytes);
+    EXPECT_EQ(l1->find("sizeBytes")->asUint(), cfg.l1().sizeBytes);
 }

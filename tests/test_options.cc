@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "harness/options.hh"
+#include "sim/error.hh"
+#include "sim/spec.hh"
 
 namespace {
 
@@ -355,6 +357,91 @@ TEST(BenchOptionsDeath, MalformedResilienceFlagsAreFatal)
     EXPECT_EXIT(parseArgs({"--breaker", "1.5"}, f),
                 testing::ExitedWithCode(2),
                 "--breaker needs a rate in \\(0,1\\]");
+}
+
+TEST(BenchOptions, MachineFlagParses)
+{
+    BenchOptions o = parseArgs({"--machine", "modern"},
+                               BenchOptions::kAll | BenchOptions::kMachine);
+    EXPECT_EQ(o.machine, "modern");
+}
+
+TEST(BenchOptions, MachineDefaultsToPaper1997)
+{
+    BenchOptions o = parseArgs({}, BenchOptions::kAll |
+                                       BenchOptions::kMachine);
+    EXPECT_EQ(o.machine, "paper1997");
+}
+
+TEST(BenchOptionsDeath, MachineListExitsZero)
+{
+    // The preset list goes to stdout (the matcher only sees stderr).
+    EXPECT_EXIT(parseArgs({"--machine", "list"},
+                          BenchOptions::kAll | BenchOptions::kMachine),
+                testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchOptionsDeath, MachineOutsideDeclaredSubsetIsFatal)
+{
+    // kMachine is not part of kAll: only harness::benchMain ORs it in.
+    EXPECT_EXIT(parseArgs({"--machine", "modern"}),
+                testing::ExitedWithCode(2),
+                "option '--machine' is not supported");
+}
+
+/** The validation bugfix: geometry mistakes that used to silently mangle
+ * set indices now throw a structured SimError naming the field. */
+TEST(MachineValidation, RejectsNonPowerOfTwoCacheSize)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.l2().sizeBytes = 100 * 1000; // not a power of two
+    EXPECT_THROW(cfg.validate(), sim::SimError);
+    EXPECT_THROW(sim::Machine m(cfg), sim::SimError);
+}
+
+TEST(MachineValidation, RejectsLineLargerThanCache)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.l1().sizeBytes = 32;
+    cfg.l1().lineBytes = 64; // line exceeds capacity
+    EXPECT_THROW(cfg.validate(), sim::SimError);
+}
+
+TEST(MachineValidation, RejectsNonPowerOfTwoLine)
+{
+    EXPECT_THROW(sim::MachineConfig::baseline().withLineSize(96),
+                 sim::SimError);
+}
+
+TEST(MachineValidation, RejectsUndersizedCacheSizes)
+{
+    // 16-byte L1 cannot hold even one 32 B line.
+    EXPECT_THROW(sim::MachineConfig::baseline().withCacheSizes(16, 1 << 20),
+                 sim::SimError);
+}
+
+TEST(MachineValidation, RejectsNonMonotoneLatencies)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.lat.localMem = 300;
+    cfg.lat.remote2Hop = 249; // 2-hop below local memory
+    EXPECT_THROW(cfg.validate(), sim::SimError);
+}
+
+TEST(MachineValidation, ErrorCarriesStructuredDump)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::baseline();
+    cfg.l2().sizeBytes = 3000;
+    try {
+        cfg.validate();
+        FAIL() << "expected SimError";
+    } catch (const sim::SimError &e) {
+        const obs::Json &d = e.dump();
+        ASSERT_NE(d.find("field"), nullptr);
+        EXPECT_EQ(d.find("field")->asString(), "l2.sizeBytes");
+        EXPECT_NE(std::string(e.what()).find("power of two"),
+                  std::string::npos);
+    }
 }
 
 TEST(BenchOptionsDeath, ResilienceFlagsOutsideDeclaredSubsetAreFatal)

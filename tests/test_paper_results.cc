@@ -122,9 +122,9 @@ TEST_F(PaperResults, L1MissesDominatedByPrivateConflicts)
 {
     for (const harness::TraceSet *t : {q3_, q6_, q12_}) {
         sim::ProcStats s = baselineRun(*t);
-        std::uint64_t priv = s.l1Misses.byGroup(sim::ClassGroup::Priv);
-        EXPECT_GT(frac(priv, s.l1Misses.total()), 0.35);
-        std::uint64_t conf = s.l1Misses.byGroupAndType(
+        std::uint64_t priv = s.l1Misses().byGroup(sim::ClassGroup::Priv);
+        EXPECT_GT(frac(priv, s.l1Misses().total()), 0.35);
+        std::uint64_t conf = s.l1Misses().byGroupAndType(
             sim::ClassGroup::Priv, sim::MissType::Conf);
         EXPECT_GT(frac(conf, priv), 0.80); // almost all conflicts
     }
@@ -134,9 +134,9 @@ TEST_F(PaperResults, SequentialL2MissesAreColdData)
 {
     for (const harness::TraceSet *t : {q6_, q12_}) {
         sim::ProcStats s = baselineRun(*t);
-        std::uint64_t data = s.l2Misses.byGroup(sim::ClassGroup::Data);
-        EXPECT_GT(frac(data, s.l2Misses.total()), 0.55);
-        std::uint64_t cold = s.l2Misses.byGroupAndType(
+        std::uint64_t data = s.l2Misses().byGroup(sim::ClassGroup::Data);
+        EXPECT_GT(frac(data, s.l2Misses().total()), 0.55);
+        std::uint64_t cold = s.l2Misses().byGroupAndType(
             sim::ClassGroup::Data, sim::MissType::Cold);
         EXPECT_GT(frac(cold, data), 0.90);
     }
@@ -145,18 +145,18 @@ TEST_F(PaperResults, SequentialL2MissesAreColdData)
 TEST_F(PaperResults, IndexQueryL2MissesAreAMix)
 {
     sim::ProcStats s = baselineRun(*q3_);
-    std::uint64_t meta = s.l2Misses.byGroup(sim::ClassGroup::Metadata);
-    std::uint64_t index = s.l2Misses.byGroup(sim::ClassGroup::Index);
-    std::uint64_t data = s.l2Misses.byGroup(sim::ClassGroup::Data);
+    std::uint64_t meta = s.l2Misses().byGroup(sim::ClassGroup::Metadata);
+    std::uint64_t index = s.l2Misses().byGroup(sim::ClassGroup::Index);
+    std::uint64_t data = s.l2Misses().byGroup(sim::ClassGroup::Data);
     EXPECT_GT(meta, 0u);
     EXPECT_GT(index, 0u);
     EXPECT_GT(data, 0u);
     // Metadata misses are mostly coherence; LockSLock is prominent.
-    std::uint64_t meta_cohe = s.l2Misses.byGroupAndType(
+    std::uint64_t meta_cohe = s.l2Misses().byGroupAndType(
         sim::ClassGroup::Metadata, sim::MissType::Cohe);
     EXPECT_GT(frac(meta_cohe, meta), 0.5);
-    EXPECT_GT(s.l2Misses.byClass(sim::DataClass::LockSLock),
-              s.l2Misses.byClass(sim::DataClass::XidHash));
+    EXPECT_GT(s.l2Misses().byClass(sim::DataClass::LockSLock),
+              s.l2Misses().byClass(sim::DataClass::XidHash));
 }
 
 TEST_F(PaperResults, MissRatesInPaperBallpark)
@@ -182,7 +182,7 @@ TEST_F(PaperResults, DataMissesFallWithLineSize)
             harness::runCold(
                 sim::MachineConfig::baseline().withLineSize(line), t)
                 .aggregate();
-        std::uint64_t data = s.l2Misses.byGroup(sim::ClassGroup::Data);
+        std::uint64_t data = s.l2Misses().byGroup(sim::ClassGroup::Data);
         EXPECT_LE(data, prev) << "line " << line;
         prev = data;
     }
@@ -199,8 +199,8 @@ TEST_F(PaperResults, PrivL1MissesGrowWithLineSize)
         harness::runCold(sim::MachineConfig::baseline().withLineSize(256),
                          t)
             .aggregate();
-    EXPECT_GT(big.l1Misses.byGroup(sim::ClassGroup::Priv),
-              small.l1Misses.byGroup(sim::ClassGroup::Priv));
+    EXPECT_GT(big.l1Misses().byGroup(sim::ClassGroup::Priv),
+              small.l1Misses().byGroup(sim::ClassGroup::Priv));
 }
 
 TEST_F(PaperResults, SixtyFourByteLinesMinimizeExecutionTime)
@@ -241,9 +241,9 @@ TEST_F(PaperResults, DataL2MissesFlatAcrossCacheSizes)
                          t)
             .aggregate();
     double ratio =
-        frac(big.l2Misses.byGroup(sim::ClassGroup::Data),
+        frac(big.l2Misses().byGroup(sim::ClassGroup::Data),
              std::max<std::uint64_t>(
-                 1, small.l2Misses.byGroup(sim::ClassGroup::Data)));
+                 1, small.l2Misses().byGroup(sim::ClassGroup::Data)));
     EXPECT_GT(ratio, 0.95);
     EXPECT_LT(ratio, 1.05);
 }
@@ -259,8 +259,8 @@ TEST_F(PaperResults, PrivL1MissesCollapseWithCacheSize)
                              256 << 10, 8 << 20),
                          t)
             .aggregate();
-    EXPECT_LT(big.l1Misses.byGroup(sim::ClassGroup::Priv),
-              small.l1Misses.byGroup(sim::ClassGroup::Priv) / 5);
+    EXPECT_LT(big.l1Misses().byGroup(sim::ClassGroup::Priv),
+              small.l1Misses().byGroup(sim::ClassGroup::Priv) / 5);
 }
 
 TEST_F(PaperResults, IndexQueryGainsSharedLocalityFromBigCaches)
@@ -275,8 +275,8 @@ TEST_F(PaperResults, IndexQueryGainsSharedLocalityFromBigCaches)
                              256 << 10, 8 << 20),
                          t)
             .aggregate();
-    EXPECT_LT(big.l2Misses.byGroup(sim::ClassGroup::Index),
-              small.l2Misses.byGroup(sim::ClassGroup::Index));
+    EXPECT_LT(big.l2Misses().byGroup(sim::ClassGroup::Index),
+              small.l2Misses().byGroup(sim::ClassGroup::Index));
 }
 
 // ---- Figure 12: inter-query reuse ---------------------------------------
@@ -289,9 +289,9 @@ TEST_F(PaperResults, SequentialQueryReusesTableAcrossQueries)
     auto seq = harness::runSequence(cfg, {&warm, q12_});
     sim::SimStats cold = harness::runCold(cfg, *q12_);
     std::uint64_t cold_data =
-        cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+        cold.aggregate().l2Misses().byGroup(sim::ClassGroup::Data);
     std::uint64_t warm_data =
-        seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+        seq[1].aggregate().l2Misses().byGroup(sim::ClassGroup::Data);
     EXPECT_LT(warm_data, cold_data / 3); // nearly all data misses gone
 }
 
@@ -303,9 +303,9 @@ TEST_F(PaperResults, IndexQueryBarelyWarmsSequentialQuery)
     auto seq = harness::runSequence(cfg, {&warm, q12_});
     sim::SimStats cold = harness::runCold(cfg, *q12_);
     std::uint64_t cold_data =
-        cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+        cold.aggregate().l2Misses().byGroup(sim::ClassGroup::Data);
     std::uint64_t warm_data =
-        seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Data);
+        seq[1].aggregate().l2Misses().byGroup(sim::ClassGroup::Data);
     EXPECT_GT(warm_data, cold_data / 2); // only a few misses disappear
 }
 
@@ -316,8 +316,8 @@ TEST_F(PaperResults, IndexReuseAcrossIndexQueries)
     harness::TraceSet warm = wl_->trace(tpcd::QueryId::Q3, 99);
     auto seq = harness::runSequence(cfg, {&warm, q3_});
     sim::SimStats cold = harness::runCold(cfg, *q3_);
-    EXPECT_LT(seq[1].aggregate().l2Misses.byGroup(sim::ClassGroup::Index),
-              cold.aggregate().l2Misses.byGroup(sim::ClassGroup::Index));
+    EXPECT_LT(seq[1].aggregate().l2Misses().byGroup(sim::ClassGroup::Index),
+              cold.aggregate().l2Misses().byGroup(sim::ClassGroup::Index));
 }
 
 // ---- Figure 13 / Section 6: prefetching ---------------------------------

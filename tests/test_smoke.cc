@@ -26,7 +26,7 @@ TEST(Smoke, TinyQ6EndToEnd)
     ASSERT_EQ(stats.procs.size(), 2u);
     EXPECT_GT(stats.procs[0].busy, 0u);
     EXPECT_GT(stats.procs[0].reads, 0u);
-    EXPECT_GT(stats.procs[0].l1Misses.total(), 0u);
+    EXPECT_GT(stats.procs[0].l1Misses().total(), 0u);
 }
 
 TEST(Smoke, Q6ResultMatchesHandComputation)

@@ -110,10 +110,10 @@ TEST(TraceIo, FileRoundTripAndSimulationEquivalence)
     ASSERT_EQ(a.procs.size(), b.procs.size());
     for (std::size_t p = 0; p < a.procs.size(); ++p) {
         EXPECT_EQ(a.procs[p].totalCycles(), b.procs[p].totalCycles());
-        EXPECT_EQ(a.procs[p].l1Misses.total(),
-                  b.procs[p].l1Misses.total());
-        EXPECT_EQ(a.procs[p].l2Misses.total(),
-                  b.procs[p].l2Misses.total());
+        EXPECT_EQ(a.procs[p].l1Misses().total(),
+                  b.procs[p].l1Misses().total());
+        EXPECT_EQ(a.procs[p].l2Misses().total(),
+                  b.procs[p].l2Misses().total());
     }
 }
 

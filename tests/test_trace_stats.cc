@@ -112,8 +112,8 @@ TEST(ProcStats, MissRatesUseAssumedHitDenominator)
     ProcStats s;
     s.reads = 100;
     s.assumedHitReads = 100;
-    s.l1Misses.add(DataClass::Data, MissType::Cold, 10);
-    s.l2Misses.add(DataClass::Data, MissType::Cold, 2);
+    s.l1Misses().add(DataClass::Data, MissType::Cold, 10);
+    s.l2Misses().add(DataClass::Data, MissType::Cold, 2);
     EXPECT_DOUBLE_EQ(s.l1MissRate(), 10.0 / 200.0);
     EXPECT_DOUBLE_EQ(s.l2GlobalMissRate(), 2.0 / 200.0);
 }
@@ -133,11 +133,11 @@ TEST(SimStats, AggregateSumsProcessors)
     st.procs[0].reads = 10;
     st.procs[1].busy = 200;
     st.procs[1].reads = 20;
-    st.procs[1].l1Misses.add(DataClass::Priv, MissType::Conf, 4);
+    st.procs[1].l1Misses().add(DataClass::Priv, MissType::Conf, 4);
     ProcStats agg = st.aggregate();
     EXPECT_EQ(agg.busy, 300u);
     EXPECT_EQ(agg.reads, 30u);
-    EXPECT_EQ(agg.l1Misses.total(), 4u);
+    EXPECT_EQ(agg.l1Misses().total(), 4u);
 }
 
 TEST(SimStats, ExecutionTimeIsSlowestProcessor)
