@@ -3,7 +3,8 @@
 #
 # Usage: scripts/check.sh [--sanitize=thread|address|undefined] [--chaos]
 #                         [--placement] [--memprof] [--stream]
-#                         [--resilience] [--machine] [build-dir]
+#                         [--resilience] [--machine] [--verify] [--lint]
+#                         [build-dir]
 #
 # --sanitize builds into a separate build directory (build-tsan/,
 # build-asan/ or build-ubsan/) with -DSIM_SANITIZE set and runs only the
@@ -51,6 +52,21 @@
 # reconciliation, and a machine-spec *file* (written on the spot) driving
 # a bench end to end. The chaos gauntlet also runs these under each
 # sanitizer.
+#
+# --verify runs the explicit-state protocol model checker
+# (bench/verify_protocol, src/verify/): the canonicalization/symmetry
+# and mutant-soundness unit tests, then exhaustive 2-proc x 2-line
+# searches on both machine presets (paper1997 and modern) that must find
+# zero invariant violations, a mutant sweep in which the checker must
+# catch all four injected protocol bugs, and a bit-identity check of the
+# JSON report across repeated runs. The chaos gauntlet runs these too.
+#
+# --lint runs the static gates: scripts/determinism_lint.py over the
+# deterministic core (src/sim/, src/sched/) and, when clang-tidy is
+# installed, clang-tidy with the repo .clang-tidy config (warnings are
+# errors) over src/ using the build tree's compile_commands.json. A
+# missing clang-tidy binary skips that half with a notice — the
+# determinism lint always runs. The chaos gauntlet runs these too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -61,6 +77,8 @@ memprof=0
 stream=0
 resilience=0
 machine=0
+verify=0
+lint=0
 build=""
 
 for arg in "$@"; do
@@ -90,6 +108,12 @@ for arg in "$@"; do
             ;;
         --machine)
             machine=1
+            ;;
+        --verify)
+            verify=1
+            ;;
+        --lint)
+            lint=1
             ;;
         -*)
             echo "check.sh: unknown option '$arg'" >&2
@@ -451,6 +475,107 @@ print("check.sh: memprof schema, counter invariant and engine"
 EOF
 }
 
+# Protocol-verification checks against an existing build dir: the
+# canonicalization/symmetry, model and mutant unit tests plus the
+# model-checker-to-real-machine bridge test, then verify_protocol in
+# clean mode on both machine presets (the exhaustive 2x2 search must
+# report zero violations), the full mutant sweep (every injected
+# protocol bug must be caught with a counterexample), and bit-identity
+# of the JSON report across repeated runs.
+verify_checks() {
+    local dir="$1"
+    local filter='VerifyCanonical.*:VerifyModel.*:VerifyClean.*'
+    filter+=':VerifyTraces.*:AllMutants/VerifyMutants.*'
+    filter+=':CheckerClean.ModelCheckerTracesReplayCleanOnTheRealMachine'
+    "$dir/tests/dss_tests" --gtest_filter="$filter"
+
+    # Exhaustive clean searches: 2 procs x 2 lines + lock on both the
+    # paper's two-level hierarchy and the modern three-level one. The
+    # bench exits 3 on any invariant violation.
+    local paper_json="$dir/verify_check_paper1997.json"
+    local modern_json="$dir/verify_check_modern.json"
+    "$dir/bench/verify_protocol" --verify-procs 2 --verify-lines 2 \
+        --json "$paper_json"
+    "$dir/bench/verify_protocol" --verify-procs 2 --verify-lines 2 \
+        --machine modern --json "$modern_json"
+
+    # Soundness: all four protocol mutants must be *caught*. A mutant
+    # that escapes the search makes the bench exit 3.
+    "$dir/bench/verify_protocol" --verify-procs 2 --verify-lines 1 \
+        --verify-mutant all > /dev/null
+
+    # Determinism: the search must be bit-identical across runs.
+    local rerun_json="$dir/verify_check_rerun.json"
+    "$dir/bench/verify_protocol" --verify-procs 2 --verify-lines 2 \
+        --json "$rerun_json" > /dev/null
+    if ! cmp -s "$paper_json" "$rerun_json"; then
+        echo "check.sh: verify: JSON report differs between repeated" \
+             "runs of the same search" >&2
+        exit 1
+    fi
+
+    python3 - "$paper_json" "$modern_json" <<'PYVERIFY'
+import json, sys
+
+def fail(msg):
+    sys.stderr.write("check.sh: verify: %s\n" % msg)
+    sys.exit(1)
+
+reports = [json.load(open(p)) for p in sys.argv[1:3]]
+states = []
+for path, doc in zip(sys.argv[1:3], reports):
+    runs = doc.get("verify")
+    if not isinstance(runs, list) or not runs:
+        fail("no verify block in %s" % path)
+    run = runs[0]
+    for key in ("states", "transitions", "depth", "violations",
+                "exhausted", "mutant"):
+        if key not in run:
+            fail("%s verify block lacks '%s'" % (path, key))
+    if run["mutant"] != "none":
+        fail("%s first run is not the clean search" % path)
+    if not run["exhausted"]:
+        fail("%s search did not exhaust the state space" % path)
+    if run["violations"] != 0:
+        fail("%s clean search reports violations" % path)
+    c = doc.get("counters", {})
+    if c.get("verify.states") != run["states"]:
+        fail("%s verify.states counter disagrees with the report" % path)
+    states.append(run["states"])
+
+# One tracked subline cannot tell the hierarchies apart: the extra
+# level only changes latency, which the abstraction drops.
+if states[0] != states[1]:
+    fail("paper1997 (%d states) and modern (%d states) disagree"
+         % (states[0], states[1]))
+
+print("check.sh: verify clean searches exhausted (%d states), mutants"
+      " caught, report bit-identical" % states[0])
+PYVERIFY
+}
+
+# Static gates: the determinism lint over the deterministic core always;
+# clang-tidy over src/ with the repo .clang-tidy (warnings are errors)
+# when the binary is installed, driven by the build tree's
+# compile_commands.json.
+lint_checks() {
+    local dir="$1"
+    python3 "$repo/scripts/determinism_lint.py" "$repo"
+
+    if ! command -v clang-tidy > /dev/null 2>&1; then
+        echo "check.sh: lint: clang-tidy not installed — skipping the" \
+             "static-analysis half (determinism lint still gates)"
+        return 0
+    fi
+    if [[ ! -f "$dir/compile_commands.json" ]]; then
+        cmake -B "$dir" -S "$repo" > /dev/null
+    fi
+    local srcs
+    srcs="$(cd "$repo" && ls src/*/*.cc)"
+    (cd "$repo" && xargs clang-tidy -p "$dir" --quiet <<< "$srcs")
+    echo "check.sh: lint: clang-tidy clean over src/"
+}
+
 if [[ "$chaos" -eq 1 ]]; then
     # Robustness gauntlet: the fault/checker/guard suites plus the
     # engine-stress interleavings, under both TSan and ASan, then the
@@ -465,7 +590,7 @@ if [[ "$chaos" -eq 1 ]]; then
         cmake --build "$dir" -j"$(nproc)" \
             --target dss_tests chaos_fault_sweep ablation_placement \
             report_memprof throughput_stream resilience_sweep \
-            fig6_time_breakdown
+            fig6_time_breakdown verify_protocol
         "$dir/tests/dss_tests" --gtest_filter="$filter"
         "$dir/bench/chaos_fault_sweep" --scale tiny
         "$dir/bench/ablation_placement" --scale tiny --check
@@ -481,7 +606,14 @@ if [[ "$chaos" -eq 1 ]]; then
         # sanitizer: preset discovery, paper1997 byte-identity, modern
         # counter reconciliation and a spec-file-driven run.
         machine_checks "$dir"
+        # The exhaustive protocol search and mutant sweep under the
+        # sanitizer: the model checker drives the real transition
+        # functions, so races and UB in the protocol paths surface here.
+        verify_checks "$dir"
     done
+    # The static gates once (sanitizers do not change source text);
+    # the last sanitizer build dir supplies compile_commands.json.
+    lint_checks "$dir"
     echo "check.sh: chaos gauntlet passed"
 elif [[ "$placement" -eq 1 ]]; then
     build="${build:-$repo/build}"
@@ -545,6 +677,17 @@ elif [[ "$machine" -eq 1 ]]; then
         --target dss_tests fig6_time_breakdown
     machine_checks "$build"
     echo "check.sh: machine checks passed"
+elif [[ "$verify" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    cmake -B "$build" -S "$repo"
+    cmake --build "$build" -j"$(nproc)" \
+        --target dss_tests verify_protocol
+    verify_checks "$build"
+    echo "check.sh: verify checks passed"
+elif [[ "$lint" -eq 1 ]]; then
+    build="${build:-$repo/build}"
+    lint_checks "$build"
+    echo "check.sh: lint checks passed"
 elif [[ -n "$sanitize" ]]; then
     build="${build:-$repo/build-$(short_of "$sanitize")}"
     cmake -B "$build" -S "$repo" -DSIM_SANITIZE="$sanitize"

@@ -86,6 +86,25 @@ usage(std::ostream &os, const std::string &bench, unsigned flags)
               "default,\n"
               "                   modern, scaled64), a JSON spec file, or\n"
               "                   'list' to print the presets\n";
+    if (flags & BenchOptions::kVerify)
+        os << "  --verify-procs <n>\n"
+              "                   model processors in the exhaustive "
+              "search\n"
+              "                   (2-6; symmetry-reduced)\n"
+           << "  --verify-lines <n>\n"
+              "                   tracked shared coherent lines (1-6), "
+              "plus\n"
+              "                   one metalock word\n"
+           << "  --verify-wb <n>  model write-buffer capacity (1-7)\n"
+           << "  --verify-depth <n>\n"
+              "                   BFS depth bound (default: exhaust the\n"
+              "                   reachable state space)\n"
+           << "  --verify-mutant <k|all>\n"
+              "                   inject known protocol mutation k (1-4) "
+              "and\n"
+              "                   require the checker to catch it; 'all' "
+              "runs\n"
+              "                   every mutant in sequence\n";
     if (flags & BenchOptions::kMemprof)
         os << "  --memprof[=N]    line-level memory profiler: hot lines "
               "with\n"
@@ -290,6 +309,34 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench_name,
                 for (const std::string &n : sim::machinePresetNames())
                     std::cout << n << '\n';
                 std::exit(0);
+            }
+        } else if (arg == "--verify-procs" && supported(arg, kVerify)) {
+            opts.verifyProcs =
+                static_cast<unsigned>(positive(i++, "--verify-procs"));
+        } else if (arg == "--verify-lines" && supported(arg, kVerify)) {
+            opts.verifyLines =
+                static_cast<unsigned>(positive(i++, "--verify-lines"));
+        } else if (arg == "--verify-wb" && supported(arg, kVerify)) {
+            opts.verifyWb =
+                static_cast<unsigned>(positive(i++, "--verify-wb"));
+        } else if (arg == "--verify-depth" && supported(arg, kVerify)) {
+            opts.verifyDepth =
+                static_cast<unsigned>(positive(i++, "--verify-depth"));
+        } else if (arg == "--verify-mutant" && supported(arg, kVerify)) {
+            const std::string v = needValue(i++);
+            if (v == "all") {
+                opts.verifyMutant = -1;
+            } else {
+                char *end = nullptr;
+                std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+                if (!end || *end != '\0' || n == 0 || n > 4) {
+                    std::cerr << bench_name
+                              << ": --verify-mutant needs 1-4 or 'all', "
+                                 "got '"
+                              << v << "'\n";
+                    std::exit(2);
+                }
+                opts.verifyMutant = static_cast<int>(n);
             }
         } else if (arg == "--memprof" && supported(arg, kMemprof)) {
             opts.memprof = true;

@@ -103,6 +103,12 @@ struct BenchOptions
          * bench binaries pick the flag up in one place.
          */
         kMachine = 1u << 11,
+        /**
+         * --verify-procs / --verify-lines / --verify-wb / --verify-depth
+         * / --verify-mutant. Outside kAll: only the protocol model
+         * checker bench (bench/verify_protocol.cc) opts in.
+         */
+        kVerify = 1u << 12,
     };
 
     sim::EngineConfig engine;    ///< --engine / --threads / --window
@@ -131,6 +137,14 @@ struct BenchOptions
     double breakerThreshold = 0.0; ///< --breaker; 0 = breaker off
     /** --machine: preset name or JSON spec path (sim::loadSpec). */
     std::string machine = "paper1997";
+    unsigned verifyProcs = 2; ///< --verify-procs: model processors
+    unsigned verifyLines = 2; ///< --verify-lines: tracked data lines
+    unsigned verifyWb = 1;    ///< --verify-wb: model write-buffer slots
+    /** --verify-depth: BFS depth bound; 0 = exhaust the state space. */
+    unsigned verifyDepth = 0;
+    /** --verify-mutant: 0 = clean run, 1..4 = inject that known protocol
+     * mutation (verify::Mutant), -1 = run every mutant in sequence. */
+    int verifyMutant = 0;
 
     /**
      * Parse the shared flags. Prints usage and exits(0) on --help; prints

@@ -453,7 +453,13 @@ void
 Machine::step(ProcId p)
 {
     ProcRun &r = runs_[p];
-    const TraceEntry &e = (*r.entries)[r.pos];
+    stepEntry(p, (*r.entries)[r.pos]);
+}
+
+void
+Machine::stepEntry(ProcId p, const TraceEntry &e)
+{
+    ProcRun &r = runs_[p];
     SeqPort port{*this};
     switch (e.op) {
       case Op::Read:
@@ -477,6 +483,45 @@ Machine::step(ProcId p)
     }
     if (checker_)
         checker_->onStep(*this, p, e);
+}
+
+void
+Machine::beginModelSteps()
+{
+    resetMemoryState();
+    runs_.clear();
+    runs_.resize(cfg_.nprocs);
+    for (ProcRun &r : runs_)
+        r.stats.levels = static_cast<std::uint8_t>(cfg_.numLevels());
+    dir_.resetControllers();
+    holdStart_.clear();
+    // Resolve page homes as run() would; with no traces a first-touch
+    // policy simply claims nothing and interleave stays interleave.
+    placement_->beginRun({});
+}
+
+void
+Machine::modelStep(ProcId p, const TraceEntry &e)
+{
+    assert(p < runs_.size() && "beginModelSteps() before modelStep()");
+    stepEntry(p, e);
+}
+
+void
+Machine::modelEvict(ProcId p, Addr addr)
+{
+    assert(p < runs_.size() && "beginModelSteps() before modelEvict()");
+    SeqPort port{*this};
+    faultEvictT(port, p, addr);
+}
+
+void
+Machine::setProcWaitState(ProcId p, bool blocked, bool acq_pending)
+{
+    ProcRun &r = runs_.at(p);
+    r.blocked = blocked;
+    r.blockStart = r.clock;
+    r.acqPending = acq_pending;
 }
 
 SimStats

@@ -235,6 +235,61 @@ class Machine
     LockTable &locksForTest() { return locks_; }
     WriteBuffer &writeBufferForTest(ProcId p) { return nodes_.at(p)->wb; }
 
+    // ----- explicit-state verification hooks (src/verify/) -----
+    //
+    // The model checker synthesizes protocol events instead of replaying
+    // workload traces, but every transition must run through the *real*
+    // pipelines above. These hooks expose a side-effect-free stepping
+    // API: no sampler, timeline, fault plan or trace stream is involved,
+    // and the only state that changes is what the pipelines themselves
+    // touch. Timing and statistics still accrue (they are protocol-
+    // irrelevant and the checker ignores them).
+
+    /**
+     * Arm manual stepping: cold-start the memory state (caches,
+     * directory, locks, write buffers, classification) and initialize
+     * per-processor execution state exactly as run() would, without
+     * consuming traces. Call before the first modelStep().
+     */
+    void beginModelSteps();
+
+    /**
+     * Drive one synthesized trace entry through the real access
+     * pipelines on the sequential port. Requires beginModelSteps().
+     * LockAcq entries keep their two-phase semantics: one call runs one
+     * phase (test&set transaction, then the grab/spin decision), exactly
+     * as one runSeq() step would.
+     */
+    void modelStep(ProcId p, const TraceEntry &e);
+
+    /** Force-evict the coherent line of @p addr from @p p's caches (the
+     * fault-injection eviction path, directory kept in sync). */
+    void modelEvict(ProcId p, Addr addr);
+
+    /** Load a processor's lock-continuation flags (blocked spinner /
+     * completed test&set) when reconstructing a mid-protocol state. */
+    void setProcWaitState(ProcId p, bool blocked, bool acq_pending);
+
+    /** The engine's blocked-spinner flag for @p p (const view). */
+    bool procBlocked(ProcId p) const { return runs_.at(p).blocked; }
+    /** The two-phase acquire continuation flag for @p p (const view). */
+    bool procAcqPending(ProcId p) const { return runs_.at(p).acqPending; }
+    /** @p p's virtual clock (counterexample trace emission). */
+    Cycles procClock(ProcId p) const { return runs_.at(p).clock; }
+
+    /** Const cache access (the checker-facing read-only counterparts of
+     * the mutable test hooks above). */
+    const Cache &l1(ProcId p) const { return nodes_.at(p)->caches.front(); }
+    const Cache &l2(ProcId p) const { return nodes_.at(p)->caches.back(); }
+    const Cache &level(ProcId p, std::size_t lvl) const
+    {
+        return nodes_.at(p)->caches.at(lvl);
+    }
+    const WriteBuffer &writeBuffer(ProcId p) const
+    {
+        return nodes_.at(p)->wb;
+    }
+
   private:
     struct Node
     {
@@ -393,6 +448,9 @@ class Machine
     void reconcileDirAfterBarrier(Addr l2_line);
 
     void step(ProcId p);
+    /** Dispatch one explicit entry through the pipelines (step() body;
+     * also the modelStep() entry point, where @p e is synthesized). */
+    void stepEntry(ProcId p, const TraceEntry &e);
     template <typename Port>
     void doReadT(Port &port, ProcId p, const TraceEntry &e);
     template <typename Port>

@@ -78,6 +78,23 @@ WriteBuffer::fifoOrdered() const
     return true;
 }
 
+std::vector<Addr>
+WriteBuffer::pendingLines() const
+{
+    std::vector<Addr> out;
+    out.reserve(pending_.size());
+    for (const Pending &p : pending_)
+        out.push_back(p.lineAddr);
+    return out;
+}
+
+void
+WriteBuffer::retireOldest()
+{
+    if (!pending_.empty())
+        pending_.pop_front();
+}
+
 void
 WriteBuffer::corruptReorderForTest()
 {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/addr.hh"
 
@@ -62,6 +63,17 @@ class WriteBuffer
     /** Test hook: swap the retire times of the two oldest pending
      * stores, breaking FIFO order for checker-validation tests. */
     void corruptReorderForTest();
+
+    /**
+     * Line addresses of the pending stores in FIFO order, without
+     * retiring anything (the model checker's state-extraction view;
+     * drains are explicit events there, never a side effect of looking).
+     */
+    std::vector<Addr> pendingLines() const;
+
+    /** Retire the oldest pending store unconditionally (the model
+     * checker's explicit writeback-drain event). No-op when empty. */
+    void retireOldest();
 
     /** Drop all pending stores (cold start). */
     void reset();

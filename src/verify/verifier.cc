@@ -1,0 +1,163 @@
+#include "verify/verifier.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+namespace dss {
+namespace verify {
+
+obs::Json
+VerifyResult::toJson() const
+{
+    obs::Json j = obs::Json::object();
+    j["states"] = states;
+    j["transitions"] = transitions;
+    j["depth"] = depth;
+    j["violations"] = violations;
+    j["exhausted"] = exhausted;
+    if (!cex.events.empty()) {
+        obs::Json evs = obs::Json::array();
+        for (const Event &e : cex.events)
+            evs.push(eventName(e));
+        obs::Json c = obs::Json::object();
+        c["events"] = std::move(evs);
+        c["detail"] = cex.detail;
+        j["counterexample"] = std::move(c);
+    }
+    return j;
+}
+
+namespace {
+
+/**
+ * BFS bookkeeping: one slot per discovered canonical state. `via` is the
+ * inbound event expressed in the *parent's canonical frame* (the frame
+ * decodeState(parent key) lives in).
+ */
+struct Space
+{
+    std::unordered_map<std::string, std::uint32_t> ids; // key -> slot
+    std::vector<const std::string *> keys; // slot -> key (stable nodes)
+    std::vector<std::uint32_t> parent;
+    std::vector<Event> via;
+    std::vector<unsigned> depth;
+
+    /** Intern @p bytes; @return (slot, freshly inserted). */
+    std::pair<std::uint32_t, bool> intern(std::string &&bytes)
+    {
+        auto [it, fresh] = ids.emplace(
+            std::move(bytes), static_cast<std::uint32_t>(keys.size()));
+        if (fresh) {
+            keys.push_back(&it->first);
+            parent.push_back(0);
+            via.push_back({});
+            depth.push_back(0);
+        }
+        return {it->second, fresh};
+    }
+};
+
+std::vector<sim::ProcId>
+invertPerm(const std::vector<sim::ProcId> &perm)
+{
+    std::vector<sim::ProcId> inv(perm.size());
+    for (sim::ProcId p = 0; p < perm.size(); ++p)
+        inv[perm[p]] = p;
+    return inv;
+}
+
+/**
+ * Rebuild the canonical-frame event path ending in (node @p at, final
+ * event @p last), then replay it from the cold state in one concrete
+ * frame: each stored event names processors in its source state's
+ * canonical frame, so the concrete event is obtained through the inverse
+ * of the running state's canonicalization permutation, which is then
+ * refreshed from the concrete successor. Invariants are
+ * permutation-invariant, so the concrete replay reproduces the violation
+ * on its final step — asserted, and its checker report (matching the
+ * concrete processor names) is the one published.
+ */
+Counterexample
+concretize(ProtocolModel &model, const Space &space, std::uint32_t at,
+           const Event &last, const obs::Json &canonical_detail)
+{
+    std::vector<Event> path;
+    for (std::uint32_t n = at; n != 0; n = space.parent[n])
+        path.push_back(space.via[n]);
+    std::reverse(path.begin(), path.end());
+    path.push_back(last);
+
+    const Geometry &g = model.geom();
+    Counterexample cex;
+    cex.detail = canonical_detail;
+    AbstractState cur = model.initial();
+    std::vector<sim::ProcId> sigma = canonicalize(cur, g).perm;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        Event ce = path[i];
+        ce.proc = invertPerm(sigma)[path[i].proc];
+        cex.events.push_back(ce);
+        ProtocolModel::StepResult step = model.apply(cur, ce);
+        if (i + 1 == path.size()) {
+            assert(step.violations != 0 &&
+                   "concrete replay must reproduce the violation");
+            if (step.violations != 0)
+                cex.detail = step.detail;
+        }
+        cur = std::move(step.next);
+        sigma = canonicalize(cur, g).perm;
+    }
+    return cex;
+}
+
+} // namespace
+
+VerifyResult
+ProtocolVerifier::run()
+{
+    const Geometry &g = model_.geom();
+    VerifyResult res;
+    Space space;
+    space.intern(canonicalize(model_.initial(), g).bytes);
+
+    bool truncated = false;
+    std::vector<Event> evs;
+    for (std::uint32_t at = 0; at < space.keys.size(); ++at) {
+        if (opts_.maxStates != 0 && at >= opts_.maxStates) {
+            truncated = true;
+            break;
+        }
+        if (opts_.maxDepth != 0 && space.depth[at] >= opts_.maxDepth) {
+            truncated = true;
+            continue; // BFS layers: every later slot is as deep or deeper
+        }
+        const AbstractState s = decodeState(*space.keys[at], g);
+        model_.enumerate(s, evs);
+        for (const Event &ev : evs) {
+            ProtocolModel::StepResult step = model_.apply(s, ev);
+            ++res.transitions;
+            if (step.violations != 0) {
+                res.states = space.keys.size();
+                res.violations = step.violations;
+                res.depth = space.depth[at] + 1;
+                res.cex = concretize(model_, space, at, ev, step.detail);
+                return res;
+            }
+            Canonical c = canonicalize(step.next, g);
+            auto [id, fresh] = space.intern(std::move(c.bytes));
+            if (fresh) {
+                space.parent[id] = at;
+                space.via[id] = ev;
+                space.depth[id] = space.depth[at] + 1;
+                res.depth = std::max(res.depth, space.depth[id]);
+            }
+        }
+    }
+    res.states = space.keys.size();
+    res.exhausted = !truncated;
+    return res;
+}
+
+} // namespace verify
+} // namespace dss

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Explicit-state BFS over the protocol model.
+ *
+ * Classic Murphi-style exploration: start from the cold state, expand
+ * every enabled event of every visited state, deduplicate successors by
+ * their symmetry-reduced canonical encoding, and stop at the first
+ * invariant violation — which, because the frontier is breadth-first, is
+ * reached by a shortest event path. The path is rebuilt from the parent
+ * links and re-concretized (canonicalization permutes processors per
+ * state; the replay walks the permutations back so the whole
+ * counterexample lives in one concrete processor frame and can be
+ * re-applied, or emitted as a TraceStream, verbatim).
+ *
+ * Determinism: states are expanded in discovery order, events enumerate
+ * in a fixed order, and the visited set is only ever queried by key —
+ * never iterated — so repeated runs visit identical states in identical
+ * order and produce bit-identical reports.
+ */
+
+#ifndef DSS_VERIFY_VERIFIER_HH
+#define DSS_VERIFY_VERIFIER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "verify/model.hh"
+
+namespace dss {
+namespace verify {
+
+struct VerifyOptions
+{
+    /** Stop expanding states deeper than this (0 = unbounded). A depth
+     * cut makes the run non-exhaustive; the result says so. */
+    unsigned maxDepth = 0;
+    /** Abort after visiting this many states (0 = unbounded). */
+    std::uint64_t maxStates = 0;
+};
+
+/** A shortest violating run, in one concrete processor frame. */
+struct Counterexample
+{
+    std::vector<Event> events;
+    obs::Json detail; ///< invariant-checker report of the final state
+};
+
+struct VerifyResult
+{
+    std::uint64_t states = 0;      ///< distinct canonical states visited
+    std::uint64_t transitions = 0; ///< events applied
+    unsigned depth = 0;            ///< deepest layer reached
+    std::uint64_t violations = 0;  ///< violation count of the bad state
+    bool exhausted = false; ///< true iff the full space was covered
+    Counterexample cex;     ///< empty when violations == 0
+
+    obs::Json toJson() const;
+};
+
+class ProtocolVerifier
+{
+  public:
+    ProtocolVerifier(ProtocolModel &model, const VerifyOptions &opts)
+        : model_(model), opts_(opts)
+    {
+    }
+
+    /** Run the search to exhaustion, a violation, or a configured
+     * bound — whichever comes first. */
+    VerifyResult run();
+
+  private:
+    ProtocolModel &model_;
+    VerifyOptions opts_;
+};
+
+} // namespace verify
+} // namespace dss
+
+#endif // DSS_VERIFY_VERIFIER_HH

@@ -40,6 +40,26 @@ validateReport(const std::string &path, const Json &doc)
         if (!doc.find(key))
             return fail(path, std::string("missing \"") + key + "\"");
     const Json *runs = doc.find("runs");
+    // Model-check reports (bench/verify_protocol) run no workload:
+    // "runs" is legitimately empty and the payload is the "verify"
+    // array of search results instead.
+    const Json *verify = doc.find("verify");
+    if (verify) {
+        if (!verify->isArray() || verify->size() == 0)
+            return fail(path, "\"verify\" is not a non-empty array");
+        for (std::size_t i = 0; i < verify->size(); ++i) {
+            const Json &res = verify->at(i);
+            for (const char *key : {"states", "transitions", "depth",
+                                    "violations", "exhausted", "mutant"})
+                if (!res.find(key))
+                    return fail(path, std::string("verify entry lacks \"") +
+                                          key + "\"");
+            if (res.find("states")->asInt() == 0)
+                return fail(path, "verify entry explored zero states");
+        }
+        if (runs->isArray() && runs->size() == 0)
+            return true;
+    }
     if (!runs->isArray() || runs->size() == 0)
         return fail(path, "\"runs\" is not a non-empty array");
     for (std::size_t i = 0; i < runs->size(); ++i) {

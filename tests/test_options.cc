@@ -462,4 +462,48 @@ TEST(BenchOptionsDeath, ResilienceFlagsOutsideDeclaredSubsetAreFatal)
                 "option '--breaker' is not supported");
 }
 
+TEST(BenchOptions, VerifyFlagsParse)
+{
+    BenchOptions o = parseArgs({"--verify-procs", "3", "--verify-lines",
+                                "2", "--verify-wb", "2", "--verify-depth",
+                                "5", "--verify-mutant", "all"},
+                               BenchOptions::kVerify);
+    EXPECT_EQ(o.verifyProcs, 3u);
+    EXPECT_EQ(o.verifyLines, 2u);
+    EXPECT_EQ(o.verifyWb, 2u);
+    EXPECT_EQ(o.verifyDepth, 5u);
+    EXPECT_EQ(o.verifyMutant, -1);
+    o = parseArgs({"--verify-mutant", "2"}, BenchOptions::kVerify);
+    EXPECT_EQ(o.verifyMutant, 2);
+}
+
+TEST(BenchOptions, VerifyFlagsDefault)
+{
+    BenchOptions o = parseArgs({}, BenchOptions::kVerify);
+    EXPECT_EQ(o.verifyProcs, 2u);
+    EXPECT_EQ(o.verifyLines, 2u);
+    EXPECT_EQ(o.verifyWb, 1u);
+    EXPECT_EQ(o.verifyDepth, 0u);
+    EXPECT_EQ(o.verifyMutant, 0);
+}
+
+TEST(BenchOptionsDeath, VerifyFlagsOutsideKAllAreFatal)
+{
+    // kVerify is not part of kAll: only the model-checker bench opts in.
+    EXPECT_EXIT(parseArgs({"--verify-procs", "2"}),
+                testing::ExitedWithCode(2),
+                "option '--verify-procs' is not supported");
+    EXPECT_EXIT(parseArgs({"--verify-mutant", "1"}),
+                testing::ExitedWithCode(2),
+                "option '--verify-mutant' is not supported");
+}
+
+TEST(BenchOptionsDeath, MalformedVerifyMutantIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--verify-mutant", "9"}, BenchOptions::kVerify),
+                testing::ExitedWithCode(2), "needs 1-4 or 'all'");
+    EXPECT_EXIT(parseArgs({"--verify-mutant", "x"}, BenchOptions::kVerify),
+                testing::ExitedWithCode(2), "needs 1-4 or 'all'");
+}
+
 } // namespace
